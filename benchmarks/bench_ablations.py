@@ -1,0 +1,86 @@
+"""Ablations for the implementation's design choices.
+
+1. **Observational dedup in exploration** — `explore` merges traces by
+   snapshot; the ablation explores raw traces breadth-first to the
+   same coverage depth.  Expected: dedup turns exponential trace
+   growth into the (much smaller) state count.
+2. **U-equation trace normalization** — building long churn workloads
+   with and without normalization.  Measured result (recorded in
+   EXPERIMENTS-adjacent honesty): normalization *loses* on this
+   workload (~5x), because memoized query evaluation already makes
+   deep idempotent traces cheap while normalization walks the trace
+   on every apply.  Its value is semantic (canonical state terms),
+   not throughput.
+3. **Memoization** is ablated in ``bench_rewriting.py``.
+"""
+
+import pytest
+
+from repro.algebraic.algebra import TraceAlgebra
+from repro.algebraic.equations import ConditionalEquation
+from repro.algebraic.spec import AlgebraicSpec
+from repro.applications.courses import (
+    courses_algebraic,
+    courses_equations,
+    courses_signature,
+)
+from repro.logic.sorts import STATE
+from repro.logic.terms import Var
+
+
+def _spec_with_idempotence() -> AlgebraicSpec:
+    """The registrar plus offer-idempotence as an U-equation."""
+    signature = courses_signature()
+    course = signature.logic.sort("course")
+    c = Var("c", course)
+    u = Var("U", STATE)
+    offer = lambda ct, st_: signature.apply_update("offer", ct, st_)
+    idempotence = ConditionalEquation(
+        offer(c, offer(c, u)), offer(c, u), None, "u-idem"
+    )
+    return AlgebraicSpec(
+        signature,
+        tuple(courses_equations(signature)) + (idempotence,),
+    )
+
+
+def bench_explore_with_dedup(benchmark):
+    """Snapshot-deduplicated exploration (the shipped design)."""
+    algebra = TraceAlgebra(courses_algebraic())
+    graph = benchmark(algebra.explore)
+    assert len(graph) == 25
+
+
+@pytest.mark.parametrize("depth", [2, 3])
+def bench_explore_raw_traces(benchmark, depth):
+    """Ablation: visit raw traces to a fixed depth (17 and 273 and
+    4369 trace nodes at depths 1/2/3 vs 25 states total)."""
+    algebra = TraceAlgebra(courses_algebraic())
+
+    def run():
+        return sum(
+            1
+            for trace in algebra.traces(depth)
+            for _ in [algebra.snapshot(trace)]
+        )
+
+    count = benchmark(run)
+    assert count == sum(16 ** d for d in range(depth + 1))
+
+
+@pytest.mark.parametrize(
+    "normalize", [True, False], ids=["normalized", "raw"]
+)
+def bench_u_equation_normalization(benchmark, normalize):
+    """A churn workload (repeated re-offers) queried at the end; the
+    idempotence U-equation keeps normalized traces short."""
+    spec = _spec_with_idempotence()
+
+    def run():
+        algebra = TraceAlgebra(spec, normalize=normalize)
+        trace = algebra.initial_trace()
+        for _ in range(40):
+            trace = algebra.apply("offer", "c1", trace=trace)
+        return algebra.query("offered", "c1", trace=trace)
+
+    assert benchmark(run) is True

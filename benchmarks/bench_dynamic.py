@@ -1,0 +1,67 @@
+"""E12 — dynamic logic (the Section 5.3 extension): obligation
+generation, single-formula model checking, and the full syntactic
+refinement check, compared against its semantic counterpart.
+
+Expected shape: the syntactic check does the same state-times-instance
+work as the semantic one plus formula interpretation overhead, so it
+lands within a small constant factor of check_refinement.
+"""
+
+import pytest
+
+from repro.applications.courses import (
+    courses_algebraic,
+    courses_schema_source,
+)
+from repro.dynamic.obligations import (
+    check_obligations,
+    obligations_for_spec,
+)
+from repro.dynamic.semantics import satisfies_dynamic
+from repro.refinement.second_third import (
+    InducedStructure,
+    RepresentationMap,
+    check_refinement,
+)
+from repro.rpr.parser import parse_schema
+
+
+@pytest.fixture(scope="module")
+def setting():
+    spec = courses_algebraic()
+    schema = parse_schema(courses_schema_source())
+    rep_map = RepresentationMap.homonym(spec.signature, schema)
+    return spec, schema, rep_map
+
+
+def bench_obligation_generation(benchmark, setting):
+    spec, schema, rep_map = setting
+    pairs = benchmark(obligations_for_spec, spec, rep_map)
+    assert len(pairs) == 16
+
+
+def bench_single_obligation_model_check(benchmark, setting):
+    """One quantified dynamic formula at one state."""
+    spec, schema, rep_map = setting
+    induced = InducedStructure(spec.signature, schema, rep_map)
+    state = induced.reachable_states()[-1]
+    pairs = obligations_for_spec(spec, rep_map)
+    _, obligation = next(p for p in pairs if p[0].label == "eq6a")
+    result = benchmark(
+        satisfies_dynamic, obligation, state, schema, induced.domains
+    )
+    assert result
+
+
+def bench_syntactic_refinement_check(benchmark, setting):
+    """All 16 obligations over all 25 reachable states."""
+    spec, schema, rep_map = setting
+    report = benchmark(check_obligations, spec, schema, rep_map)
+    assert report.ok
+
+
+def bench_semantic_refinement_baseline(benchmark, setting):
+    """Comparator: the semantic equation check of Section 5.4."""
+    spec, schema, rep_map = setting
+    report = benchmark(check_refinement, spec, schema, rep_map)
+    assert report.ok

@@ -1,0 +1,90 @@
+"""E1/E2 — information level: static checking and modal model
+checking, scaled over the number of states in the universe.
+
+The paper gives no numbers (it is a methodology paper); these benches
+document the cost of deciding its Section 3 semantics mechanically.
+Expected shape: static checks are linear in carrier-product size;
+modal checking of the transition constraint over a linear history is
+quadratic in history length (each [] walks the future-of relation).
+"""
+
+import pytest
+
+from repro.applications import courses
+from repro.information.consistency import check_history, check_state
+from repro.logic.structures import Structure
+from repro.temporal.semantics import holds_at_every_state
+from repro.temporal.kripke import linear_history
+
+
+def _history(info, length):
+    """A consistent, monotonically growing run of ``length`` distinct
+    states: state i offers courses c1..ci and enrolls s_j in c_j for
+    j < i (enrollment never shrinks, so the transition constraint
+    holds)."""
+    carriers = courses.courses_information_carriers(
+        courses.default_students(length), courses.default_courses(length)
+    )
+    states = []
+    for i in range(length):
+        states.append(
+            Structure(
+                info.signature,
+                carriers,
+                relations={
+                    "offered": {(f"c{k}",) for k in range(1, i + 1)},
+                    "takes": {
+                        (f"s{j}", f"c{j}") for j in range(1, i)
+                    },
+                },
+            )
+        )
+    return states
+
+
+@pytest.fixture(scope="module")
+def info():
+    return courses.courses_information()
+
+
+@pytest.fixture(scope="module")
+def carriers():
+    return courses.courses_information_carriers()
+
+
+@pytest.mark.parametrize("students,cs", [(2, 2), (4, 4), (8, 8)])
+def bench_static_check_vs_domain(benchmark, info, students, cs):
+    """E1: one static-constraint check; quantifier space grows as
+    students x courses."""
+    carriers = courses.courses_information_carriers(
+        courses.default_students(students), courses.default_courses(cs)
+    )
+    state = Structure(
+        info.signature,
+        carriers,
+        relations={
+            "offered": {(c,) for c in courses.default_courses(cs)},
+            "takes": {("s1", "c1")},
+        },
+    )
+    result = benchmark(check_state, info, state)
+    assert result.ok
+
+
+@pytest.mark.parametrize("length", [4, 8, 16])
+def bench_transition_constraint_over_history(benchmark, info, length):
+    """E2: the modal transition constraint checked at every state of a
+    linear history of the given length."""
+    states = _history(info, length)
+    universe = linear_history(states).reflexive_closure()
+    axiom = info.transition_constraints[0]
+    result = benchmark(holds_at_every_state, universe, axiom)
+    assert result
+
+
+@pytest.mark.parametrize("length", [4, 8, 16])
+def bench_full_history_check(benchmark, info, length):
+    """E1+E2 combined: the check_history entry point."""
+    states = _history(info, length)
+    result = benchmark(check_history, info, states)
+    assert result.ok

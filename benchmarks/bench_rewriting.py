@@ -1,0 +1,95 @@
+"""E3 — functions level: query evaluation by conditional rewriting,
+scaled over trace length, with the memoization ablation.
+
+Expected shape: evaluation cost is linear in trace length; memoization
+turns repeated observation of a growing trace from quadratic into
+amortized linear (the ablation pair makes the gap visible).
+"""
+
+import pytest
+
+from repro.algebraic.algebra import TraceAlgebra
+from repro.algebraic.rewriting import RewriteEngine
+from repro.applications.courses import courses_algebraic
+
+
+def _long_trace(algebra, length):
+    """offer/enroll/transfer churn of the given length."""
+    steps = [
+        ("offer", "c1"),
+        ("enroll", "s1", "c1"),
+        ("offer", "c2"),
+        ("transfer", "s1", "c1", "c2"),
+        ("cancel", "c1"),
+        ("enroll", "s2", "c2"),
+        ("transfer", "s1", "c2", "c1"),  # blocked (c1 not offered)
+        ("offer", "c1"),
+    ]
+    trace = algebra.initial_trace()
+    for index in range(length):
+        name, *params = steps[index % len(steps)]
+        trace = algebra.apply(name, *params, trace=trace)
+    return trace
+
+
+@pytest.mark.parametrize("length", [10, 50, 100])
+def bench_single_query_vs_trace_length(benchmark, length):
+    """One offered() evaluation on a fresh engine: linear in length."""
+    spec = courses_algebraic()
+    algebra = TraceAlgebra(spec)
+    trace = _long_trace(algebra, length)
+
+    def run():
+        engine = RewriteEngine(spec)
+        term = spec.signature.apply_query(
+            "offered",
+            spec.signature.value(spec.signature.logic.sort("course"), "c1"),
+            trace,
+        )
+        return engine.evaluate(term)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("memoize", [True, False], ids=["memo", "nomemo"])
+def bench_snapshot_memoization_ablation(benchmark, memoize):
+    """All six observations on a 30-update trace, with and without the
+    term cache (the DESIGN.md ablation for the memoization choice)."""
+    spec = courses_algebraic()
+    algebra = TraceAlgebra(spec)
+    trace = _long_trace(algebra, 30)
+    observations = algebra.observations
+
+    def run():
+        engine = RewriteEngine(spec, memoize=memoize)
+        signature = spec.signature
+        values = []
+        for name, params in observations:
+            symbol = signature.query(name)
+            args = [
+                signature.value(sort, value)
+                for sort, value in zip(symbol.arg_sorts[:-1], params)
+            ]
+            from repro.logic.terms import App
+
+            values.append(engine.evaluate(App(symbol, (*args, trace))))
+        return values
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("domain", [2, 3, 4])
+def bench_snapshot_vs_domain(benchmark, domain):
+    """Full snapshot cost as the parameter domains grow (observation
+    count grows as d + d^2)."""
+    from repro.applications.courses import (
+        default_courses,
+        default_students,
+    )
+
+    spec = courses_algebraic(
+        default_students(domain), default_courses(domain)
+    )
+    algebra = TraceAlgebra(spec)
+    trace = _long_trace(algebra, 20)
+    benchmark(algebra.snapshot, trace)

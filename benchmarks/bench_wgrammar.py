@@ -1,0 +1,72 @@
+"""E8 — W-grammar recognition (Section 5.4 syntactic correctness),
+scaled over schema size and declaration-list length.
+
+Expected shape: roughly linear in token count for fixed declaration
+count; the declared-before-use predicate adds a factor proportional to
+the declaration-list length (each `where NAME in DECLS` scans the
+list), so cost grows mildly superlinearly with #relations.
+"""
+
+import pytest
+
+from repro.applications.courses import courses_schema_source
+from repro.rpr.parser import parse_schema
+from repro.wgrammar.rpr_grammar import (
+    check_schema_source,
+    rpr_wgrammar,
+    schema_marks,
+)
+
+
+def _schema_with(procs: int, relations: int) -> str:
+    decls = "\n".join(
+        f"  R{i}(Things);" for i in range(relations)
+    )
+    bodies = "\n".join(
+        f"  proc p{i}(x) = if R0(x) then insert R{i % relations}(x)"
+        for i in range(procs)
+    )
+    return f"schema\n{decls}\n{bodies}\nend-schema"
+
+
+def bench_grammar_construction(benchmark):
+    """Building the 60+-hyperrule grammar object."""
+    grammar = benchmark(rpr_wgrammar)
+    assert grammar.start == ("program",)
+
+
+def bench_recognize_paper_schema(benchmark):
+    """The Section 5.2 schema (135 tokens)."""
+    source = courses_schema_source()
+    result = benchmark(check_schema_source, source)
+    assert result
+
+
+@pytest.mark.parametrize("procs", [2, 6, 12])
+def bench_recognition_vs_proc_count(benchmark, procs):
+    source = _schema_with(procs, relations=2)
+    result = benchmark(check_schema_source, source)
+    assert result
+
+
+@pytest.mark.parametrize("relations", [2, 6, 12])
+def bench_recognition_vs_declaration_count(benchmark, relations):
+    """The declared-before-use predicate scans DECLS per use."""
+    source = _schema_with(procs=4, relations=relations)
+    result = benchmark(check_schema_source, source)
+    assert result
+
+
+def bench_recursive_descent_parser_baseline(benchmark):
+    """Baseline comparator: the hand-written parser on the same
+    input — how much the grammatical formalism costs over ad hoc
+    parsing."""
+    source = courses_schema_source()
+    schema = benchmark(parse_schema, source)
+    assert len(schema.procs) == 5
+
+
+def bench_tokenization(benchmark):
+    source = courses_schema_source()
+    marks = benchmark(schema_marks, source)
+    assert len(marks) == 135

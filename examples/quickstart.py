@@ -1,0 +1,48 @@
+"""Quickstart: verify the paper's running example at all three levels.
+
+Builds the courses/students registrar of Casanova, Veloso & Furtado
+(PODS 1984) — information-level theory, algebraic specification, RPR
+schema — and runs every check of the methodology:
+
+  (a) sufficient completeness         (Section 4.4a)
+  (b) every reachable state is valid  (Section 4.4b)
+  (c) every valid state is reachable  (Section 4.4c)
+  (d) transition consistency          (Section 4.4d)
+  -   W-grammar syntactic correctness (Section 5.4)
+  -   T3 refines T2                   (Section 5.4)
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import DesignFramework
+from repro.applications import courses
+
+
+def main() -> None:
+    framework = DesignFramework.from_sources(
+        information=courses.courses_information(),
+        algebraic=courses.courses_algebraic(),
+        schema_source=courses.courses_schema_source(),
+        carriers=courses.courses_information_carriers(),
+        name="courses registrar",
+    )
+
+    print("=== The three levels ===\n")
+    print(framework.information)
+    print()
+    print(framework.algebraic)
+    print()
+    print(framework.schema)
+
+    print("\n=== Verification (the paper's Section 4.4 / 5.4 plan) ===\n")
+    report = framework.verify()
+    print(report)
+
+    if not report.ok:
+        raise SystemExit("verification failed")
+    print("\nAll checks passed — the design is a correct refinement "
+          "chain T1 -> T2 -> T3.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — an executable reproduction of *Formal Data Base
+Specification: An Eclectic Perspective* (Casanova, Veloso & Furtado,
+PODS 1984).
+
+The paper proposes specifying a database application at three levels —
+information (temporal first-order logic), functions (algebraic
+abstract data types) and representation (the RPR programming language,
+with W-grammar syntax and denotational semantics) — each a formally
+checked refinement of the previous one.  This library implements every
+formalism executably and mechanizes every verification the paper does
+by hand.
+
+Quickstart::
+
+    from repro import DesignFramework
+    from repro.applications import courses
+
+    framework = DesignFramework.from_sources(
+        information=courses.courses_information(),
+        algebraic=courses.courses_algebraic(),
+        schema_source=courses.courses_schema_source(),
+        carriers=courses.courses_information_carriers(),
+        name="courses registrar",
+    )
+    print(framework.verify())
+
+Subpackages:
+
+* :mod:`repro.logic` — many-sorted first-order logic substrate.
+* :mod:`repro.temporal` — modal/temporal extension, Kripke universes.
+* :mod:`repro.information` — level 1: constraints and consistency.
+* :mod:`repro.algebraic` — level 2: equations, rewriting, algebras.
+* :mod:`repro.rpr` — level 3: the RPR language and its semantics.
+* :mod:`repro.wgrammar` — two-level grammars; RPR's W-grammar.
+* :mod:`repro.refinement` — the level-binding correctness checks.
+* :mod:`repro.core` — the combined design framework.
+* :mod:`repro.applications` — worked applications (the paper's
+  courses registrar and more).
+"""
+
+from repro.core.framework import DesignFramework, FrameworkReport
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["DesignFramework", "FrameworkReport", "ReproError", "__version__"]

@@ -1,0 +1,79 @@
+"""Functions level (paper, Section 4): algebraic specifications.
+
+Abstract-data-type style specifications with a designated state sort,
+query/update functions, conditional equations used as rewrite rules,
+finitely generated trace algebras, sufficient-completeness checking,
+and equation synthesis from structured descriptions.
+"""
+
+from repro.algebraic.algebra import (
+    Snapshot,
+    StateGraph,
+    TraceAlgebra,
+    Transition,
+)
+from repro.algebraic.completeness import (
+    CompletenessReport,
+    CoverageReport,
+    TerminationReport,
+    check_coverage,
+    check_sufficient_completeness,
+    check_termination,
+)
+from repro.algebraic.description import (
+    STATE_VAR,
+    Effect,
+    StructuredDescription,
+    initial_equations,
+    synthesize_equations,
+)
+from repro.algebraic.equations import ConditionalEquation
+from repro.algebraic.induction import (
+    AbstractState,
+    InductionReport,
+    abstract_successor,
+    all_snapshots,
+    make_abstract_engine,
+    prove_invariant,
+)
+from repro.algebraic.observation import (
+    CongruenceViolation,
+    ObservabilityReport,
+    check_congruence,
+    observational_classes,
+)
+from repro.algebraic.rewriting import RewriteEngine
+from repro.algebraic.signature import AlgebraicSignature
+from repro.algebraic.spec import AlgebraicSpec
+
+__all__ = [
+    "AlgebraicSignature",
+    "AlgebraicSpec",
+    "ConditionalEquation",
+    "RewriteEngine",
+    "TraceAlgebra",
+    "Snapshot",
+    "StateGraph",
+    "Transition",
+    "check_termination",
+    "check_coverage",
+    "check_sufficient_completeness",
+    "TerminationReport",
+    "CoverageReport",
+    "CompletenessReport",
+    "check_congruence",
+    "observational_classes",
+    "ObservabilityReport",
+    "CongruenceViolation",
+    "AbstractState",
+    "InductionReport",
+    "abstract_successor",
+    "all_snapshots",
+    "make_abstract_engine",
+    "prove_invariant",
+    "Effect",
+    "StructuredDescription",
+    "STATE_VAR",
+    "synthesize_equations",
+    "initial_equations",
+]

@@ -1,0 +1,310 @@
+"""Finitely generated trace algebras.
+
+Paper, Sections 4.1-4.2: the models of an algebraic specification are
+restricted to *finitely generated* algebras — "those in which every
+element is the value of a variable-free term" — so every state is the
+value of a trace ``u_n(..., u_1(..., initiate))`` and structural
+induction on traces is a valid proof rule.
+
+:class:`TraceAlgebra` realizes the initial such algebra for a
+specification with finite parameter domains: states are trace terms,
+queries are evaluated by the rewriting engine, and two traces denote
+the same abstract state iff all *simple observations* agree on them
+(the paper's observability condition).  :meth:`TraceAlgebra.explore`
+performs the observational-state-space construction used by all
+refinement checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import SpecificationError
+from repro.algebraic.rewriting import RewriteEngine, Value
+from repro.algebraic.spec import AlgebraicSpec
+from repro.logic.terms import App, Term
+
+__all__ = ["TraceAlgebra", "Snapshot", "StateGraph", "Transition"]
+
+
+@dataclass(frozen=True, order=True)
+class Snapshot:
+    """The observational content of a state: the value of every simple
+    observation.
+
+    Attributes:
+        entries: sorted tuple of ``((query_name, params), value)``
+            pairs, one per simple observation.
+    """
+
+    entries: tuple[tuple[tuple[str, tuple[str, ...]], Value], ...]
+
+    def value(self, query: str, params: tuple[str, ...]) -> Value:
+        """The recorded value of observation ``query(params)``."""
+        for (name, args), value in self.entries:
+            if name == query and args == params:
+                return value
+        raise KeyError((query, params))
+
+    def relation(self, query: str) -> frozenset[tuple[str, ...]]:
+        """The parameter tuples on which a Boolean query is True."""
+        return frozenset(
+            args
+            for (name, args), value in self.entries
+            if name == query and value is True
+        )
+
+    def as_dict(self) -> dict[tuple[str, tuple[str, ...]], Value]:
+        """The snapshot as a mutable dictionary."""
+        return dict(self.entries)
+
+    def __str__(self) -> str:
+        positives = [
+            f"{name}({', '.join(args)})={value}"
+            for (name, args), value in self.entries
+            if value is not False
+        ]
+        return "{" + ", ".join(positives) + "}"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One edge of the observational state graph.
+
+    Attributes:
+        source: snapshot before the update.
+        update: update function name.
+        params: the update's parameter values.
+        target: snapshot after the update.
+    """
+
+    source: Snapshot
+    update: str
+    params: tuple[str, ...]
+    target: Snapshot
+
+
+@dataclass
+class StateGraph:
+    """The observational state space reachable from ``initiate``.
+
+    Attributes:
+        initial: snapshot of the initial state.
+        states: every reachable snapshot, mapped to a *witness trace*
+            (a shortest trace denoting it).
+        transitions: every (source, update, params, target) edge.
+        truncated: True iff exploration stopped at ``max_states``
+            before exhausting the space.
+    """
+
+    initial: Snapshot
+    states: dict[Snapshot, Term]
+    transitions: list[Transition] = field(default_factory=list)
+    truncated: bool = False
+
+    def successors(self, snapshot: Snapshot) -> Iterator[Transition]:
+        """Yield the outgoing transitions of ``snapshot``."""
+        for transition in self.transitions:
+            if transition.source == snapshot:
+                yield transition
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+
+class TraceAlgebra:
+    """The finitely generated algebra of an algebraic specification.
+
+    Args:
+        spec: the algebraic specification.
+        initial: name of the initial-state constant (default
+            ``"initiate"``).
+        fuel: rewriting fuel per query evaluation (passed through to
+            :class:`RewriteEngine`).
+    """
+
+    def __init__(
+        self,
+        spec: AlgebraicSpec,
+        initial: str = "initiate",
+        fuel: int | None = None,
+        normalize: bool = False,
+    ):
+        self.spec = spec
+        self.signature = spec.signature
+        if fuel is None:
+            self.engine = RewriteEngine(spec)
+        else:
+            self.engine = RewriteEngine(spec, fuel=fuel)
+        self._initial_name = initial
+        #: When True, every trace built by :meth:`apply` is normalized
+        #: by the specification's U-equations (a no-op for
+        #: specifications without them).
+        self.normalize = normalize
+        self._observations = self._build_observations()
+
+    # ------------------------------------------------------------------
+    # traces
+    # ------------------------------------------------------------------
+    def initial_trace(self) -> App:
+        """The ground trace term ``initiate``."""
+        return self.signature.initial_term(self._initial_name)
+
+    def apply(self, update: str, *params: str, trace: Term) -> App:
+        """Build the trace ``update(params..., trace)`` from parameter
+        *values* (domain strings)."""
+        symbol = self.signature.update(update)
+        args = [
+            self.signature.value(sort, value)
+            for sort, value in zip(symbol.arg_sorts[:-1], params)
+        ]
+        if len(params) != len(symbol.arg_sorts) - 1:
+            raise SpecificationError(
+                f"{update} expects {len(symbol.arg_sorts) - 1} "
+                f"parameter(s), got {len(params)}"
+            )
+        term = App(symbol, (*args, trace))
+        if self.normalize:
+            return self.engine.normalize_state(term)
+        return term
+
+    def query(self, name: str, *params: str, trace: Term) -> Value:
+        """Evaluate query ``name`` with parameter *values* on a trace."""
+        symbol = self.signature.query(name)
+        args = [
+            self.signature.value(sort, value)
+            for sort, value in zip(symbol.arg_sorts[:-1], params)
+        ]
+        if len(params) != len(symbol.arg_sorts) - 1:
+            raise SpecificationError(
+                f"{name} expects {len(symbol.arg_sorts) - 1} "
+                f"parameter(s), got {len(params)}"
+            )
+        return self.engine.evaluate(App(symbol, (*args, trace)))
+
+    def update_instances(self) -> Iterator[tuple[str, tuple[str, ...]]]:
+        """Yield every (update name, parameter values) instance over
+        the declared parameter domains."""
+        for symbol in self.signature.updates:
+            domains = [
+                self.signature.domain(sort)
+                for sort in symbol.arg_sorts[:-1]
+            ]
+            for params in itertools.product(*domains):
+                yield symbol.name, params
+
+    def successor_traces(
+        self, trace: Term
+    ) -> Iterator[tuple[str, tuple[str, ...], App]]:
+        """Yield (update, params, new trace) for every update instance."""
+        for update, params in self.update_instances():
+            yield update, params, self.apply(update, *params, trace=trace)
+
+    def traces(self, depth: int) -> Iterator[Term]:
+        """Yield every ground trace with at most ``depth`` updates,
+        breadth-first (the initial trace first).
+
+        The count grows as (number of update instances)**depth; keep
+        ``depth`` small or use :meth:`explore`, which deduplicates by
+        observational equality.
+        """
+        frontier: deque[tuple[Term, int]] = deque([(self.initial_trace(), 0)])
+        while frontier:
+            trace, used = frontier.popleft()
+            yield trace
+            if used < depth:
+                for _, _, successor in self.successor_traces(trace):
+                    frontier.append((successor, used + 1))
+
+    # ------------------------------------------------------------------
+    # observations
+    # ------------------------------------------------------------------
+    def _build_observations(self) -> tuple[tuple[str, tuple[str, ...]], ...]:
+        observations: list[tuple[str, tuple[str, ...]]] = []
+        for symbol in self.signature.queries:
+            domains = [
+                self.signature.domain(sort)
+                for sort in symbol.arg_sorts[:-1]
+            ]
+            for params in itertools.product(*domains):
+                observations.append((symbol.name, params))
+        return tuple(observations)
+
+    @property
+    def observations(self) -> tuple[tuple[str, tuple[str, ...]], ...]:
+        """Every simple observation ``(query, parameter values)``
+        instantiable over the declared domains (paper, Section 4.1)."""
+        return self._observations
+
+    def snapshot(self, trace: Term) -> Snapshot:
+        """Evaluate every simple observation on ``trace``.
+
+        By the observability condition, the snapshot identifies the
+        abstract state the trace denotes.
+        """
+        entries = tuple(
+            sorted(
+                ((name, params), self.query(name, *params, trace=trace))
+                for name, params in self._observations
+            )
+        )
+        return Snapshot(entries)
+
+    def observationally_equal(self, left: Term, right: Term) -> bool:
+        """True iff all simple observations agree on the two traces —
+        the paper's criterion for ``s = s'``."""
+        return self.snapshot(left) == self.snapshot(right)
+
+    # ------------------------------------------------------------------
+    # observational state space
+    # ------------------------------------------------------------------
+    def explore(
+        self,
+        max_states: int = 100_000,
+        max_depth: int | None = None,
+    ) -> StateGraph:
+        """Breadth-first construction of the reachable observational
+        state space (the set G of Section 4.4b, modulo observational
+        equality).
+
+        Args:
+            max_states: stop (and mark the graph truncated) after this
+                many distinct snapshots.
+            max_depth: optionally bound the number of updates applied.
+
+        Returns:
+            The :class:`StateGraph` with one node per distinct
+            snapshot, a witness trace per node, and every update edge
+            between explored nodes.
+        """
+        initial = self.initial_trace()
+        initial_snapshot = self.snapshot(initial)
+        states: dict[Snapshot, Term] = {initial_snapshot: initial}
+        transitions: list[Transition] = []
+        truncated = False
+        frontier: deque[tuple[Snapshot, Term, int]] = deque(
+            [(initial_snapshot, initial, 0)]
+        )
+        while frontier:
+            source_snapshot, trace, depth = frontier.popleft()
+            if max_depth is not None and depth >= max_depth:
+                continue
+            for update, params, successor in self.successor_traces(trace):
+                target_snapshot = self.snapshot(successor)
+                transitions.append(
+                    Transition(
+                        source_snapshot, update, params, target_snapshot
+                    )
+                )
+                if target_snapshot not in states:
+                    if len(states) >= max_states:
+                        truncated = True
+                        continue
+                    states[target_snapshot] = successor
+                    frontier.append(
+                        (target_snapshot, successor, depth + 1)
+                    )
+        return StateGraph(initial_snapshot, states, transitions, truncated)

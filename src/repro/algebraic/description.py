@@ -1,0 +1,295 @@
+"""Structured descriptions and equation synthesis.
+
+Paper, Section 4.2: "In order to obtain such equations we employ
+*structured descriptions* giving, for each update function, intended
+effects, preconditions for state change, possible side-effects, and
+simple observations that are not affected.  In fact, we obtain
+equations that are guaranteed, by construction, to be correct with
+respect to the description."
+
+:func:`synthesize_equations` mechanizes the construction:
+
+* the **intended effects** and **side-effects** of an update ``u`` on a
+  query ``q`` yield, per effect, either one unconditional equation
+  (no precondition) or the guarded pair::
+
+      pre  => q(a, u(p, U)) = value
+      ~pre => q(a, u(p, U)) = q(a, U)
+
+* the **not-affected** part yields a *frame equation* per query::
+
+      <args differ from every effect instance> =>
+          q(x, u(p, U)) = q(x, U)
+
+The paper additionally simplifies some equations by appealing to the
+static constraint (e.g. its equation 6 for ``cancel`` and equation 10
+for ``enroll``).  The synthesized guarded pairs are observationally
+equivalent to those hand-simplified forms — this is verified by the
+E11 experiment (see EXPERIMENTS.md) — so synthesis skips the
+constraint-specific simplification step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SpecificationError
+from repro.algebraic.equations import ConditionalEquation
+from repro.algebraic.signature import AlgebraicSignature
+from repro.logic import formulas as fm
+from repro.logic.sorts import BOOLEAN, STATE
+from repro.logic.terms import App, Term, Var
+
+__all__ = [
+    "Effect",
+    "StructuredDescription",
+    "synthesize_equations",
+    "initial_equations",
+]
+
+#: The canonical state variable used by descriptions.
+STATE_VAR = Var("U", STATE)
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One effect of an update on a query.
+
+    Attributes:
+        query: name of the affected query function.
+        args: the query's parameter arguments; each must be one of the
+            update's formal parameters (the paper's descriptions always
+            instantiate effects at the update's own parameters).
+        value: the query's value after the update fires — a Python
+            bool, or a Boolean term over queries applied to the state
+            variable ``U`` (the pre-update state) and the parameters.
+    """
+
+    query: str
+    args: tuple[Var, ...]
+    value: Term | bool
+
+
+@dataclass(frozen=True)
+class StructuredDescription:
+    """The paper's four-part semi-formal description of an update.
+
+    Attributes:
+        update: the update function's name.
+        params: its formal parameter variables (state excluded).
+        precondition: condition for state change, over queries at the
+            state variable ``U``; ``None`` if the update always fires.
+        effects: the intended effects.
+        side_effects: additional effects (same shape; the distinction
+            is documentary, following the paper's template).
+        doc: free-text comment, e.g. the paper's ``/* course c is
+            cancelled at state U ... */``.
+    """
+
+    update: str
+    params: tuple[Var, ...]
+    precondition: fm.Formula | None = None
+    effects: tuple[Effect, ...] = field(default_factory=tuple)
+    side_effects: tuple[Effect, ...] = field(default_factory=tuple)
+    doc: str = ""
+
+    @property
+    def all_effects(self) -> tuple[Effect, ...]:
+        """Intended effects followed by side-effects."""
+        return self.effects + self.side_effects
+
+
+def _as_term(signature: AlgebraicSignature, value: Term | bool) -> Term:
+    if isinstance(value, bool):
+        return signature.boolean(value)
+    return value
+
+
+def _fresh_vars(
+    sorts: tuple, taken: set[str], base: str = "x"
+) -> tuple[Var, ...]:
+    out: list[Var] = []
+    counter = 1
+    for sort in sorts:
+        name = f"{base}{counter}"
+        while name in taken:
+            counter += 1
+            name = f"{base}{counter}"
+        taken.add(name)
+        out.append(Var(name, sort))
+        counter += 1
+    return tuple(out)
+
+
+def _differs(
+    signature: AlgebraicSignature,
+    frame_args: tuple[Var, ...],
+    effect_args: tuple[Var, ...],
+) -> fm.Formula:
+    """The guard "frame args differ from this effect instance":
+    a disjunction of per-position disequalities."""
+    disequalities: list[fm.Formula] = [
+        fm.Not(fm.Equals(frame_arg, effect_arg))
+        for frame_arg, effect_arg in zip(frame_args, effect_args)
+    ]
+    return fm.disjunction(disequalities)
+
+
+def _validate(
+    signature: AlgebraicSignature, description: StructuredDescription
+) -> None:
+    update = signature.update(description.update)
+    expected = update.arg_sorts[:-1]
+    if tuple(v.sort for v in description.params) != tuple(expected):
+        raise SpecificationError(
+            f"description of {description.update}: parameter sorts "
+            f"{[str(v.sort) for v in description.params]} do not match "
+            f"the declared update sorts {[str(s) for s in expected]}"
+        )
+    param_set = set(description.params)
+    for effect in description.all_effects:
+        query = signature.query(effect.query)
+        if tuple(v.sort for v in effect.args) != tuple(
+            query.arg_sorts[:-1]
+        ):
+            raise SpecificationError(
+                f"effect on {effect.query} in description of "
+                f"{description.update}: argument sorts do not match"
+            )
+        for var in effect.args:
+            if var not in param_set:
+                raise SpecificationError(
+                    f"effect on {effect.query} in description of "
+                    f"{description.update}: argument {var} is not a "
+                    "parameter of the update"
+                )
+
+
+def synthesize_equations(
+    signature: AlgebraicSignature,
+    descriptions: list[StructuredDescription],
+) -> list[ConditionalEquation]:
+    """Synthesize the Q-equations for every update from its structured
+    description, following the Section 4.2 method.
+
+    Returns equations labelled ``synth:<query>:<update>:...``; combine
+    with :func:`initial_equations` for a complete specification.
+
+    Raises:
+        SpecificationError: on an ill-formed description, or if two
+            descriptions cover the same update.
+    """
+    seen_updates: set[str] = set()
+    equations: list[ConditionalEquation] = []
+    for description in descriptions:
+        _validate(signature, description)
+        if description.update in seen_updates:
+            raise SpecificationError(
+                f"duplicate description for update {description.update!r}"
+            )
+        seen_updates.add(description.update)
+        equations.extend(_synthesize_one(signature, description))
+    return equations
+
+
+def _synthesize_one(
+    signature: AlgebraicSignature, description: StructuredDescription
+) -> list[ConditionalEquation]:
+    update_state = App(
+        signature.update(description.update),
+        (*description.params, STATE_VAR),
+    )
+    equations: list[ConditionalEquation] = []
+
+    effects_by_query: dict[str, list[Effect]] = {}
+    for effect in description.all_effects:
+        effects_by_query.setdefault(effect.query, []).append(effect)
+
+    for query_symbol in signature.queries:
+        query = query_symbol.name
+        effects = effects_by_query.get(query, [])
+
+        # Effect equations: fire when the precondition holds.
+        for index, effect in enumerate(effects):
+            lhs = App(query_symbol, (*effect.args, update_state))
+            value = _as_term(signature, effect.value)
+            unchanged = App(query_symbol, (*effect.args, STATE_VAR))
+            tag = f"synth:{query}:{description.update}:effect{index}"
+            if description.precondition is None:
+                equations.append(
+                    ConditionalEquation(lhs, value, None, tag)
+                )
+            else:
+                equations.append(
+                    ConditionalEquation(
+                        lhs, value, description.precondition, tag
+                    )
+                )
+                equations.append(
+                    ConditionalEquation(
+                        lhs,
+                        unchanged,
+                        fm.Not(description.precondition),
+                        tag + ":otherwise",
+                    )
+                )
+
+        # Frame equation: the not-affected part.
+        taken = {v.name for v in description.params} | {STATE_VAR.name}
+        frame_args = _fresh_vars(query_symbol.arg_sorts[:-1], taken)
+        lhs = App(query_symbol, (*frame_args, update_state))
+        rhs = App(query_symbol, (*frame_args, STATE_VAR))
+        guards = [
+            _differs(signature, frame_args, effect.args)
+            for effect in effects
+        ]
+        condition: fm.Formula | None
+        if not guards:
+            condition = None
+        else:
+            condition = fm.conjunction(guards)
+        equations.append(
+            ConditionalEquation(
+                lhs,
+                rhs,
+                condition,
+                f"synth:{query}:{description.update}:frame",
+            )
+        )
+    return equations
+
+
+def initial_equations(
+    signature: AlgebraicSignature,
+    defaults: dict[str, Term | bool] | None = None,
+    initial: str = "initiate",
+) -> list[ConditionalEquation]:
+    """Base equations ``q(x..., initiate) = default`` for every query.
+
+    Boolean queries default to ``False`` (an empty database); queries
+    of other sorts must be given a default in ``defaults``.
+    """
+    defaults = defaults or {}
+    initial_term = signature.initial_term(initial)
+    equations: list[ConditionalEquation] = []
+    for query_symbol in signature.queries:
+        if query_symbol.name in defaults:
+            value = _as_term(signature, defaults[query_symbol.name])
+        elif query_symbol.result_sort == BOOLEAN:
+            value = signature.false()
+        else:
+            raise SpecificationError(
+                f"query {query_symbol.name!r} has non-Boolean sort "
+                f"{query_symbol.result_sort}; give it an initial value "
+                "in `defaults`"
+            )
+        args = _fresh_vars(
+            query_symbol.arg_sorts[:-1], {initial}, base="x"
+        )
+        lhs = App(query_symbol, (*args, initial_term))
+        equations.append(
+            ConditionalEquation(
+                lhs, value, None, f"synth:{query_symbol.name}:{initial}"
+            )
+        )
+    return equations

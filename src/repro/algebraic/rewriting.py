@@ -1,0 +1,363 @@
+"""Conditional term rewriting: evaluating queries on trace states.
+
+Paper, Section 4.2: the ground terms of sort state ("traces") are the
+smallest set containing ``initiate`` and closed under symbolic
+application of the update functions; the Q-equations are "a system of
+mutually recursive equations defining the query functions", oriented
+left-to-right as conditional rewrite rules
+
+    q(p, u(p', U)) = "simpler expression"     (perhaps with a condition)
+
+The :class:`RewriteEngine` evaluates any ground term of parameter or
+Boolean sort by structural recursion on the trace:
+
+* parameter names evaluate to themselves (their name string);
+* Boolean connectives and equality tests evaluate by truth tables;
+* interpreted parameter functions evaluate by their Python
+  interpretation;
+* a query application is matched against the equations indexed by
+  (query, constructor); the first equation whose condition holds fires
+  and its instantiated rhs is evaluated.
+
+Conditions may quantify over parameter sorts; quantifiers range over
+the declared parameter names.  Evaluation is guarded by a *fuel*
+budget: a circular equation system (violating sufficient completeness,
+Section 4.4a) raises :class:`~repro.errors.NonTerminationError` rather
+than looping, and a ground query term no equation covers raises
+:class:`~repro.errors.IncompletenessError`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import (
+    EvaluationError,
+    IncompletenessError,
+    NonTerminationError,
+)
+from repro.algebraic.spec import AlgebraicSpec
+from repro.logic import formulas as fm
+from repro.logic.sorts import BOOLEAN, STATE
+from repro.logic.substitution import Substitution, apply_to_term, match
+from repro.logic.terms import App, Term, Var
+
+__all__ = ["RewriteEngine", "Value"]
+
+#: Evaluation results: parameter names are strings, Booleans are bools.
+Value = Hashable
+
+#: Default fuel: number of query evaluations allowed per top-level call.
+DEFAULT_FUEL = 100_000
+
+
+class RewriteEngine:
+    """Evaluator for ground terms over an algebraic specification.
+
+    Args:
+        spec: the algebraic specification (equations are used as
+            conditional rewrite rules in declaration order).
+        fuel: maximum number of query-application evaluations per
+            top-level :meth:`evaluate` call before concluding
+            non-termination.
+        memoize: cache evaluation results keyed by ground term.  The
+            cache is sound because evaluation is pure; it makes
+            repeated observation of overlapping traces (the common
+            case in reachability analysis) close to linear.
+    """
+
+    def __init__(
+        self,
+        spec: AlgebraicSpec,
+        fuel: int = DEFAULT_FUEL,
+        memoize: bool = True,
+        state_oracle=None,
+    ):
+        self.spec = spec
+        self.signature = spec.signature
+        self._fuel_limit = fuel
+        self._memoize = memoize
+        #: Optional hook (query_name, param_values, state_term) ->
+        #: value or None, consulted before equation dispatch.  Used by
+        #: the induction engine to evaluate queries on *abstract*
+        #: states given by a snapshot rather than a concrete trace.
+        self._state_oracle = state_oracle
+        self._cache: dict[Term, Value] = {}
+        # Value constants per sort, prebuilt for quantifier expansion.
+        self._domain_terms = {
+            sort: tuple(
+                self.signature.value(sort, v)
+                for v in self.signature.domain(sort)
+            )
+            for sort in self.signature.parameter_sorts
+        }
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def evaluate(self, term: Term) -> Value:
+        """Evaluate a ground term of parameter or Boolean sort.
+
+        Raises:
+            EvaluationError: if the term is not ground or has sort
+                state.
+            IncompletenessError: if no equation applies to some query
+                application encountered.
+            NonTerminationError: if the fuel budget is exhausted.
+        """
+        if term.sort == STATE:
+            raise EvaluationError(
+                "terms of sort state are symbolic traces; only query/"
+                "parameter terms evaluate to values"
+            )
+        if not term.is_ground:
+            raise EvaluationError(f"term is not ground: {term}")
+        budget = [self._fuel_limit]
+        try:
+            return self._eval(term, budget)
+        except RecursionError:
+            raise NonTerminationError(
+                f"recursion limit reached while evaluating {term}: the "
+                "equation system appears circular"
+            ) from None
+
+    def holds(self, condition: fm.Formula) -> bool:
+        """Decide a ground condition (wff with equality atoms).
+
+        Quantifiers must range over parameter sorts; they are expanded
+        over the declared parameter names.
+        """
+        budget = [self._fuel_limit]
+        return self._holds(condition, budget)
+
+    def query(self, name: str, *args: Term) -> Value:
+        """Convenience: evaluate query ``name`` applied to ``args``
+        (parameter terms followed by the trace)."""
+        return self.evaluate(self.signature.apply_query(name, *args))
+
+    def normalize_state(self, term: Term) -> Term:
+        """Normalize a ground trace by the U-equations.
+
+        Paper, Section 4.1: axioms of sort state are U-equations; read
+        left-to-right they rewrite traces into "simpler" traces (e.g.
+        an idempotence law ``offer(c, offer(c, U)) = offer(c, U)``).
+        Normalization is innermost-first; an applied rule's result is
+        re-normalized at the top, with the usual fuel guard.
+
+        Specifications without U-equations get the term back
+        unchanged (the common case, including the paper's example).
+        """
+        if term.sort != STATE:
+            raise EvaluationError(
+                f"normalize_state expects a state term, got {term.sort}"
+            )
+        if not self.spec.u_equations:
+            return term
+        budget = [self._fuel_limit]
+        return self._normalize(term, budget)
+
+    def _normalize(self, term: Term, budget: list[int]) -> Term:
+        if not isinstance(term, App):
+            raise EvaluationError(f"not a ground trace: {term}")
+        if self.signature.is_initial(term.symbol):
+            return term
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise NonTerminationError(
+                "fuel exhausted during state normalization: the "
+                "U-equations appear non-terminating"
+            )
+        inner = self._normalize(term.args[-1], budget)
+        current = App(term.symbol, (*term.args[:-1], inner))
+        for equation in self.spec.u_equations_for(current.symbol.name):
+            substitution = match(equation.lhs, current)
+            if substitution is None:
+                continue
+            if equation.condition is not None:
+                closed = substitution.apply_formula(equation.condition)
+                if not self._holds(closed, budget):
+                    continue
+            rewritten = apply_to_term(substitution, equation.rhs)
+            if not isinstance(rewritten, App):
+                raise EvaluationError(
+                    f"U-equation {equation.describe()} produced a "
+                    f"non-ground state {rewritten}"
+                )
+            if self.signature.is_initial(rewritten.symbol):
+                return rewritten
+            # The rewrite may expose new redexes: renormalize fully.
+            return self._normalize(rewritten, budget)
+        return current
+
+    def clear_cache(self) -> None:
+        """Drop all memoized results."""
+        self._cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoized ground-term results."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # evaluation core
+    # ------------------------------------------------------------------
+    _MISSING = object()
+
+    def _eval(self, term: Term, budget: list[int]) -> Value:
+        if self._memoize:
+            cached = self._cache.get(term, self._MISSING)
+            if cached is not self._MISSING:
+                return cached
+        result = self._eval_uncached(term, budget)
+        if self._memoize:
+            self._cache[term] = result
+        return result
+
+    def _eval_uncached(self, term: Term, budget: list[int]) -> Value:
+        if isinstance(term, Var):
+            raise EvaluationError(f"unbound variable {term} in evaluation")
+        if not isinstance(term, App):
+            raise TypeError(f"not a term: {term!r}")
+        symbol = term.symbol
+        sig = self.signature
+
+        if symbol.name == "True" and symbol.result_sort == BOOLEAN:
+            return True
+        if symbol.name == "False" and symbol.result_sort == BOOLEAN:
+            return False
+
+        if sig.is_connective(symbol):
+            return self._eval_connective(term, budget)
+
+        if sig.is_equality_test(symbol):
+            return self._eval(term.args[0], budget) == self._eval(
+                term.args[1], budget
+            )
+
+        interp = sig.interpretation(symbol.name)
+        if interp is not None:
+            values = [self._eval(arg, budget) for arg in term.args]
+            return interp(*values)
+
+        if symbol.is_constant and symbol.result_sort != STATE:
+            # A parameter name evaluates to itself.
+            return symbol.name
+
+        if sig.is_query(symbol):
+            return self._eval_query(term, budget)
+
+        raise EvaluationError(
+            f"cannot evaluate {term}: {symbol.name} is neither a "
+            "connective, equality test, interpreted function, parameter "
+            "name, nor query"
+        )
+
+    def _eval_connective(self, term: App, budget: list[int]) -> bool:
+        name = term.symbol.name
+        if name == "not":
+            return not self._eval(term.args[0], budget)
+        lhs = self._eval(term.args[0], budget)
+        # Short-circuit where the truth table allows it.
+        if name == "and":
+            return bool(lhs) and bool(self._eval(term.args[1], budget))
+        if name == "or":
+            return bool(lhs) or bool(self._eval(term.args[1], budget))
+        if name == "implies":
+            return (not lhs) or bool(self._eval(term.args[1], budget))
+        if name == "iff":
+            return bool(lhs) == bool(self._eval(term.args[1], budget))
+        raise EvaluationError(f"unknown connective {name!r}")
+
+    def _eval_query(self, term: App, budget: list[int]) -> Value:
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise NonTerminationError(
+                f"fuel exhausted while evaluating {term}: the equation "
+                "system appears circular (sufficient completeness fails)"
+            )
+        state_arg = term.args[-1]
+        if self._state_oracle is not None:
+            params = tuple(
+                self._eval(arg, budget) for arg in term.args[:-1]
+            )
+            resolved = self._state_oracle(
+                term.symbol.name, params, state_arg
+            )
+            if resolved is not None:
+                return resolved
+        if not isinstance(state_arg, App):
+            raise EvaluationError(
+                f"query {term} applied to a non-ground state"
+            )
+        constructor = state_arg.symbol.name
+        candidates = self.spec.equations_for(
+            term.symbol.name, constructor
+        )
+        for equation in candidates:
+            substitution = match(equation.lhs, term)
+            if substitution is None:
+                continue
+            if equation.condition is not None:
+                closed = substitution.apply_formula(equation.condition)
+                if not self._holds(closed, budget):
+                    continue
+            rhs = apply_to_term(substitution, equation.rhs)
+            return self._eval(rhs, budget)
+        raise IncompletenessError(
+            f"no equation applies to {term} (query "
+            f"{term.symbol.name!r} on constructor {constructor!r}): the "
+            "specification is not sufficiently complete"
+        )
+
+    # ------------------------------------------------------------------
+    # condition evaluation
+    # ------------------------------------------------------------------
+    def _holds(self, formula: fm.Formula, budget: list[int]) -> bool:
+        if isinstance(formula, fm.TrueF):
+            return True
+        if isinstance(formula, fm.FalseF):
+            return False
+        if isinstance(formula, fm.Equals):
+            return self._eval(formula.lhs, budget) == self._eval(
+                formula.rhs, budget
+            )
+        if isinstance(formula, fm.Not):
+            return not self._holds(formula.body, budget)
+        if isinstance(formula, fm.And):
+            return self._holds(formula.lhs, budget) and self._holds(
+                formula.rhs, budget
+            )
+        if isinstance(formula, fm.Or):
+            return self._holds(formula.lhs, budget) or self._holds(
+                formula.rhs, budget
+            )
+        if isinstance(formula, fm.Implies):
+            return (not self._holds(formula.lhs, budget)) or self._holds(
+                formula.rhs, budget
+            )
+        if isinstance(formula, fm.Iff):
+            return self._holds(formula.lhs, budget) == self._holds(
+                formula.rhs, budget
+            )
+        if isinstance(formula, (fm.Forall, fm.Exists)):
+            var = formula.var
+            try:
+                instances = self._domain_terms[var.sort]
+            except KeyError:
+                raise EvaluationError(
+                    f"condition quantifies over non-parameter sort "
+                    f"{var.sort}"
+                ) from None
+            results = (
+                self._holds(
+                    Substitution({var: value}).apply_formula(formula.body),
+                    budget,
+                )
+                for value in instances
+            )
+            if isinstance(formula, fm.Forall):
+                return all(results)
+            return any(results)
+        raise EvaluationError(
+            f"unsupported construct in condition: {formula!r}"
+        )

@@ -1,0 +1,17 @@
+"""Worked applications, each specified at all three levels.
+
+* :mod:`repro.applications.courses` — the paper's running example
+  (Sections 3.2, 4.2, 5.2), with the fifteen hand-written equations
+  *and* the synthesized equivalent.
+* :mod:`repro.applications.library` — library loans (unique-holder
+  constraint, no silent loan transfer).
+* :mod:`repro.applications.projects` — project staffing (capacity-two
+  constraint, reassignment).
+* :mod:`repro.applications.bank` — bank accounts (non-Boolean query,
+  interpreted arithmetic, constants, auxiliary successor relation at
+  the representation level).
+"""
+
+from repro.applications import bank, courses, library, projects
+
+__all__ = ["courses", "library", "projects", "bank"]

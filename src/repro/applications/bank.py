@@ -1,0 +1,377 @@
+"""A fourth application: bank accounts with balances.
+
+This design exercises the parts of the formalism the registrar does
+not touch:
+
+* a **non-Boolean query** — ``balance: <account, state, money>``
+  returns a parameter-sort value, so sufficient completeness, the
+  refinement map K and the induced structure N all handle values
+  beyond True/False;
+* **interpreted parameter functions** — ``inc``/``dec`` on the finite
+  money domain (the paper allows parameter sorts "endowed with their
+  own function symbols");
+* **constants in axioms and programs** — the zero balance ``m0``
+  appears in the L1 axioms, the L2 equations, and (via a ``const``
+  declaration) the RPR procedures;
+* an **auxiliary relation at the representation level** — arithmetic
+  is a stored successor table ``NEXT`` at level 3, showing that the
+  three levels may structure the same information differently while
+  the refinement still holds.
+
+Money is the finite chain ``m0 < m1 < ... < m<k>``; deposits and
+withdrawals move one unit and are guarded so the chain's ends are
+never crossed.
+"""
+
+from __future__ import annotations
+
+from repro.algebraic.description import (
+    STATE_VAR,
+    Effect,
+    StructuredDescription,
+    initial_equations,
+    synthesize_equations,
+)
+from repro.algebraic.signature import AlgebraicSignature
+from repro.algebraic.spec import AlgebraicSpec
+from repro.core.framework import DesignFramework
+from repro.information.spec import InformationSpec
+from repro.logic import formulas as fm
+from repro.logic.parser import parse_formula
+from repro.logic.signature import PredicateSymbol, Signature
+from repro.logic.sorts import Sort
+from repro.logic.terms import App, Var
+from repro.logic.sorts import STATE
+from repro.refinement.interpretation import (
+    Interpretation,
+    PredicateInterpretation,
+)
+from repro.refinement.second_third import (
+    QueryRealization,
+    RepresentationMap,
+)
+from repro.rpr.parser import parse_schema
+
+__all__ = [
+    "ACCOUNT",
+    "MONEY",
+    "money_values",
+    "bank_information",
+    "bank_carriers",
+    "bank_signature",
+    "bank_descriptions",
+    "bank_algebraic",
+    "bank_schema_source",
+    "bank_representation_map",
+    "bank_framework",
+]
+
+#: Sort of accounts.
+ACCOUNT = Sort("account")
+
+#: Sort of money amounts (a finite chain m0..mK).
+MONEY = Sort("money")
+
+
+def money_values(levels: int = 4) -> list[str]:
+    """The money chain ``m0 .. m<levels-1>``."""
+    return [f"m{i}" for i in range(levels)]
+
+
+def _accounts(count: int) -> list[str]:
+    return [f"a{i}" for i in range(1, count + 1)]
+
+
+def _inc(value: str) -> str:
+    return f"m{int(value[1:]) + 1}"
+
+
+def _dec(value: str) -> str:
+    return f"m{int(value[1:]) - 1}"
+
+
+def bank_information(levels: int = 4) -> InformationSpec:
+    """T1 for the bank.
+
+    Static constraints:
+      (1) every account has exactly one balance (totality and
+          functionality of the ``balance`` relation);
+      (2) a closed account's balance is zero.
+    Transition constraint:
+      (3) an account (re)opens with zero balance.
+    """
+    signature = Signature(sorts=[ACCOUNT, MONEY])
+    signature.add_predicate("open", [ACCOUNT], db=True)
+    signature.add_predicate("balance", [ACCOUNT, MONEY], db=True)
+    signature.add_constant("m0", MONEY)
+    total = parse_formula(
+        "forall a:account. exists m:money. balance(a, m)", signature
+    )
+    functional = parse_formula(
+        "forall a:account, m:money, m2:money."
+        " balance(a, m) & balance(a, m2) -> m = m2",
+        signature,
+    )
+    closed_zero = parse_formula(
+        "forall a:account, m:money."
+        " balance(a, m) & ~open(a) -> m = m0",
+        signature,
+    )
+    reopen_zero = parse_formula(
+        "forall a:account."
+        " [](~open(a) -> [](~open(a) | balance(a, m0)))",
+        signature,
+        allow_modal=True,
+    )
+    return InformationSpec(
+        signature,
+        (total, functional, closed_zero, reopen_zero),
+        name="bank accounts",
+    )
+
+
+def bank_carriers(
+    accounts: int = 2, levels: int = 4
+) -> dict[Sort, list[str]]:
+    """Finite carriers for the bank's sorts."""
+    return {ACCOUNT: _accounts(accounts), MONEY: money_values(levels)}
+
+
+def bank_signature(
+    accounts: int = 2, levels: int = 4
+) -> AlgebraicSignature:
+    """L2 for the bank: Boolean query ``open``; money-valued query
+    ``balance``; unit-step interpreted operations ``inc``/``dec``."""
+    signature = AlgebraicSignature("bank")
+    account = signature.add_parameter_sort("account")
+    money = signature.add_parameter_sort("money")
+    signature.add_parameter_values(account, _accounts(accounts))
+    signature.add_parameter_values(money, money_values(levels))
+    top = money_values(levels)[-1]
+    signature.add_parameter_function(
+        "inc",
+        [money],
+        money,
+        lambda m: m if m == top else _inc(m),
+    )
+    signature.add_parameter_function(
+        "dec",
+        [money],
+        money,
+        lambda m: m if m == "m0" else _dec(m),
+    )
+    signature.add_query("open", [account])
+    signature.add_query("balance", [account], result_sort=money)
+    signature.add_initial("initiate")
+    signature.add_update("open_account", [account])
+    signature.add_update("close_account", [account])
+    signature.add_update("deposit", [account])
+    signature.add_update("withdraw", [account])
+    return signature
+
+
+def bank_descriptions(
+    signature: AlgebraicSignature,
+) -> list[StructuredDescription]:
+    """Structured descriptions of the four bank updates."""
+    account = signature.logic.sort("account")
+    money = signature.logic.sort("money")
+    a = Var("a", account)
+    u = STATE_VAR
+    true = signature.true()
+    zero = signature.value(money, "m0")
+    top = signature.value(money, signature.domain(money)[-1])
+
+    def open_q(account_term, state_term):
+        return signature.apply_query("open", account_term, state_term)
+
+    def balance(account_term, state_term):
+        return signature.apply_query(
+            "balance", account_term, state_term
+        )
+
+    def inc(term):
+        return App(signature.logic.function("inc"), (term,))
+
+    def dec(term):
+        return App(signature.logic.function("dec"), (term,))
+
+    is_open = fm.Equals(open_q(a, u), true)
+    return [
+        StructuredDescription(
+            update="open_account",
+            params=(a,),
+            precondition=fm.Not(is_open),
+            effects=(
+                Effect("open", (a,), True),
+                Effect("balance", (a,), zero),
+            ),
+            doc="account a opens with a zero balance",
+        ),
+        StructuredDescription(
+            update="close_account",
+            params=(a,),
+            precondition=fm.And(
+                is_open, fm.Equals(balance(a, u), zero)
+            ),
+            effects=(Effect("open", (a,), False),),
+            doc="account a closes once its balance is zero",
+        ),
+        StructuredDescription(
+            update="deposit",
+            params=(a,),
+            precondition=fm.And(
+                is_open, fm.Not(fm.Equals(balance(a, u), top))
+            ),
+            effects=(Effect("balance", (a,), inc(balance(a, u))),),
+            doc="one unit is deposited into open account a",
+        ),
+        StructuredDescription(
+            update="withdraw",
+            params=(a,),
+            precondition=fm.And(
+                is_open, fm.Not(fm.Equals(balance(a, u), zero))
+            ),
+            effects=(Effect("balance", (a,), dec(balance(a, u))),),
+            doc="one unit is withdrawn from open account a",
+        ),
+    ]
+
+
+def bank_algebraic(accounts: int = 2, levels: int = 4) -> AlgebraicSpec:
+    """T2 for the bank, synthesized from the descriptions."""
+    signature = bank_signature(accounts, levels)
+    money = signature.logic.sort("money")
+    equations = initial_equations(
+        signature, defaults={"balance": signature.value(money, "m0")}
+    ) + synthesize_equations(signature, bank_descriptions(signature))
+    return AlgebraicSpec(signature, tuple(equations), name="bank accounts")
+
+
+def bank_schema_source(levels: int = 4) -> str:
+    """T3 for the bank in RPR concrete syntax.
+
+    Arithmetic lives in the stored successor table ``NEXT``; balances
+    are rows of the functional relation ``BALANCE``.
+    """
+    consts = "\n".join(
+        f"  const {value}: Money;" for value in money_values(levels)
+    )
+    next_inserts = " ; ".join(
+        f"insert NEXT({low}, {high})"
+        for low, high in zip(money_values(levels), money_values(levels)[1:])
+    )
+    return f"""
+schema
+  OPEN(Accounts);
+  BALANCE(Accounts, Money);
+  NEXT(Money, Money);
+{consts}
+
+  proc initiate() =
+    (OPEN := {{}} ;
+     BALANCE := {{(a, m) / m = m0}} ;
+     NEXT := {{}} ;
+     {next_inserts})
+
+  proc open_account(a) =
+    if ~OPEN(a)
+    then insert OPEN(a)
+
+  proc close_account(a) =
+    if OPEN(a) & BALANCE(a, m0)
+    then delete OPEN(a)
+
+  proc deposit(a) =
+    if OPEN(a) & ~BALANCE(a, m{levels - 1})
+    then BALANCE := {{(x, m) / (x != a & BALANCE(x, m))
+                   | (x = a & exists m2: Money. BALANCE(x, m2) & NEXT(m2, m))}}
+
+  proc withdraw(a) =
+    if OPEN(a) & ~BALANCE(a, m0)
+    then BALANCE := {{(x, m) / (x != a & BALANCE(x, m))
+                   | (x = a & exists m2: Money. BALANCE(x, m2) & NEXT(m, m2))}}
+end-schema
+"""
+
+
+def bank_interpretation(signature: AlgebraicSignature) -> Interpretation:
+    """The explicit interpretation I for the bank.
+
+    The binary db-predicate ``balance(a, m)`` is realized by the unary
+    money-valued query through an equality test::
+
+        I(balance) = eq_money(balance(x1, sigma), x2)
+
+    (I(open) is the homonym query term, as usual.)
+    """
+    account = signature.logic.sort("account")
+    money = signature.logic.sort("money")
+    sigma = Var("sigma", STATE)
+    x1 = Var("x1", account)
+    x2 = Var("x2", money)
+    open_term = signature.apply_query("open", x1, sigma)
+    balance_term = signature.eq(
+        signature.apply_query("balance", x1, sigma), x2
+    )
+    return Interpretation(
+        {
+            "open": PredicateInterpretation((x1,), sigma, open_term),
+            "balance": PredicateInterpretation(
+                (x1, x2), sigma, balance_term
+            ),
+        }
+    )
+
+
+def bank_representation_map(
+    signature: AlgebraicSignature, schema
+) -> RepresentationMap:
+    """The explicit mapping K for the bank (the homonym default cannot
+    realize the non-Boolean ``balance`` query).
+
+    * K(open) = ``OPEN(x1)``;
+    * K(balance) = ``BALANCE(x1, r)`` with result variable ``r``;
+    * updates map to homonym procedures.
+    """
+    accounts_sort = Sort("Accounts")
+    money_sort = Sort("Money")
+    open_pred = PredicateSymbol("OPEN", (accounts_sort,))
+    balance_pred = PredicateSymbol(
+        "BALANCE", (accounts_sort, money_sort)
+    )
+    x1 = Var("x1", accounts_sort)
+    r = Var("r", money_sort)
+    query_map = {
+        "open": QueryRealization((x1,), fm.Atom(open_pred, (x1,))),
+        "balance": QueryRealization(
+            (x1,), fm.Atom(balance_pred, (x1, r)), result_var=r
+        ),
+    }
+    update_map = {
+        update.name: update.name for update in signature.updates
+    }
+    sort_map = {
+        signature.logic.sort("account"): accounts_sort,
+        signature.logic.sort("money"): money_sort,
+    }
+    return RepresentationMap(query_map, update_map, sort_map, "initiate")
+
+
+def bank_framework(accounts: int = 2, levels: int = 4) -> DesignFramework:
+    """The complete three-level bank design, ready to verify."""
+    algebraic = bank_algebraic(accounts, levels)
+    source = bank_schema_source(levels)
+    schema = parse_schema(source)
+    return DesignFramework(
+        information=bank_information(levels),
+        algebraic=algebraic,
+        schema=schema,
+        carriers=bank_carriers(accounts, levels),
+        schema_source=source,
+        interpretation=bank_interpretation(algebraic.signature),
+        representation=bank_representation_map(
+            algebraic.signature, schema
+        ),
+        name="bank accounts",
+    )

@@ -1,0 +1,235 @@
+"""A second application built with the paper's methodology: library
+loans.
+
+Books are acquired into and retired from a catalog; members check
+books out and return them.  The design exercises the same three-level
+pipeline as the courses registrar with different constraint shapes:
+
+* static constraint with an *equality* consequence (at most one member
+  holds a loan on a book);
+* a transition constraint forbidding *silent loan transfer* (a loan
+  may only end by return, never jump between members in one step).
+
+All equations are synthesized from structured descriptions — this
+application has no hand-written equation set, demonstrating the
+Section 4.2 construction as the primary workflow.
+"""
+
+from __future__ import annotations
+
+from repro.algebraic.description import (
+    STATE_VAR,
+    Effect,
+    StructuredDescription,
+    initial_equations,
+    synthesize_equations,
+)
+from repro.algebraic.signature import AlgebraicSignature
+from repro.algebraic.spec import AlgebraicSpec
+from repro.core.framework import DesignFramework
+from repro.information.spec import InformationSpec
+from repro.logic import formulas as fm
+from repro.logic.parser import parse_formula
+from repro.logic.signature import Signature
+from repro.logic.sorts import Sort
+from repro.logic.terms import Var
+
+__all__ = [
+    "MEMBER",
+    "BOOK",
+    "library_information",
+    "library_carriers",
+    "library_signature",
+    "library_descriptions",
+    "library_algebraic",
+    "library_schema_source",
+    "library_framework",
+]
+
+#: Sort of library members.
+MEMBER = Sort("member")
+
+#: Sort of books.
+BOOK = Sort("book")
+
+
+def _members(count: int) -> list[str]:
+    return [f"m{i}" for i in range(1, count + 1)]
+
+
+def _books(count: int) -> list[str]:
+    return [f"b{i}" for i in range(1, count + 1)]
+
+
+def library_information() -> InformationSpec:
+    """T1 for the library.
+
+    Static constraints:
+      (1) a loaned book is in the catalog;
+      (2) a book is loaned to at most one member.
+    Transition constraint:
+      (3) a loan never transfers silently: if m holds b, then in every
+          future state either m still holds b or nobody does.
+    """
+    signature = Signature(sorts=[MEMBER, BOOK])
+    signature.add_predicate("catalog", [BOOK], db=True)
+    signature.add_predicate("loaned", [MEMBER, BOOK], db=True)
+    loaned_in_catalog = parse_formula(
+        "forall m:member, b:book. loaned(m, b) -> catalog(b)", signature
+    )
+    unique_holder = parse_formula(
+        "forall m:member, m2:member, b:book."
+        " loaned(m, b) & loaned(m2, b) -> m = m2",
+        signature,
+    )
+    no_silent_transfer = parse_formula(
+        "forall m:member, b:book."
+        " [](loaned(m, b) ->"
+        " [](loaned(m, b) | ~exists m2:member. loaned(m2, b)))",
+        signature,
+        allow_modal=True,
+    )
+    return InformationSpec(
+        signature,
+        (loaned_in_catalog, unique_holder, no_silent_transfer),
+        name="library loans",
+    )
+
+
+def library_carriers(
+    members: int = 2, books: int = 2
+) -> dict[Sort, list[str]]:
+    """Finite carriers for the library's sorts."""
+    return {MEMBER: _members(members), BOOK: _books(books)}
+
+
+def library_signature(
+    members: int = 2, books: int = 2
+) -> AlgebraicSignature:
+    """L2 for the library: queries ``catalog``/``loaned``; updates
+    ``acquire``, ``retire``, ``checkout``, ``return_book``."""
+    signature = AlgebraicSignature("library")
+    member = signature.add_parameter_sort("member")
+    book = signature.add_parameter_sort("book")
+    signature.add_parameter_values(member, _members(members))
+    signature.add_parameter_values(book, _books(books))
+    signature.add_query("catalog", [book])
+    signature.add_query("loaned", [member, book])
+    signature.add_initial("initiate")
+    signature.add_update("acquire", [book])
+    signature.add_update("retire", [book])
+    signature.add_update("checkout", [member, book])
+    signature.add_update("return_book", [member, book])
+    return signature
+
+
+def library_descriptions(
+    signature: AlgebraicSignature,
+) -> list[StructuredDescription]:
+    """Structured descriptions of the four library updates."""
+    member = signature.logic.sort("member")
+    book = signature.logic.sort("book")
+    m = Var("m", member)
+    m2 = Var("m2", member)
+    b = Var("b", book)
+    u = STATE_VAR
+    true = signature.true()
+
+    def catalog(book_term, state_term):
+        return signature.apply_query("catalog", book_term, state_term)
+
+    def loaned(member_term, book_term, state_term):
+        return signature.apply_query(
+            "loaned", member_term, book_term, state_term
+        )
+
+    nobody_holds_b = fm.Not(
+        fm.Exists(m2, fm.Equals(loaned(m2, b, u), true))
+    )
+    return [
+        StructuredDescription(
+            update="acquire",
+            params=(b,),
+            precondition=None,
+            effects=(Effect("catalog", (b,), True),),
+            doc="book b enters the catalog",
+        ),
+        StructuredDescription(
+            update="retire",
+            params=(b,),
+            precondition=nobody_holds_b,
+            effects=(Effect("catalog", (b,), False),),
+            doc="book b leaves the catalog if nobody holds it",
+        ),
+        StructuredDescription(
+            update="checkout",
+            params=(m, b),
+            precondition=fm.And(
+                fm.Equals(catalog(b, u), true), nobody_holds_b
+            ),
+            effects=(Effect("loaned", (m, b), True),),
+            doc=(
+                "member m borrows book b if it is catalogued and "
+                "currently free"
+            ),
+        ),
+        StructuredDescription(
+            update="return_book",
+            params=(m, b),
+            precondition=fm.Equals(loaned(m, b, u), true),
+            effects=(Effect("loaned", (m, b), False),),
+            doc="member m returns book b",
+        ),
+    ]
+
+
+def library_algebraic(members: int = 2, books: int = 2) -> AlgebraicSpec:
+    """T2 for the library, synthesized from the descriptions."""
+    signature = library_signature(members, books)
+    equations = initial_equations(signature) + synthesize_equations(
+        signature, library_descriptions(signature)
+    )
+    return AlgebraicSpec(
+        signature, tuple(equations), name="library loans"
+    )
+
+
+def library_schema_source() -> str:
+    """T3 for the library in RPR concrete syntax."""
+    return """
+schema
+  CATALOG(Books);
+  LOANED(Members, Books);
+
+  proc initiate() =
+    (CATALOG := {} ; LOANED := {})
+
+  proc acquire(b) =
+    insert CATALOG(b)
+
+  proc retire(b) =
+    if ~exists m: Members. LOANED(m, b)
+    then delete CATALOG(b)
+
+  proc checkout(m, b) =
+    if CATALOG(b) & ~exists m2: Members. LOANED(m2, b)
+    then insert LOANED(m, b)
+
+  proc return_book(m, b) =
+    if LOANED(m, b)
+    then delete LOANED(m, b)
+end-schema
+"""
+
+
+def library_framework(
+    members: int = 2, books: int = 2
+) -> DesignFramework:
+    """The complete three-level library design, ready to verify."""
+    return DesignFramework.from_sources(
+        information=library_information(),
+        algebraic=library_algebraic(members, books),
+        schema_source=library_schema_source(),
+        carriers=library_carriers(members, books),
+        name="library loans",
+    )

@@ -1,0 +1,270 @@
+"""A third application: staffing projects.
+
+Employees are assigned to projects; an employee works on at most two
+projects at a time (a *capacity* static constraint, expressed with
+equality since the logic has no counting), and — as in the paper's
+registrar — once staffed, an employee never becomes idle (assignments
+move via ``reassign``; there is no plain unassign).
+
+Every valid state remains reachable (staff each employee directly from
+``initiate``), so the Section 4.4c inclusion V = G holds — but many
+valid *transitions* are not realized by the repertoire (an employee
+can never drop back to idle), the situation the paper flags with "by
+contrast not all valid transitions will be realized by our repertoire
+of update functions".
+"""
+
+from __future__ import annotations
+
+from repro.algebraic.description import (
+    STATE_VAR,
+    Effect,
+    StructuredDescription,
+    initial_equations,
+    synthesize_equations,
+)
+from repro.algebraic.signature import AlgebraicSignature
+from repro.algebraic.spec import AlgebraicSpec
+from repro.core.framework import DesignFramework
+from repro.information.spec import InformationSpec
+from repro.logic import formulas as fm
+from repro.logic.parser import parse_formula
+from repro.logic.signature import Signature
+from repro.logic.sorts import Sort
+from repro.logic.terms import Var
+
+__all__ = [
+    "EMPLOYEE",
+    "PROJECT",
+    "projects_information",
+    "projects_carriers",
+    "projects_signature",
+    "projects_descriptions",
+    "projects_algebraic",
+    "projects_schema_source",
+    "projects_framework",
+]
+
+#: Sort of employees.
+EMPLOYEE = Sort("employee")
+
+#: Sort of projects.
+PROJECT = Sort("project")
+
+
+def _employees(count: int) -> list[str]:
+    return [f"e{i}" for i in range(1, count + 1)]
+
+
+def _projects(count: int) -> list[str]:
+    return [f"p{i}" for i in range(1, count + 1)]
+
+
+def projects_information() -> InformationSpec:
+    """T1 for project staffing.
+
+    Static constraints:
+      (1) assignments only to active projects;
+      (2) capacity: an employee holds at most two assignments.
+    Transition constraint:
+      (3) a staffed employee never becomes idle.
+    """
+    signature = Signature(sorts=[EMPLOYEE, PROJECT])
+    signature.add_predicate("active", [PROJECT], db=True)
+    signature.add_predicate("assigned", [EMPLOYEE, PROJECT], db=True)
+    assigned_active = parse_formula(
+        "forall e:employee, p:project. assigned(e, p) -> active(p)",
+        signature,
+    )
+    capacity_two = parse_formula(
+        "forall e:employee, p1:project, p2:project, p3:project."
+        " assigned(e, p1) & assigned(e, p2) & assigned(e, p3)"
+        " -> (p1 = p2 | p1 = p3 | p2 = p3)",
+        signature,
+    )
+    never_idle = parse_formula(
+        "forall e:employee."
+        " []((exists p:project. assigned(e, p)) ->"
+        " [](exists p:project. assigned(e, p)))",
+        signature,
+        allow_modal=True,
+    )
+    return InformationSpec(
+        signature,
+        (assigned_active, capacity_two, never_idle),
+        name="project staffing",
+    )
+
+
+def projects_carriers(
+    employees: int = 2, projects: int = 3
+) -> dict[Sort, list[str]]:
+    """Finite carriers (three projects by default, so the capacity-two
+    constraint actually bites)."""
+    return {EMPLOYEE: _employees(employees), PROJECT: _projects(projects)}
+
+
+def projects_signature(
+    employees: int = 2, projects: int = 3
+) -> AlgebraicSignature:
+    """L2 for project staffing."""
+    signature = AlgebraicSignature("projects")
+    employee = signature.add_parameter_sort("employee")
+    project = signature.add_parameter_sort("project")
+    signature.add_parameter_values(employee, _employees(employees))
+    signature.add_parameter_values(project, _projects(projects))
+    signature.add_query("active", [project])
+    signature.add_query("assigned", [employee, project])
+    signature.add_initial("initiate")
+    signature.add_update("open_project", [project])
+    signature.add_update("dissolve", [project])
+    signature.add_update("assign", [employee, project])
+    signature.add_update("reassign", [employee, project, project])
+    return signature
+
+
+def projects_descriptions(
+    signature: AlgebraicSignature,
+) -> list[StructuredDescription]:
+    """Structured descriptions of the four staffing updates."""
+    employee = signature.logic.sort("employee")
+    project = signature.logic.sort("project")
+    e = Var("e", employee)
+    e2 = Var("e2", employee)
+    p = Var("p", project)
+    p2 = Var("p2", project)
+    q1 = Var("q1", project)
+    q2 = Var("q2", project)
+    u = STATE_VAR
+    true = signature.true()
+
+    def active(project_term, state_term):
+        return signature.apply_query("active", project_term, state_term)
+
+    def assigned(employee_term, project_term, state_term):
+        return signature.apply_query(
+            "assigned", employee_term, project_term, state_term
+        )
+
+    nobody_on_p = fm.Not(
+        fm.Exists(e2, fm.Equals(assigned(e2, p, u), true))
+    )
+    # "e holds fewer than two assignments" — no two distinct projects
+    # are both assigned to e.
+    under_capacity = fm.Not(
+        fm.Exists(
+            q1,
+            fm.Exists(
+                q2,
+                fm.And(
+                    fm.Not(fm.Equals(q1, q2)),
+                    fm.And(
+                        fm.Equals(assigned(e, q1, u), true),
+                        fm.Equals(assigned(e, q2, u), true),
+                    ),
+                ),
+            ),
+        )
+    )
+    return [
+        StructuredDescription(
+            update="open_project",
+            params=(p,),
+            precondition=None,
+            effects=(Effect("active", (p,), True),),
+            doc="project p becomes active",
+        ),
+        StructuredDescription(
+            update="dissolve",
+            params=(p,),
+            precondition=nobody_on_p,
+            effects=(Effect("active", (p,), False),),
+            doc="project p is dissolved if nobody is assigned to it",
+        ),
+        StructuredDescription(
+            update="assign",
+            params=(e, p),
+            precondition=fm.And(
+                fm.Equals(active(p, u), true),
+                fm.Or(
+                    fm.Equals(assigned(e, p, u), true), under_capacity
+                ),
+            ),
+            effects=(Effect("assigned", (e, p), True),),
+            doc=(
+                "employee e joins active project p if already on it or "
+                "under the two-project capacity"
+            ),
+        ),
+        StructuredDescription(
+            update="reassign",
+            params=(e, p, p2),
+            precondition=fm.And(
+                fm.Equals(assigned(e, p, u), true),
+                fm.And(
+                    fm.Not(fm.Equals(assigned(e, p2, u), true)),
+                    fm.Equals(active(p2, u), true),
+                ),
+            ),
+            effects=(
+                Effect("assigned", (e, p), False),
+                Effect("assigned", (e, p2), True),
+            ),
+            doc="employee e moves from project p to active project p2",
+        ),
+    ]
+
+
+def projects_algebraic(
+    employees: int = 2, projects: int = 3
+) -> AlgebraicSpec:
+    """T2 for project staffing, synthesized from the descriptions."""
+    signature = projects_signature(employees, projects)
+    equations = initial_equations(signature) + synthesize_equations(
+        signature, projects_descriptions(signature)
+    )
+    return AlgebraicSpec(
+        signature, tuple(equations), name="project staffing"
+    )
+
+
+def projects_schema_source() -> str:
+    """T3 for project staffing in RPR concrete syntax."""
+    return """
+schema
+  ACTIVE(Projects);
+  ASSIGNED(Employees, Projects);
+
+  proc initiate() =
+    (ACTIVE := {} ; ASSIGNED := {})
+
+  proc open_project(p) =
+    insert ACTIVE(p)
+
+  proc dissolve(p) =
+    if ~exists e: Employees. ASSIGNED(e, p)
+    then delete ACTIVE(p)
+
+  proc assign(e, p) =
+    if ACTIVE(p) & (ASSIGNED(e, p) | ~exists q1: Projects, q2: Projects.
+        q1 != q2 & ASSIGNED(e, q1) & ASSIGNED(e, q2))
+    then insert ASSIGNED(e, p)
+
+  proc reassign(e, p, p2) =
+    if ASSIGNED(e, p) & ~ASSIGNED(e, p2) & ACTIVE(p2)
+    then (delete ASSIGNED(e, p) ; insert ASSIGNED(e, p2))
+end-schema
+"""
+
+
+def projects_framework(
+    employees: int = 2, projects: int = 3
+) -> DesignFramework:
+    """The complete three-level staffing design, ready to verify."""
+    return DesignFramework.from_sources(
+        information=projects_information(),
+        algebraic=projects_algebraic(employees, projects),
+        schema_source=projects_schema_source(),
+        carriers=projects_carriers(employees, projects),
+        name="project staffing",
+    )

@@ -1,0 +1,164 @@
+"""Command-line interface: verify the shipped application designs.
+
+Usage::
+
+    python -m repro list
+    python -m repro verify courses [--depth 2] [--quiet]
+    python -m repro verify all
+    python -m repro schema courses        # print the RPR schema
+    python -m repro axioms courses        # print the level-1 theory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.core.framework import DesignFramework
+
+__all__ = ["main", "APPLICATIONS"]
+
+
+def _courses() -> DesignFramework:
+    from repro.applications import courses
+
+    return DesignFramework.from_sources(
+        information=courses.courses_information(),
+        algebraic=courses.courses_algebraic(),
+        schema_source=courses.courses_schema_source(),
+        carriers=courses.courses_information_carriers(),
+        name="courses registrar (the paper's running example)",
+    )
+
+
+def _library() -> DesignFramework:
+    from repro.applications.library import library_framework
+
+    return library_framework()
+
+
+def _projects() -> DesignFramework:
+    from repro.applications.projects import projects_framework
+
+    return projects_framework()
+
+
+def _bank() -> DesignFramework:
+    from repro.applications.bank import bank_framework
+
+    return bank_framework()
+
+
+#: The shipped application factories, keyed by CLI name.
+APPLICATIONS: dict[str, Callable[[], DesignFramework]] = {
+    "courses": _courses,
+    "library": _library,
+    "projects": _projects,
+    "bank": _bank,
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name, factory in APPLICATIONS.items():
+        framework = factory()
+        print(f"{name:10s} {framework.name}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    names = (
+        list(APPLICATIONS) if args.application == "all"
+        else [args.application]
+    )
+    failures = 0
+    for name in names:
+        factory = APPLICATIONS.get(name)
+        if factory is None:
+            print(f"unknown application {name!r}; try 'list'",
+                  file=sys.stderr)
+            return 2
+        framework = factory()
+        started = time.perf_counter()
+        report = framework.verify(
+            completeness_depth=args.depth, congruence_depth=args.depth
+        )
+        elapsed = time.perf_counter() - started
+        verdict = "OK" if report.ok else "FAILED"
+        print(f"[{verdict}] {framework.name}  ({elapsed:.1f}s)")
+        if not args.quiet or not report.ok:
+            print(report)
+            print()
+        if not report.ok:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_schema(args: argparse.Namespace) -> int:
+    factory = APPLICATIONS.get(args.application)
+    if factory is None:
+        print(f"unknown application {args.application!r}",
+              file=sys.stderr)
+        return 2
+    framework = factory()
+    print(framework.schema_source or framework.schema)
+    return 0
+
+
+def _cmd_axioms(args: argparse.Namespace) -> int:
+    factory = APPLICATIONS.get(args.application)
+    if factory is None:
+        print(f"unknown application {args.application!r}",
+              file=sys.stderr)
+        return 2
+    print(factory().information)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Three-level formal database specification "
+            "(Casanova/Veloso/Furtado, PODS 1984) - verification CLI"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "list", help="list the shipped applications"
+    ).set_defaults(handler=_cmd_list)
+
+    verify = subparsers.add_parser(
+        "verify", help="run every refinement check on an application"
+    )
+    verify.add_argument(
+        "application",
+        help=f"one of {', '.join(APPLICATIONS)} or 'all'",
+    )
+    verify.add_argument(
+        "--depth", type=int, default=2,
+        help="trace depth for completeness/congruence checks",
+    )
+    verify.add_argument(
+        "--quiet", action="store_true",
+        help="print only the verdict line unless a check fails",
+    )
+    verify.set_defaults(handler=_cmd_verify)
+
+    schema = subparsers.add_parser(
+        "schema", help="print an application's RPR schema"
+    )
+    schema.add_argument("application")
+    schema.set_defaults(handler=_cmd_schema)
+
+    axioms = subparsers.add_parser(
+        "axioms", help="print an application's information-level theory"
+    )
+    axioms.add_argument("application")
+    axioms.set_defaults(handler=_cmd_axioms)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)

@@ -1,0 +1,7 @@
+"""The paper's conceptual design framework (Section 2): the three
+levels of specification and the refinements binding them, bundled and
+verified as one unit."""
+
+from repro.core.framework import DesignFramework, FrameworkReport
+
+__all__ = ["DesignFramework", "FrameworkReport"]

@@ -1,0 +1,31 @@
+"""First-order dynamic logic over RPR programs — the "separate paper"
+the authors defer to in Section 5.3, realized: program modalities
+[p]P / <p>P, their semantics over database states, and the syntactic
+translation of A2 equations into checkable proof obligations."""
+
+from repro.dynamic.formulas import Box, Diamond, ProcCall, program_modalities
+from repro.dynamic.obligations import (
+    ObligationReport,
+    check_obligations,
+    obligation_for_equation,
+    obligations_for_spec,
+)
+from repro.dynamic.semantics import (
+    counterexample,
+    satisfies_dynamic,
+    valid_in_schema,
+)
+
+__all__ = [
+    "Box",
+    "Diamond",
+    "ProcCall",
+    "program_modalities",
+    "satisfies_dynamic",
+    "valid_in_schema",
+    "counterexample",
+    "obligation_for_equation",
+    "obligations_for_spec",
+    "check_obligations",
+    "ObligationReport",
+]

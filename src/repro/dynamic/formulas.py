@@ -1,0 +1,111 @@
+"""First-order dynamic logic over RPR programs.
+
+Paper, Section 5.3: extending the mapping K to whole wffs "would need
+a full programming logic, such as Dynamic Logic (a separate paper will
+explore this possibility)".  This package realizes that pointer: wffs
+are first-order formulas over the schema's language extended with the
+program modalities
+
+* ``[p]P`` (:class:`Box`)     — P holds after *every* execution of p;
+* ``<p>P`` (:class:`Diamond`) — P holds after *some* execution of p,
+
+where p is any RPR statement (so Harel's regular programs [Ha], which
+RPR is built on, are recovered exactly).  With the modalities, the
+second-to-third refinement obligations become *formulas*: e.g. the
+paper's equation 6a for ``cancel`` is the dynamic-logic sentence
+
+    forall c. (exists s. TAKES(s, c)) -> [cancel(c)] OFFERED(c)
+
+checked by :mod:`repro.dynamic.semantics` over the finite universe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.logic import formulas as fm
+from repro.logic.terms import Term, Var
+from repro.rpr.ast import Statement
+
+__all__ = ["Box", "Diamond", "ProcCall", "program_modalities"]
+
+
+@dataclass(frozen=True)
+class ProcCall:
+    """A named-procedure program: ``I(t1,...,tn)``.
+
+    Dynamic-logic formulas may use schema procedures as programs (the
+    k-meaning of Section 5.1.2); arguments are RPR terms.
+    """
+
+    name: str
+    args: tuple[Term, ...] = ()
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+#: A program inside a modality: a raw statement or a procedure call.
+Program = Statement | ProcCall
+
+
+@dataclass(frozen=True)
+class Box(fm.Formula):
+    """``[p]P``: after every terminating execution of p, P holds."""
+
+    program: Program
+    body: fm.Formula
+
+    def free_vars(self) -> frozenset[Var]:
+        out = self.body.free_vars()
+        if isinstance(self.program, ProcCall):
+            for arg in self.program.args:
+                out |= arg.free_vars()
+        return out
+
+    def subformulas(self) -> Iterator[fm.Formula]:
+        yield self
+        yield from self.body.subformulas()
+
+    def __str__(self) -> str:
+        return f"[{self.program}]{_paren(self.body)}"
+
+
+@dataclass(frozen=True)
+class Diamond(fm.Formula):
+    """``<p>P``: some execution of p ends in a state satisfying P.
+
+    Dual of :class:`Box`: ``<p>P == ~[p]~P``.
+    """
+
+    program: Program
+    body: fm.Formula
+
+    def free_vars(self) -> frozenset[Var]:
+        out = self.body.free_vars()
+        if isinstance(self.program, ProcCall):
+            for arg in self.program.args:
+                out |= arg.free_vars()
+        return out
+
+    def subformulas(self) -> Iterator[fm.Formula]:
+        yield self
+        yield from self.body.subformulas()
+
+    def __str__(self) -> str:
+        return f"<{self.program}>{_paren(self.body)}"
+
+
+def _paren(formula: fm.Formula) -> str:
+    if isinstance(formula, (fm.Forall, fm.Exists)):
+        return f"({formula})"
+    return str(formula)
+
+
+def program_modalities(formula: fm.Formula) -> Iterator[Box | Diamond]:
+    """Yield every Box/Diamond subformula."""
+    for sub in formula.subformulas():
+        if isinstance(sub, (Box, Diamond)):
+            yield sub

@@ -1,0 +1,347 @@
+"""Syntactic refinement obligations in dynamic logic.
+
+Paper, Section 5.3: "the next natural step would be to extend K to map
+wffs of L2 into wffs of L3.  However, L3 is not powerful enough (...)
+In order to do so, we would need a full programming logic, such as
+Dynamic Logic."  This module performs exactly that extension: each
+conditional equation of A2
+
+    cond  =>  q(p, u(p', U)) = rhs
+
+becomes the dynamic-logic sentence (universally closed over the
+parameters)
+
+    K(cond)  ->  ( K(rhs)  <->  [u(p')] K(q)(p) )
+
+where K translates Boolean L2 terms into L3 wffs (queries via their
+realizations, equality tests into equality, connectives pointwise) and
+the modality runs the procedure implementing u.  For a query of a
+parameter result sort, a fresh result variable v is introduced:
+
+    K(cond) -> forall v. ( K(rhs = v) <-> [u(p')] K(q)(p) holds at v )
+
+Obligations are *valid over the reachable states* of the schema — like
+the paper's own equations, they may rely on the level-1 invariants, so
+universal validity over arbitrary states is not required (equation 10
+of the registrar is the canonical example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RefinementError
+from repro.algebraic.equations import ConditionalEquation
+from repro.algebraic.signature import AlgebraicSignature
+from repro.algebraic.spec import AlgebraicSpec
+from repro.dynamic.formulas import Box, ProcCall
+from repro.dynamic.semantics import satisfies_dynamic
+from repro.logic import formulas as fm
+from repro.logic.sorts import BOOLEAN, STATE, Sort
+from repro.logic.terms import App, Term, Var
+from repro.refinement.second_third import (
+    InducedStructure,
+    RepresentationMap,
+)
+from repro.rpr.ast import Schema, ValueLiteral
+
+__all__ = [
+    "obligation_for_equation",
+    "obligations_for_spec",
+    "ObligationReport",
+    "check_obligations",
+]
+
+
+class _Translator:
+    """K extended to terms and condition wffs of L2."""
+
+    def __init__(
+        self,
+        signature: AlgebraicSignature,
+        rep_map: RepresentationMap,
+    ):
+        self.signature = signature
+        self.rep_map = rep_map
+
+    def sort(self, l2_sort: Sort) -> Sort:
+        try:
+            return self.rep_map.sort_map[l2_sort]
+        except KeyError:
+            raise RefinementError(
+                f"K has no sort mapping for {l2_sort}"
+            ) from None
+
+    def param_term(self, term: Term) -> Term:
+        """Translate a parameter-sorted L2 term into an L3 term."""
+        if isinstance(term, Var):
+            return Var(term.name, self.sort(term.sort))
+        if isinstance(term, App) and term.symbol.is_constant:
+            return ValueLiteral(term.symbol.name, self.sort(term.sort))
+        raise RefinementError(
+            f"cannot translate parameter term {term} syntactically "
+            "(interpreted functions have no L3 image; state the "
+            "obligation semantically via check_refinement instead)"
+        )
+
+    def boolean_term(self, term: Term) -> fm.Formula:
+        """Translate a Boolean L2 term into an L3 wff."""
+        if isinstance(term, App):
+            name = term.symbol.name
+            if name == "True":
+                return fm.TRUE
+            if name == "False":
+                return fm.FALSE
+            if self.signature.is_connective(term.symbol):
+                parts = [self.boolean_term(arg) for arg in term.args]
+                return {
+                    "not": lambda: fm.Not(parts[0]),
+                    "and": lambda: fm.And(parts[0], parts[1]),
+                    "or": lambda: fm.Or(parts[0], parts[1]),
+                    "implies": lambda: fm.Implies(parts[0], parts[1]),
+                    "iff": lambda: fm.Iff(parts[0], parts[1]),
+                }[name]()
+            if self.signature.is_equality_test(term.symbol):
+                return self.equality(term.args[0], term.args[1])
+            if self.signature.is_query(term.symbol):
+                return self.query_formula(term)
+        raise RefinementError(
+            f"cannot translate Boolean term {term} into L3"
+        )
+
+    def query_formula(
+        self, term: App, result: Term | None = None
+    ) -> fm.Formula:
+        """K(q) instantiated at the query application's arguments.
+
+        For a non-Boolean query, ``result`` supplies the L3 term the
+        result variable is compared to.
+        """
+        realization = self.rep_map.realization(term.symbol.name)
+        substitution = {
+            var: self.param_term(arg)
+            for var, arg in zip(realization.variables, term.args[:-1])
+        }
+        if realization.result_var is not None:
+            if result is None:
+                raise RefinementError(
+                    f"non-Boolean query {term.symbol.name} needs a "
+                    "result term"
+                )
+            substitution[realization.result_var] = result
+        from repro.logic.substitution import apply_to_formula
+
+        return apply_to_formula(substitution, realization.formula)
+
+    def equality(self, lhs: Term, rhs: Term) -> fm.Formula:
+        """Translate ``lhs = rhs`` between parameter-sorted L2 terms
+        (either may be a non-Boolean query application)."""
+        lhs_is_query = isinstance(lhs, App) and self.signature.is_query(
+            lhs.symbol
+        )
+        rhs_is_query = isinstance(rhs, App) and self.signature.is_query(
+            rhs.symbol
+        )
+        if lhs_is_query and not rhs_is_query:
+            return self.query_formula(lhs, result=self.param_term(rhs))
+        if rhs_is_query and not lhs_is_query:
+            return self.query_formula(rhs, result=self.param_term(lhs))
+        if not lhs_is_query and not rhs_is_query:
+            return fm.Equals(self.param_term(lhs), self.param_term(rhs))
+        raise RefinementError(
+            f"cannot translate query-to-query equality {lhs} = {rhs}"
+        )
+
+    def condition(self, formula: fm.Formula) -> fm.Formula:
+        """Translate an equation condition into an L3 wff."""
+        if isinstance(formula, (fm.TrueF, fm.FalseF)):
+            return formula
+        if isinstance(formula, fm.Equals):
+            if formula.lhs.sort == BOOLEAN:
+                # t = True / t = False patterns.
+                lhs = self.boolean_term(formula.lhs)
+                rhs = self.boolean_term(formula.rhs)
+                return fm.Iff(lhs, rhs)
+            return self.equality(formula.lhs, formula.rhs)
+        if isinstance(formula, fm.Not):
+            return fm.Not(self.condition(formula.body))
+        if isinstance(formula, (fm.And, fm.Or, fm.Implies, fm.Iff)):
+            return type(formula)(
+                self.condition(formula.lhs), self.condition(formula.rhs)
+            )
+        if isinstance(formula, (fm.Forall, fm.Exists)):
+            var = Var(formula.var.name, self.sort(formula.var.sort))
+            return type(formula)(var, self.condition(formula.body))
+        raise RefinementError(
+            f"cannot translate condition {formula!r} into L3"
+        )
+
+
+def obligation_for_equation(
+    equation: ConditionalEquation,
+    signature: AlgebraicSignature,
+    rep_map: RepresentationMap,
+) -> fm.Formula:
+    """The dynamic-logic sentence expressing one Q-equation's
+    correctness with respect to the schema.
+
+    Raises:
+        RefinementError: for non-constructor equations or untranslatable
+            terms (e.g. interpreted parameter functions in the rhs).
+    """
+    translator = _Translator(signature, rep_map)
+    lhs = equation.lhs
+    if not isinstance(lhs, App) or not signature.is_query(lhs.symbol):
+        raise RefinementError(
+            f"{equation.describe()}: only Q-equations generate "
+            "obligations"
+        )
+    state_arg = equation.state_argument
+    if not isinstance(state_arg, App):
+        raise RefinementError(
+            f"{equation.describe()}: constructor-based lhs required"
+        )
+
+    # The program inside the modality.
+    if signature.is_initial(state_arg.symbol):
+        program = ProcCall(rep_map.initial_proc, ())
+    else:
+        program = ProcCall(
+            rep_map.proc_for(state_arg.symbol.name),
+            tuple(
+                translator.param_term(arg) for arg in state_arg.args[:-1]
+            ),
+        )
+
+    query_symbol = lhs.symbol
+    if query_symbol.result_sort == BOOLEAN:
+        post = translator.query_formula(lhs)
+        pre_rhs = translator.boolean_term(equation.rhs)
+        core: fm.Formula = fm.Iff(pre_rhs, Box(program, post))
+    else:
+        result_sort = translator.sort(query_symbol.result_sort)
+        result_var = Var("v_result", result_sort)
+        post = translator.query_formula(lhs, result=result_var)
+        pre_rhs = _nonboolean_rhs_formula(
+            translator, equation.rhs, result_var
+        )
+        core = fm.Forall(result_var, fm.Iff(pre_rhs, Box(program, post)))
+
+    if equation.condition is not None:
+        core = fm.Implies(translator.condition(equation.condition), core)
+
+    # Universally close over the equation's parameter variables.
+    param_vars = sorted(
+        (
+            var
+            for var in (
+                lhs.free_vars()
+                | (
+                    equation.condition.free_vars()
+                    if equation.condition is not None
+                    else frozenset()
+                )
+            )
+            if var.sort != STATE
+        ),
+        key=lambda var: var.name,
+    )
+    for var in reversed(param_vars):
+        core = fm.Forall(
+            Var(var.name, translator.sort(var.sort)), core
+        )
+    return core
+
+
+def _nonboolean_rhs_formula(
+    translator: _Translator, rhs: Term, result_var: Var
+) -> fm.Formula:
+    """``rhs = v`` as an L3 wff, for a parameter-sorted rhs."""
+    if isinstance(rhs, App) and translator.signature.is_query(rhs.symbol):
+        return translator.query_formula(rhs, result=result_var)
+    return fm.Equals(translator.param_term(rhs), result_var)
+
+
+def obligations_for_spec(
+    spec: AlgebraicSpec, rep_map: RepresentationMap
+) -> list[tuple[ConditionalEquation, fm.Formula]]:
+    """Every translatable Q-equation paired with its obligation.
+
+    Equations whose terms have no syntactic L3 image (interpreted
+    functions) are skipped — they remain covered by the semantic check.
+    """
+    out = []
+    for equation in spec.q_equations:
+        try:
+            out.append(
+                (
+                    equation,
+                    obligation_for_equation(
+                        equation, spec.signature, rep_map
+                    ),
+                )
+            )
+        except RefinementError:
+            continue
+    return out
+
+
+@dataclass(frozen=True)
+class ObligationReport:
+    """Outcome of checking the dynamic-logic obligations.
+
+    Attributes:
+        ok: True iff every obligation held at every checked state.
+        obligations: number of obligations generated (and checked).
+        skipped: equations with no syntactic image.
+        failures: (equation label, falsifying state) pairs.
+    """
+
+    ok: bool
+    obligations: int
+    skipped: int
+    failures: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:
+        if self.ok:
+            return (
+                f"all {self.obligations} dynamic-logic obligations hold "
+                f"({self.skipped} equations checked semantically only)"
+            )
+        lines = ["dynamic-logic obligations FAILED:"]
+        for label, state in self.failures[:10]:
+            lines.append(f"  {label} at {state}")
+        return "\n".join(lines)
+
+
+def check_obligations(
+    spec: AlgebraicSpec,
+    schema: Schema,
+    rep_map: RepresentationMap | None = None,
+    max_states: int = 100_000,
+) -> ObligationReport:
+    """Generate and check every obligation over the schema's reachable
+    states — the syntactic counterpart of
+    :func:`repro.refinement.second_third.check_refinement`."""
+    if rep_map is None:
+        rep_map = RepresentationMap.homonym(spec.signature, schema)
+    induced = InducedStructure(spec.signature, schema, rep_map)
+    states = induced.reachable_states(max_states=max_states)
+    domains = induced.domains
+    pairs = obligations_for_spec(spec, rep_map)
+    skipped = len(spec.q_equations) - len(pairs)
+    failures = []
+    for equation, obligation in pairs:
+        for state in states:
+            if not satisfies_dynamic(obligation, state, schema, domains):
+                failures.append((equation.describe(), state))
+                break
+    return ObligationReport(
+        ok=not failures,
+        obligations=len(pairs),
+        skipped=skipped,
+        failures=tuple(failures),
+    )

@@ -1,0 +1,166 @@
+"""Satisfaction for dynamic logic over RPR database states.
+
+``state ⊨ [p]P`` iff every p-successor of ``state`` satisfies P, where
+the successors are given by the RPR meaning functions m/k of
+:mod:`repro.rpr.semantics`; ``<p>P`` asks for one.  First-order
+constructs are evaluated at ``state`` exactly as in
+:func:`repro.rpr.semantics.satisfies`, so dynamic formulas mix freely
+with the schema's relation atoms, equality and quantifiers.
+
+:func:`valid_in_schema` decides validity over the whole finite
+universe — the natural proof obligation generator for the
+second-to-third refinement when it is stated *syntactically* (the
+possibility the paper defers to dynamic logic).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ExecutionError
+from repro.logic import formulas as fm
+from repro.logic.terms import Var
+from repro.dynamic.formulas import Box, Diamond, ProcCall
+from repro.rpr.ast import Schema, Statement
+from repro.rpr.semantics import (
+    DatabaseState,
+    Domains,
+    all_states,
+    evaluate_term,
+    run,
+    run_proc,
+    satisfies as satisfies_fo,
+)
+
+__all__ = ["satisfies_dynamic", "valid_in_schema", "counterexample"]
+
+
+def _successors(
+    program,
+    state: DatabaseState,
+    schema: Schema,
+    domains: Domains,
+    valuation: Mapping[Var, str],
+) -> frozenset[DatabaseState]:
+    if isinstance(program, ProcCall):
+        args = tuple(
+            str(evaluate_term(arg, state, valuation))
+            for arg in program.args
+        )
+        return run_proc(schema, program.name, args, state, domains)
+    if isinstance(program, Statement):
+        return run(program, state, schema, domains, valuation)
+    raise ExecutionError(f"not a program: {program!r}")
+
+
+def satisfies_dynamic(
+    formula: fm.Formula,
+    state: DatabaseState,
+    schema: Schema,
+    domains: Domains,
+    valuation: Mapping[Var, str] | None = None,
+) -> bool:
+    """Decide ``state ⊨ formula`` for a dynamic-logic wff."""
+    valuation = dict(valuation or {})
+    if isinstance(formula, Box):
+        return all(
+            satisfies_dynamic(
+                formula.body, successor, schema, domains, valuation
+            )
+            for successor in _successors(
+                formula.program, state, schema, domains, valuation
+            )
+        )
+    if isinstance(formula, Diamond):
+        return any(
+            satisfies_dynamic(
+                formula.body, successor, schema, domains, valuation
+            )
+            for successor in _successors(
+                formula.program, state, schema, domains, valuation
+            )
+        )
+    if isinstance(formula, fm.Not):
+        return not satisfies_dynamic(
+            formula.body, state, schema, domains, valuation
+        )
+    if isinstance(formula, fm.And):
+        return satisfies_dynamic(
+            formula.lhs, state, schema, domains, valuation
+        ) and satisfies_dynamic(
+            formula.rhs, state, schema, domains, valuation
+        )
+    if isinstance(formula, fm.Or):
+        return satisfies_dynamic(
+            formula.lhs, state, schema, domains, valuation
+        ) or satisfies_dynamic(
+            formula.rhs, state, schema, domains, valuation
+        )
+    if isinstance(formula, fm.Implies):
+        return (
+            not satisfies_dynamic(
+                formula.lhs, state, schema, domains, valuation
+            )
+        ) or satisfies_dynamic(
+            formula.rhs, state, schema, domains, valuation
+        )
+    if isinstance(formula, fm.Iff):
+        return satisfies_dynamic(
+            formula.lhs, state, schema, domains, valuation
+        ) == satisfies_dynamic(
+            formula.rhs, state, schema, domains, valuation
+        )
+    if isinstance(formula, (fm.Forall, fm.Exists)):
+        try:
+            carrier = domains[formula.var.sort]
+        except KeyError:
+            raise ExecutionError(
+                f"no domain for sort {formula.var.sort}"
+            ) from None
+        results = (
+            satisfies_dynamic(
+                formula.body,
+                state,
+                schema,
+                domains,
+                {**valuation, formula.var: value},
+            )
+            for value in carrier
+        )
+        if isinstance(formula, fm.Forall):
+            return all(results)
+        return any(results)
+    # Modal-free atoms/constants: plain RPR first-order satisfaction.
+    return satisfies_fo(formula, state, domains, valuation)
+
+
+def valid_in_schema(
+    formula: fm.Formula,
+    schema: Schema,
+    domains: Domains,
+    states=None,
+) -> bool:
+    """True iff the closed dynamic wff holds at *every* state of the
+    universe (all relation valuations by default, or the given
+    ``states``)."""
+    if states is None:
+        states = all_states(schema, domains)
+    return all(
+        satisfies_dynamic(formula, state, schema, domains)
+        for state in states
+    )
+
+
+def counterexample(
+    formula: fm.Formula,
+    schema: Schema,
+    domains: Domains,
+    states=None,
+) -> DatabaseState | None:
+    """The first universe state falsifying the wff, or ``None``."""
+    if states is None:
+        states = all_states(schema, domains)
+    for state in states:
+        if not satisfies_dynamic(formula, state, schema, domains):
+            return state
+    return None

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also catching programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SortError(ReproError):
+    """A term or formula violates the many-sorted typing discipline."""
+
+
+class SignatureError(ReproError):
+    """A symbol is redeclared, undeclared, or used with the wrong arity."""
+
+
+class EvaluationError(ReproError):
+    """A term or formula could not be evaluated in the given structure."""
+
+
+class ParseError(ReproError):
+    """Concrete syntax could not be parsed.
+
+    Attributes:
+        position: character offset of the offending token, if known.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class SpecificationError(ReproError):
+    """A specification (at any of the three levels) is ill-formed."""
+
+
+class RewriteError(ReproError):
+    """The conditional term-rewriting engine failed."""
+
+
+class NonTerminationError(RewriteError):
+    """Rewriting exceeded the step budget; the equation system is
+    (or appears to be) circular, violating sufficient completeness."""
+
+
+class IncompletenessError(RewriteError):
+    """No equation applies to a ground query term: the algebraic
+    specification is not sufficiently complete."""
+
+
+class RefinementError(ReproError):
+    """A refinement check between two specification levels failed."""
+
+
+class WGrammarError(ReproError):
+    """A W-grammar is ill-formed or a derivation search was aborted."""
+
+
+class ExecutionError(ReproError):
+    """An RPR program failed during (denotational) evaluation."""

@@ -1,0 +1,23 @@
+"""Information level (paper, Section 3): temporal first-order theories
+describing the database by its information contents alone — which
+states are consistent, which transitions are acceptable."""
+
+from repro.information.consistency import (
+    ConsistencyReport,
+    check_history,
+    check_state,
+    check_transition,
+    is_acceptable_transition,
+    is_consistent_state,
+)
+from repro.information.spec import InformationSpec
+
+__all__ = [
+    "InformationSpec",
+    "ConsistencyReport",
+    "is_consistent_state",
+    "is_acceptable_transition",
+    "check_state",
+    "check_transition",
+    "check_history",
+]

@@ -1,0 +1,131 @@
+"""Consistency checks at the information level.
+
+Paper, Section 3.1: "A structure A in S corresponds to a consistent
+state iff it is a model of A1" — for the static constraints; the
+transition constraints restrict R.  This module decides:
+
+* whether a single state is consistent (static constraints);
+* whether a single transition (before → after) is acceptable
+  (transition constraints over the two-state universe);
+* whether an entire history (linear run) satisfies all axioms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logic.formulas import Formula
+from repro.logic.semantics import satisfies
+from repro.logic.structures import Structure
+from repro.information.spec import InformationSpec
+from repro.temporal.kripke import (
+    KripkeUniverse,
+    linear_history,
+    transition_pair,
+)
+from repro.temporal.semantics import holds_at_every_state
+
+__all__ = [
+    "ConsistencyReport",
+    "is_consistent_state",
+    "is_acceptable_transition",
+    "check_state",
+    "check_transition",
+    "check_history",
+]
+
+
+@dataclass(frozen=True)
+class ConsistencyReport:
+    """Outcome of a consistency check.
+
+    Attributes:
+        ok: True iff every checked axiom held.
+        violations: the axioms that failed, with a description of
+            where they failed.
+    """
+
+    ok: bool
+    violations: tuple[tuple[Formula, str], ...] = field(
+        default_factory=tuple
+    )
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "consistent"
+        lines = ["inconsistent:"]
+        for axiom, where in self.violations:
+            lines.append(f"  {axiom}   [{where}]")
+        return "\n".join(lines)
+
+
+def is_consistent_state(spec: InformationSpec, state: Structure) -> bool:
+    """True iff ``state`` satisfies every static constraint of ``spec``."""
+    return check_state(spec, state).ok
+
+
+def check_state(spec: InformationSpec, state: Structure) -> ConsistencyReport:
+    """Check every static constraint against one state, with witnesses."""
+    violations = [
+        (axiom, "static constraint violated")
+        for axiom in spec.static_constraints
+        if not satisfies(state, axiom)
+    ]
+    return ConsistencyReport(not violations, tuple(violations))
+
+
+def is_acceptable_transition(
+    spec: InformationSpec, before: Structure, after: Structure
+) -> bool:
+    """True iff the single step before → after obeys all transition
+    constraints (checked in the two-state universe at ``before``)."""
+    return check_transition(spec, before, after).ok
+
+
+def check_transition(
+    spec: InformationSpec, before: Structure, after: Structure
+) -> ConsistencyReport:
+    """Check all transition constraints against one step, with witnesses.
+
+    The step is modelled as the universe ``({before, after},
+    {(before, after)})`` with accessibility taken *reflexively* — the
+    "henceforth" reading of ``[]`` — and each constraint must hold at
+    every state.  This matches the paper's own expansion in Section
+    4.4d, which translates ``[](takes(s,c) -> [](exists c'. ...))``
+    into "if takes(s,c) holds at σ then the consequent holds at every δ
+    with F(σ,δ)" where F is the *reachability* relation: the antecedent
+    state itself is covered, which a strict (irreflexive) successor
+    reading would miss.
+    """
+    universe = transition_pair(before, after).reflexive_closure()
+    violations = []
+    for axiom in spec.transition_constraints:
+        if not holds_at_every_state(universe, axiom):
+            violations.append((axiom, "transition constraint violated"))
+    return ConsistencyReport(not violations, tuple(violations))
+
+
+def check_history(
+    spec: InformationSpec, states: list[Structure]
+) -> ConsistencyReport:
+    """Check a whole linear run ``s0 → s1 → ... → sn``.
+
+    Static constraints are checked at every state; transition
+    constraints are checked at every state of the future-of universe
+    built from the run (accessibility = reflexive-transitive
+    successorship, the reachability relation F of the paper).
+    """
+    violations: list[tuple[Formula, str]] = []
+    for index, state in enumerate(states):
+        for axiom in spec.static_constraints:
+            if not satisfies(state, axiom):
+                violations.append((axiom, f"state {index}"))
+    if len(states) >= 1 and spec.transition_constraints:
+        universe: KripkeUniverse = linear_history(states).reflexive_closure()
+        for axiom in spec.transition_constraints:
+            if not holds_at_every_state(universe, axiom):
+                violations.append((axiom, "history universe"))
+    return ConsistencyReport(not violations, tuple(violations))

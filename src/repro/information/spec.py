@@ -1,0 +1,80 @@
+"""Information-level specifications T1 = (L1, A1).
+
+Paper, Section 3.1: "a data base is specified at the information level
+by defining a theory T1 = (L1, A1), where L1 is a temporal extension of
+a (many-sorted) first-order language L and A1 is a set of axioms.  The
+non-logical symbols of L1 describe the data base data structures and
+all ordinary symbols (...).  Symbols representing data base structures
+are called db-predicate symbols."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SpecificationError
+from repro.logic.formulas import Formula
+from repro.logic.signature import PredicateSymbol, Signature
+from repro.temporal.constraints import split_axioms
+
+__all__ = ["InformationSpec"]
+
+
+@dataclass(frozen=True)
+class InformationSpec:
+    """A first-level (information level) specification.
+
+    Attributes:
+        signature: the non-logical symbols of L1 (db-predicates are
+            the predicate symbols flagged ``db=True``).
+        axioms: the axiom set A1 (closed temporal formulas).  Axioms
+            without modalities are static constraints; the rest are
+            transition constraints.
+        name: an optional human-readable name for the application.
+    """
+
+    signature: Signature
+    axioms: tuple[Formula, ...] = field(default_factory=tuple)
+    name: str = "unnamed application"
+
+    def __post_init__(self) -> None:
+        if not self.signature.db_predicates:
+            raise SpecificationError(
+                "an information-level specification needs at least one "
+                "db-predicate symbol"
+            )
+        for axiom in self.axioms:
+            if not axiom.is_closed:
+                raise SpecificationError(
+                    f"axiom is not a sentence: {axiom}"
+                )
+
+    @property
+    def db_predicates(self) -> tuple[PredicateSymbol, ...]:
+        """The db-predicate symbols describing database structures."""
+        return self.signature.db_predicates
+
+    @property
+    def static_constraints(self) -> tuple[Formula, ...]:
+        """Axioms that do not involve modalities."""
+        static, _ = split_axioms(list(self.axioms))
+        return static
+
+    @property
+    def transition_constraints(self) -> tuple[Formula, ...]:
+        """Axioms that involve modalities."""
+        _, transition = split_axioms(list(self.axioms))
+        return transition
+
+    def __str__(self) -> str:
+        lines = [f"Information-level specification: {self.name}"]
+        lines.append("  db-predicates:")
+        for pred in self.db_predicates:
+            lines.append(f"    {pred}")
+        lines.append("  static constraints:")
+        for axiom in self.static_constraints:
+            lines.append(f"    {axiom}")
+        lines.append("  transition constraints:")
+        for axiom in self.transition_constraints:
+            lines.append(f"    {axiom}")
+        return "\n".join(lines)

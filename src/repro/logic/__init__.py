@@ -1,0 +1,88 @@
+"""Many-sorted first-order logic: the substrate of every level.
+
+This package implements the logical formalism of the paper's Section 3
+minus the temporal extension (which lives in :mod:`repro.temporal`):
+sorts, signatures, terms, well-formed formulas, finite structures,
+Tarskian satisfaction, substitution/matching, a concrete-syntax parser
+and a printer, and first-order theories.
+"""
+
+from repro.logic.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Equals,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TrueF,
+    conjunction,
+    disjunction,
+)
+from repro.logic.parser import parse_formula, parse_term
+from repro.logic.printer import format_axioms, format_formula, format_term
+from repro.logic.semantics import (
+    all_valuations,
+    evaluate_term,
+    models_all,
+    satisfies,
+)
+from repro.logic.signature import FunctionSymbol, PredicateSymbol, Signature
+from repro.logic.sorts import BOOLEAN, STATE, Sort
+from repro.logic.structures import Structure
+from repro.logic.substitution import Substitution, match
+from repro.logic.terms import App, Term, Var, const
+from repro.logic.theory import Theory
+from repro.logic.transformations import is_nnf, is_prenex, to_nnf, to_prenex
+
+__all__ = [
+    "Sort",
+    "BOOLEAN",
+    "STATE",
+    "FunctionSymbol",
+    "PredicateSymbol",
+    "Signature",
+    "Term",
+    "Var",
+    "App",
+    "const",
+    "Formula",
+    "TrueF",
+    "FalseF",
+    "TRUE",
+    "FALSE",
+    "Atom",
+    "Equals",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Forall",
+    "Exists",
+    "conjunction",
+    "disjunction",
+    "Substitution",
+    "match",
+    "Structure",
+    "evaluate_term",
+    "satisfies",
+    "all_valuations",
+    "models_all",
+    "parse_formula",
+    "parse_term",
+    "format_term",
+    "format_formula",
+    "format_axioms",
+    "Theory",
+    "to_nnf",
+    "to_prenex",
+    "is_nnf",
+    "is_prenex",
+]

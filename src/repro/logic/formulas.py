@@ -1,0 +1,306 @@
+"""Well-formed formulas (wffs) of many-sorted first-order languages.
+
+The formation rules follow the paper's Section 3.1: atomic formulas are
+predicate applications and equalities between terms of the same sort;
+compound formulas are built with the usual connectives and sorted
+quantifiers.  The temporal extension (modal operators) lives in
+:mod:`repro.temporal.formulas` and reuses these nodes.
+
+Formulas are immutable and hashable.  Substitution is capture-avoiding
+(see :mod:`repro.logic.substitution`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator
+
+from repro.errors import SortError
+from repro.logic.signature import PredicateSymbol
+from repro.logic.terms import Term, Var
+
+__all__ = [
+    "Formula",
+    "TrueF",
+    "FalseF",
+    "Atom",
+    "Equals",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Forall",
+    "Exists",
+    "TRUE",
+    "FALSE",
+    "conjunction",
+    "disjunction",
+]
+
+
+class Formula:
+    """Abstract base class of all formulas."""
+
+    def free_vars(self) -> frozenset[Var]:
+        """The set of free variables of the formula."""
+        raise NotImplementedError
+
+    @property
+    def is_closed(self) -> bool:
+        """True iff the formula has no free variables (is a sentence)."""
+        return not self.free_vars()
+
+    def subformulas(self) -> Iterator["Formula"]:
+        """Yield the formula itself and every subformula, pre-order."""
+        raise NotImplementedError
+
+    def atoms(self) -> Iterator["Formula"]:
+        """Yield every atomic subformula (Atom or Equals)."""
+        for sub in self.subformulas():
+            if isinstance(sub, (Atom, Equals)):
+                yield sub
+
+    def terms(self) -> Iterator[Term]:
+        """Yield every term occurring in an atomic subformula."""
+        for atom in self.atoms():
+            if isinstance(atom, Atom):
+                yield from atom.args
+            elif isinstance(atom, Equals):
+                yield atom.lhs
+                yield atom.rhs
+
+
+@dataclass(frozen=True)
+class TrueF(Formula):
+    """The propositional constant *true*."""
+
+    def free_vars(self) -> frozenset[Var]:
+        return frozenset()
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseF(Formula):
+    """The propositional constant *false*."""
+
+    def free_vars(self) -> frozenset[Var]:
+        return frozenset()
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+
+    def __str__(self) -> str:
+        return "false"
+
+
+#: Canonical instances of the propositional constants.
+TRUE = TrueF()
+FALSE = FalseF()
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """Atomic formula ``p(t1,...,tn)``.
+
+    The constructor enforces the sort discipline: argument sorts must
+    match the predicate symbol's declared sorts.
+    """
+
+    predicate: PredicateSymbol
+    args: tuple[Term, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.args) != self.predicate.arity:
+            raise SortError(
+                f"{self.predicate.name} expects {self.predicate.arity} "
+                f"argument(s), got {len(self.args)}"
+            )
+        for i, (arg, expected) in enumerate(
+            zip(self.args, self.predicate.arg_sorts)
+        ):
+            if arg.sort != expected:
+                raise SortError(
+                    f"argument {i + 1} of {self.predicate.name}: expected "
+                    f"sort {expected}, got {arg.sort}"
+                )
+
+    @cached_property
+    def _free_vars(self) -> frozenset[Var]:
+        out: frozenset[Var] = frozenset()
+        for arg in self.args:
+            out |= arg.free_vars()
+        return out
+
+    def free_vars(self) -> frozenset[Var]:
+        return self._free_vars
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate.name
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.predicate.name}({inner})"
+
+
+@dataclass(frozen=True)
+class Equals(Formula):
+    """Equality ``t1 = t2`` between two terms of the same sort."""
+
+    lhs: Term
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        if self.lhs.sort != self.rhs.sort:
+            raise SortError(
+                f"cannot equate sort {self.lhs.sort} with {self.rhs.sort} "
+                f"({self.lhs} = {self.rhs})"
+            )
+
+    def free_vars(self) -> frozenset[Var]:
+        return self.lhs.free_vars() | self.rhs.free_vars()
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+
+    def __str__(self) -> str:
+        return f"{self.lhs} = {self.rhs}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation ``~P``."""
+
+    body: Formula
+
+    def free_vars(self) -> frozenset[Var]:
+        return self.body.free_vars()
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+        yield from self.body.subformulas()
+
+    def __str__(self) -> str:
+        return f"~{_paren(self.body)}"
+
+
+@dataclass(frozen=True)
+class _Binary(Formula):
+    """Common implementation of binary connectives."""
+
+    lhs: Formula
+    rhs: Formula
+
+    _symbol = "?"
+
+    def free_vars(self) -> frozenset[Var]:
+        return self.lhs.free_vars() | self.rhs.free_vars()
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+        yield from self.lhs.subformulas()
+        yield from self.rhs.subformulas()
+
+    def __str__(self) -> str:
+        return f"({_paren(self.lhs)} {self._symbol} {_paren(self.rhs)})"
+
+
+@dataclass(frozen=True)
+class And(_Binary):
+    """Conjunction ``P & Q``."""
+
+    _symbol = "&"
+
+
+@dataclass(frozen=True)
+class Or(_Binary):
+    """Disjunction ``P | Q``."""
+
+    _symbol = "|"
+
+
+@dataclass(frozen=True)
+class Implies(_Binary):
+    """Implication ``P -> Q``."""
+
+    _symbol = "->"
+
+
+@dataclass(frozen=True)
+class Iff(_Binary):
+    """Biconditional ``P <-> Q``."""
+
+    _symbol = "<->"
+
+
+@dataclass(frozen=True)
+class _Quantified(Formula):
+    """Common implementation of sorted quantifiers."""
+
+    var: Var
+    body: Formula
+
+    _symbol = "?"
+
+    def free_vars(self) -> frozenset[Var]:
+        return self.body.free_vars() - {self.var}
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+        yield from self.body.subformulas()
+
+    def __str__(self) -> str:
+        return (
+            f"{self._symbol} {self.var.name}:{self.var.sort}. "
+            f"{_paren(self.body)}"
+        )
+
+
+@dataclass(frozen=True)
+class Forall(_Quantified):
+    """Universal quantification ``forall x:s. P``."""
+
+    _symbol = "forall"
+
+
+@dataclass(frozen=True)
+class Exists(_Quantified):
+    """Existential quantification ``exists x:s. P``."""
+
+    _symbol = "exists"
+
+
+def _paren(formula: Formula) -> str:
+    """Render a subformula, parenthesising quantifiers for readability."""
+    text = str(formula)
+    if isinstance(formula, (Forall, Exists)):
+        return f"({text})"
+    return text
+
+
+def conjunction(formulas: list[Formula]) -> Formula:
+    """Right-associated conjunction of ``formulas`` (``true`` if empty)."""
+    if not formulas:
+        return TRUE
+    result = formulas[-1]
+    for formula in reversed(formulas[:-1]):
+        result = And(formula, result)
+    return result
+
+
+def disjunction(formulas: list[Formula]) -> Formula:
+    """Right-associated disjunction of ``formulas`` (``false`` if empty)."""
+    if not formulas:
+        return FALSE
+    result = formulas[-1]
+    for formula in reversed(formulas[:-1]):
+        result = Or(formula, result)
+    return result

@@ -1,0 +1,346 @@
+"""Concrete syntax for terms and formulas.
+
+The library is usable purely through AST constructors, but specs read
+far better in a concrete syntax.  The grammar (close to the paper's
+notation, ASCII-fied):
+
+.. code-block:: text
+
+    formula  := iff
+    iff      := imp ('<->' imp)*
+    imp      := or ('->' imp)?              (right associative)
+    or       := and ('|' and)*
+    and      := unary ('&' unary)*
+    unary    := '~' unary
+              | '<>' unary                  (possibility, temporal ext.)
+              | '[]' unary                  (necessity, temporal ext.)
+              | ('forall'|'exists') x ':' sort ('.'|',') formula
+              | primary
+    primary  := '(' formula ')' | 'true' | 'false'
+              | term ('=' | '!=') term
+              | predname '(' term (',' term)* ')' | predname
+    term     := funcname '(' term (',' term)* ')' | funcname | variable
+
+Identifiers resolve against the supplied :class:`Signature`: a name is
+a predicate application if the signature declares it as a predicate, a
+function application / constant if declared as a function, and a
+variable otherwise.  Free variables must be given sorts via the
+``variables`` argument; quantifiers sort their own bound variables.
+
+Modal operators ``<>`` and ``[]`` are accepted only when
+``allow_modal=True``; they produce nodes from
+:mod:`repro.temporal.formulas`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ParseError
+from repro.logic import formulas as fm
+from repro.logic.signature import Signature
+from repro.logic.sorts import Sort
+from repro.logic.terms import App, Term, Var
+
+__all__ = ["parse_formula", "parse_term", "tokenize"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<op><->|->|<>|\[\]|!=|[()=~&|,.:])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"forall", "exists", "true", "false"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'op', 'ident', 'keyword', 'eof'
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> list[_Token]:
+    """Split ``source`` into tokens.
+
+    Raises:
+        ParseError: on an unrecognized character.
+    """
+    tokens: list[_Token] = []
+    index = 0
+    while index < len(source):
+        matched = _TOKEN_RE.match(source, index)
+        if matched is None:
+            raise ParseError(
+                f"unexpected character {source[index]!r}", position=index
+            )
+        if matched.lastgroup == "ident":
+            text = matched.group()
+            kind = "keyword" if text in _KEYWORDS else "ident"
+            tokens.append(_Token(kind, text, index))
+        elif matched.lastgroup == "op":
+            tokens.append(_Token("op", matched.group(), index))
+        index = matched.end()
+    tokens.append(_Token("eof", "", len(source)))
+    return tokens
+
+
+class _Parser:
+    def __init__(
+        self,
+        tokens: list[_Token],
+        signature: Signature,
+        variables: Mapping[str, Sort],
+        allow_modal: bool,
+    ):
+        self._tokens = tokens
+        self._pos = 0
+        self._signature = signature
+        self._scope: dict[str, Sort] = dict(variables)
+        self._allow_modal = allow_modal
+
+    # -- token plumbing -------------------------------------------------
+    @property
+    def _current(self) -> _Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> _Token:
+        token = self._current
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._current
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {token.text or 'end of input'!r}",
+                position=token.position,
+            )
+        return self._advance()
+
+    def _peek_is(self, kind: str, text: str | None = None) -> bool:
+        token = self._current
+        return token.kind == kind and (text is None or token.text == text)
+
+    # -- formula grammar ------------------------------------------------
+    def formula(self) -> fm.Formula:
+        return self._iff()
+
+    def _iff(self) -> fm.Formula:
+        left = self._imp()
+        while self._peek_is("op", "<->"):
+            self._advance()
+            left = fm.Iff(left, self._imp())
+        return left
+
+    def _imp(self) -> fm.Formula:
+        left = self._or()
+        if self._peek_is("op", "->"):
+            self._advance()
+            return fm.Implies(left, self._imp())
+        return left
+
+    def _or(self) -> fm.Formula:
+        left = self._and()
+        while self._peek_is("op", "|"):
+            self._advance()
+            left = fm.Or(left, self._and())
+        return left
+
+    def _and(self) -> fm.Formula:
+        left = self._unary()
+        while self._peek_is("op", "&"):
+            self._advance()
+            left = fm.And(left, self._unary())
+        return left
+
+    def _unary(self) -> fm.Formula:
+        if self._peek_is("op", "~"):
+            self._advance()
+            return fm.Not(self._unary())
+        if self._peek_is("op", "<>") or self._peek_is("op", "[]"):
+            token = self._advance()
+            if not self._allow_modal:
+                raise ParseError(
+                    f"modal operator {token.text!r} not allowed here "
+                    "(use allow_modal=True / the temporal parser)",
+                    position=token.position,
+                )
+            # Imported lazily to avoid a package cycle.
+            from repro.temporal.formulas import Necessarily, Possibly
+
+            body = self._unary()
+            return (
+                Possibly(body) if token.text == "<>" else Necessarily(body)
+            )
+        if self._peek_is("keyword", "forall") or self._peek_is(
+            "keyword", "exists"
+        ):
+            return self._quantified()
+        return self._primary()
+
+    def _quantified(self) -> fm.Formula:
+        token = self._advance()
+        cls = fm.Forall if token.text == "forall" else fm.Exists
+        bindings: list[Var] = []
+        while True:
+            name_token = self._expect("ident")
+            self._expect("op", ":")
+            sort_token = self._expect("ident")
+            sort = self._signature.sort(sort_token.text)
+            bindings.append(Var(name_token.text, sort))
+            if self._peek_is("op", ","):
+                self._advance()
+                continue
+            break
+        self._expect("op", ".")
+        saved = {
+            v.name: self._scope.get(v.name)
+            for v in bindings
+        }
+        for var in bindings:
+            self._scope[var.name] = var.var_sort
+        body = self.formula()
+        for name, old in saved.items():
+            if old is None:
+                self._scope.pop(name, None)
+            else:
+                self._scope[name] = old
+        result: fm.Formula = body
+        for var in reversed(bindings):
+            result = cls(var, result)
+        return result
+
+    def _primary(self) -> fm.Formula:
+        if self._peek_is("op", "("):
+            # Could be a parenthesised formula or a parenthesised term
+            # followed by '='; formulas are far more common, so try the
+            # formula reading first and fall back.
+            saved = self._pos
+            self._advance()
+            try:
+                inner = self.formula()
+                self._expect("op", ")")
+            except ParseError:
+                self._pos = saved
+            else:
+                return inner
+        if self._peek_is("keyword", "true"):
+            self._advance()
+            return fm.TRUE
+        if self._peek_is("keyword", "false"):
+            self._advance()
+            return fm.FALSE
+        if self._peek_is("ident"):
+            name = self._current.text
+            if self._signature.has_predicate(name):
+                return self._atom()
+        # Equality / disequality between terms.
+        lhs = self.term()
+        if self._peek_is("op", "="):
+            self._advance()
+            return fm.Equals(lhs, self.term())
+        if self._peek_is("op", "!="):
+            self._advance()
+            return fm.Not(fm.Equals(lhs, self.term()))
+        token = self._current
+        raise ParseError(
+            f"expected '=' or '!=' after term, found "
+            f"{token.text or 'end of input'!r}",
+            position=token.position,
+        )
+
+    def _atom(self) -> fm.Formula:
+        name_token = self._expect("ident")
+        predicate = self._signature.predicate(name_token.text)
+        args: list[Term] = []
+        if self._peek_is("op", "("):
+            self._advance()
+            args.append(self.term())
+            while self._peek_is("op", ","):
+                self._advance()
+                args.append(self.term())
+            self._expect("op", ")")
+        return fm.Atom(predicate, tuple(args))
+
+    # -- term grammar ---------------------------------------------------
+    def term(self) -> Term:
+        token = self._expect("ident")
+        name = token.text
+        if self._peek_is("op", "("):
+            symbol = self._signature.function(name)
+            self._advance()
+            args = [self.term()]
+            while self._peek_is("op", ","):
+                self._advance()
+                args.append(self.term())
+            self._expect("op", ")")
+            return App(symbol, tuple(args))
+        if self._signature.has_function(name):
+            symbol = self._signature.function(name)
+            if symbol.is_constant:
+                return App(symbol, ())
+            raise ParseError(
+                f"function {name!r} used without arguments",
+                position=token.position,
+            )
+        sort = self._scope.get(name)
+        if sort is None:
+            raise ParseError(
+                f"unknown identifier {name!r} (not a declared symbol, "
+                "bound variable, or supplied free variable)",
+                position=token.position,
+            )
+        return Var(name, sort)
+
+    def finish(self) -> None:
+        if self._current.kind != "eof":
+            raise ParseError(
+                f"unexpected trailing input {self._current.text!r}",
+                position=self._current.position,
+            )
+
+
+def parse_formula(
+    source: str,
+    signature: Signature,
+    variables: Mapping[str, Sort] | None = None,
+    allow_modal: bool = False,
+) -> fm.Formula:
+    """Parse a formula from concrete syntax.
+
+    Args:
+        source: the formula text.
+        signature: the language to resolve identifiers against.
+        variables: sorts for free variables appearing in ``source``.
+        allow_modal: accept the temporal operators ``<>`` and ``[]``.
+
+    Example:
+        >>> parse_formula(
+        ...     "forall c:course. (exists s:student. takes(s, c))"
+        ...     " -> offered(c)", sig)
+    """
+    parser = _Parser(
+        tokenize(source), signature, variables or {}, allow_modal
+    )
+    result = parser.formula()
+    parser.finish()
+    return result
+
+
+def parse_term(
+    source: str,
+    signature: Signature,
+    variables: Mapping[str, Sort] | None = None,
+) -> Term:
+    """Parse a term from concrete syntax (see :func:`parse_formula`)."""
+    parser = _Parser(tokenize(source), signature, variables or {}, False)
+    result = parser.term()
+    parser.finish()
+    return result

@@ -1,0 +1,34 @@
+"""Pretty-printing of terms, formulas and theories.
+
+The AST classes' ``__str__`` methods already emit the concrete syntax
+accepted by :mod:`repro.logic.parser`; this module wraps them in named
+functions (so callers need not rely on ``str``) and adds multi-line
+rendering for theories.  ``parse_formula(format_formula(P)) == P`` is a
+tested round-trip property.
+"""
+
+from __future__ import annotations
+
+from repro.logic.formulas import Formula
+from repro.logic.terms import Term
+
+__all__ = ["format_term", "format_formula", "format_axioms"]
+
+
+def format_term(term: Term) -> str:
+    """Render a term in the concrete syntax of the parser."""
+    return str(term)
+
+
+def format_formula(formula: Formula) -> str:
+    """Render a formula in the concrete syntax of the parser."""
+    return str(formula)
+
+
+def format_axioms(axioms: list[Formula], indent: str = "  ") -> str:
+    """Render a list of axioms one per line, numbered from 1."""
+    lines = [
+        f"{indent}({index}) {format_formula(axiom)}"
+        for index, axiom in enumerate(axioms, start=1)
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Tarskian satisfaction for many-sorted first-order languages.
+
+Implements the paper's Section 3.1 semantics: given a structure ``A``
+and a valuation ``v`` over the domain, ``A ⊨ P[v]`` is defined by the
+familiar rules.  Quantifiers range over the *finite* carrier of the
+bound variable's sort, so satisfaction is decidable here.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro.errors import EvaluationError
+from repro.logic import formulas as fm
+from repro.logic.structures import Structure
+from repro.logic.terms import App, Term, Var
+
+__all__ = ["evaluate_term", "satisfies", "all_valuations", "models_all"]
+
+
+def evaluate_term(
+    structure: Structure,
+    term: Term,
+    valuation: dict[Var, Hashable] | None = None,
+) -> Hashable:
+    """Evaluate ``term`` in ``structure`` under ``valuation``.
+
+    Raises:
+        EvaluationError: if a free variable has no value or a function
+            symbol is uninterpreted.
+    """
+    valuation = valuation or {}
+    if isinstance(term, Var):
+        try:
+            return valuation[term]
+        except KeyError:
+            raise EvaluationError(
+                f"variable {term} has no value in the valuation"
+            ) from None
+    if isinstance(term, App):
+        args = tuple(
+            evaluate_term(structure, arg, valuation) for arg in term.args
+        )
+        return structure.apply_function(term.symbol.name, args)
+    raise TypeError(f"not a term: {term!r}")
+
+
+def satisfies(
+    structure: Structure,
+    formula: fm.Formula,
+    valuation: dict[Var, Hashable] | None = None,
+) -> bool:
+    """Decide ``structure ⊨ formula[valuation]``.
+
+    Quantifiers range over the finite carrier of the quantified sort.
+    """
+    valuation = valuation or {}
+    if isinstance(formula, fm.TrueF):
+        return True
+    if isinstance(formula, fm.FalseF):
+        return False
+    if isinstance(formula, fm.Atom):
+        args = tuple(
+            evaluate_term(structure, arg, valuation) for arg in formula.args
+        )
+        return structure.holds(formula.predicate.name, args)
+    if isinstance(formula, fm.Equals):
+        return evaluate_term(
+            structure, formula.lhs, valuation
+        ) == evaluate_term(structure, formula.rhs, valuation)
+    if isinstance(formula, fm.Not):
+        return not satisfies(structure, formula.body, valuation)
+    if isinstance(formula, fm.And):
+        return satisfies(structure, formula.lhs, valuation) and satisfies(
+            structure, formula.rhs, valuation
+        )
+    if isinstance(formula, fm.Or):
+        return satisfies(structure, formula.lhs, valuation) or satisfies(
+            structure, formula.rhs, valuation
+        )
+    if isinstance(formula, fm.Implies):
+        return (not satisfies(structure, formula.lhs, valuation)) or (
+            satisfies(structure, formula.rhs, valuation)
+        )
+    if isinstance(formula, fm.Iff):
+        return satisfies(structure, formula.lhs, valuation) == satisfies(
+            structure, formula.rhs, valuation
+        )
+    if isinstance(formula, fm.Forall):
+        carrier = structure.carrier(formula.var.sort)
+        return all(
+            satisfies(
+                structure, formula.body, {**valuation, formula.var: value}
+            )
+            for value in carrier
+        )
+    if isinstance(formula, fm.Exists):
+        carrier = structure.carrier(formula.var.sort)
+        return any(
+            satisfies(
+                structure, formula.body, {**valuation, formula.var: value}
+            )
+            for value in carrier
+        )
+    raise TypeError(f"not a first-order formula: {formula!r}")
+
+
+def all_valuations(
+    structure: Structure, variables: frozenset[Var] | list[Var]
+) -> Iterator[dict[Var, Hashable]]:
+    """Yield every valuation of ``variables`` over the carriers.
+
+    Variables are ordered by name for determinism.
+    """
+    ordered = sorted(variables, key=lambda v: v.name)
+
+    def extend(
+        index: int, current: dict[Var, Hashable]
+    ) -> Iterator[dict[Var, Hashable]]:
+        if index == len(ordered):
+            yield dict(current)
+            return
+        var = ordered[index]
+        for value in structure.carrier(var.sort):
+            current[var] = value
+            yield from extend(index + 1, current)
+        current.pop(var, None)
+
+    yield from extend(0, {})
+
+
+def models_all(structure: Structure, formulas: list[fm.Formula]) -> bool:
+    """True iff ``structure`` satisfies every *closed* formula given.
+
+    Raises:
+        EvaluationError: if some formula has free variables.
+    """
+    for formula in formulas:
+        if not formula.is_closed:
+            raise EvaluationError(
+                f"axiom has free variables: {formula} "
+                f"(free: {sorted(v.name for v in formula.free_vars())})"
+            )
+        if not satisfies(structure, formula):
+            return False
+    return True

@@ -1,0 +1,292 @@
+"""Signatures (non-logical vocabularies) of many-sorted languages.
+
+A signature collects the sorts, function symbols and predicate symbols
+of a many-sorted first-order language L (paper, Section 3.1).  The
+information level additionally distinguishes *db-predicate* symbols —
+"symbols representing data base structures" — from ordinary predicate
+symbols such as ``less-than``; that distinction is recorded here with
+the ``db`` flag on :class:`PredicateSymbol`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import SignatureError
+from repro.logic.sorts import Sort
+
+__all__ = ["FunctionSymbol", "PredicateSymbol", "Signature"]
+
+
+@dataclass(frozen=True)
+class FunctionSymbol:
+    """An n-ary function symbol ``f`` of sort ``<s1,...,sn,s>``.
+
+    A constant is a 0-ary function symbol.
+
+    Attributes:
+        name: the symbol's identifier.
+        arg_sorts: the domain sorts ``s1,...,sn`` (empty for constants).
+        result_sort: the target sort ``s``.
+    """
+
+    name: str
+    arg_sorts: tuple[Sort, ...]
+    result_sort: Sort
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SignatureError("function symbol needs a non-empty name")
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments the symbol takes."""
+        return len(self.arg_sorts)
+
+    @property
+    def is_constant(self) -> bool:
+        """True iff this is a 0-ary symbol."""
+        return not self.arg_sorts
+
+    def __str__(self) -> str:
+        if self.is_constant:
+            return f"{self.name}: {self.result_sort}"
+        args = ", ".join(str(s) for s in self.arg_sorts)
+        return f"{self.name}: {args} -> {self.result_sort}"
+
+
+@dataclass(frozen=True)
+class PredicateSymbol:
+    """An n-ary predicate symbol ``p`` of sort ``<s1,...,sn>``.
+
+    Attributes:
+        name: the symbol's identifier.
+        arg_sorts: the argument sorts.
+        db: True iff this symbol represents a database structure
+            (a *db-predicate symbol* in the paper's terminology); such
+            symbols are the ones whose extension varies from state to
+            state and that refinement interpretations must map.
+    """
+
+    name: str
+    arg_sorts: tuple[Sort, ...]
+    db: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SignatureError("predicate symbol needs a non-empty name")
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments the symbol takes."""
+        return len(self.arg_sorts)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(s) for s in self.arg_sorts)
+        kind = "db-predicate" if self.db else "predicate"
+        return f"{self.name}: <{args}> ({kind})"
+
+
+class Signature:
+    """The non-logical vocabulary of a many-sorted first-order language.
+
+    Symbols are registered with the ``add_*`` methods or passed to the
+    constructor; names must be unique within their kind (two function
+    symbols may not share a name, nor may two predicate symbols, and a
+    name may not denote both).
+
+    Example:
+        >>> student = Sort("student"); course = Sort("course")
+        >>> sig = Signature(sorts=[student, course])
+        >>> sig.add_predicate("takes", [student, course], db=True)
+        PredicateSymbol(name='takes', ...)
+    """
+
+    def __init__(
+        self,
+        sorts: Iterable[Sort] = (),
+        functions: Iterable[FunctionSymbol] = (),
+        predicates: Iterable[PredicateSymbol] = (),
+    ):
+        self._sorts: dict[str, Sort] = {}
+        self._functions: dict[str, FunctionSymbol] = {}
+        self._predicates: dict[str, PredicateSymbol] = {}
+        for sort in sorts:
+            self.add_sort(sort)
+        for fn in functions:
+            self.add_function_symbol(fn)
+        for pred in predicates:
+            self.add_predicate_symbol(pred)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def add_sort(self, sort: Sort) -> Sort:
+        """Register ``sort``; re-registering the same sort is a no-op."""
+        existing = self._sorts.get(sort.name)
+        if existing is not None and existing != sort:
+            raise SignatureError(f"sort {sort.name!r} already declared")
+        self._sorts[sort.name] = sort
+        return sort
+
+    def add_function_symbol(self, symbol: FunctionSymbol) -> FunctionSymbol:
+        """Register a pre-built function symbol after checking its sorts."""
+        if symbol.name in self._functions:
+            if self._functions[symbol.name] == symbol:
+                return symbol
+            raise SignatureError(f"function {symbol.name!r} already declared")
+        if symbol.name in self._predicates:
+            raise SignatureError(
+                f"{symbol.name!r} already declared as a predicate"
+            )
+        for sort in (*symbol.arg_sorts, symbol.result_sort):
+            if sort.name not in self._sorts:
+                raise SignatureError(
+                    f"function {symbol.name!r} uses undeclared sort {sort}"
+                )
+        self._functions[symbol.name] = symbol
+        return symbol
+
+    def add_predicate_symbol(self, symbol: PredicateSymbol) -> PredicateSymbol:
+        """Register a pre-built predicate symbol after checking its sorts."""
+        if symbol.name in self._predicates:
+            if self._predicates[symbol.name] == symbol:
+                return symbol
+            raise SignatureError(f"predicate {symbol.name!r} already declared")
+        if symbol.name in self._functions:
+            raise SignatureError(
+                f"{symbol.name!r} already declared as a function"
+            )
+        for sort in symbol.arg_sorts:
+            if sort.name not in self._sorts:
+                raise SignatureError(
+                    f"predicate {symbol.name!r} uses undeclared sort {sort}"
+                )
+        self._predicates[symbol.name] = symbol
+        return symbol
+
+    def add_function(
+        self,
+        name: str,
+        arg_sorts: Iterable[Sort],
+        result_sort: Sort,
+    ) -> FunctionSymbol:
+        """Declare and register a function symbol in one step."""
+        return self.add_function_symbol(
+            FunctionSymbol(name, tuple(arg_sorts), result_sort)
+        )
+
+    def add_constant(self, name: str, sort: Sort) -> FunctionSymbol:
+        """Declare a constant (0-ary function symbol) of ``sort``."""
+        return self.add_function(name, (), sort)
+
+    def add_predicate(
+        self,
+        name: str,
+        arg_sorts: Iterable[Sort],
+        db: bool = False,
+    ) -> PredicateSymbol:
+        """Declare and register a predicate symbol in one step."""
+        return self.add_predicate_symbol(
+            PredicateSymbol(name, tuple(arg_sorts), db=db)
+        )
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def sort(self, name: str) -> Sort:
+        """Return the declared sort called ``name``."""
+        try:
+            return self._sorts[name]
+        except KeyError:
+            raise SignatureError(f"undeclared sort {name!r}") from None
+
+    def function(self, name: str) -> FunctionSymbol:
+        """Return the declared function symbol called ``name``."""
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise SignatureError(f"undeclared function {name!r}") from None
+
+    def predicate(self, name: str) -> PredicateSymbol:
+        """Return the declared predicate symbol called ``name``."""
+        try:
+            return self._predicates[name]
+        except KeyError:
+            raise SignatureError(f"undeclared predicate {name!r}") from None
+
+    def has_sort(self, name: str) -> bool:
+        """True iff a sort called ``name`` is declared."""
+        return name in self._sorts
+
+    def has_function(self, name: str) -> bool:
+        """True iff a function symbol called ``name`` is declared."""
+        return name in self._functions
+
+    def has_predicate(self, name: str) -> bool:
+        """True iff a predicate symbol called ``name`` is declared."""
+        return name in self._predicates
+
+    @property
+    def sorts(self) -> tuple[Sort, ...]:
+        """All declared sorts, in declaration order."""
+        return tuple(self._sorts.values())
+
+    @property
+    def functions(self) -> tuple[FunctionSymbol, ...]:
+        """All declared function symbols, in declaration order."""
+        return tuple(self._functions.values())
+
+    @property
+    def predicates(self) -> tuple[PredicateSymbol, ...]:
+        """All declared predicate symbols, in declaration order."""
+        return tuple(self._predicates.values())
+
+    @property
+    def db_predicates(self) -> tuple[PredicateSymbol, ...]:
+        """The db-predicate symbols (paper, Section 3.1)."""
+        return tuple(p for p in self._predicates.values() if p.db)
+
+    def constants_of_sort(self, sort: Sort) -> tuple[FunctionSymbol, ...]:
+        """All declared constants whose result sort is ``sort``."""
+        return tuple(
+            f
+            for f in self._functions.values()
+            if f.is_constant and f.result_sort == sort
+        )
+
+    def __iter__(self) -> Iterator[FunctionSymbol | PredicateSymbol]:
+        yield from self._functions.values()
+        yield from self._predicates.values()
+
+    def copy(self) -> "Signature":
+        """Return an independent copy of this signature."""
+        return Signature(self.sorts, self.functions, self.predicates)
+
+    def extended(
+        self,
+        sorts: Iterable[Sort] = (),
+        functions: Iterable[FunctionSymbol] = (),
+        predicates: Iterable[PredicateSymbol] = (),
+    ) -> "Signature":
+        """Return a copy of this signature with extra symbols added.
+
+        Used, e.g., when refinement adds the reachability predicate F
+        to L2 (paper, Section 4.3).
+        """
+        new = self.copy()
+        for sort in sorts:
+            new.add_sort(sort)
+        for fn in functions:
+            new.add_function_symbol(fn)
+        for pred in predicates:
+            new.add_predicate_symbol(pred)
+        return new
+
+    def __repr__(self) -> str:
+        return (
+            f"Signature(sorts={len(self._sorts)}, "
+            f"functions={len(self._functions)}, "
+            f"predicates={len(self._predicates)})"
+        )

@@ -1,0 +1,59 @@
+"""Sorts for many-sorted first-order languages.
+
+The paper (Section 3.1) builds every level of specification on top of
+*many-sorted* first-order languages: each variable, constant and function
+symbol carries a sort, and formation rules only admit well-sorted terms.
+A :class:`Sort` here is a pure name; carriers (the sets of values a sort
+ranges over in a particular structure) live in
+:mod:`repro.logic.structures`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SortError
+
+__all__ = ["Sort", "BOOLEAN", "STATE", "check_same_sort"]
+
+
+@dataclass(frozen=True, order=True)
+class Sort:
+    """A sort (type) of a many-sorted first-order language.
+
+    Two sorts are equal iff their names are equal, so sorts can be
+    freely re-created from their names.
+
+    Attributes:
+        name: the sort's identifier, e.g. ``"student"`` or ``"course"``.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise SortError(f"invalid sort name: {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The distinguished Boolean sort used by algebraic specifications
+#: (Section 4.1: "The set of sorts of L must include a Boolean sort").
+BOOLEAN = Sort("Boolean")
+
+#: The distinguished sort-of-interest of algebraic specifications
+#: (Section 4.1: "a designated sort state, also called sort-of-interest").
+STATE = Sort("state")
+
+
+def check_same_sort(expected: Sort, actual: Sort, context: str) -> None:
+    """Raise :class:`SortError` unless ``expected == actual``.
+
+    Args:
+        expected: the sort required by the enclosing construct.
+        actual: the sort actually supplied.
+        context: human-readable description used in the error message.
+    """
+    if expected != actual:
+        raise SortError(f"{context}: expected sort {expected}, got {actual}")

@@ -1,0 +1,198 @@
+"""Substitutions and (capture-avoiding) instantiation.
+
+A substitution maps sorted variables to terms of the same sort.  It is
+applied to terms and formulas; application to quantified formulas
+renames bound variables when needed to avoid capture.  Substitutions
+also serve as the *matching* results of the rewriting engine
+(:mod:`repro.algebraic.rewriting`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Iterator
+
+from repro.errors import SortError
+from repro.logic import formulas as fm
+from repro.logic.terms import App, Term, Var
+
+__all__ = ["Substitution", "apply_to_term", "apply_to_formula", "match"]
+
+
+class Substitution(Mapping):
+    """An immutable finite map from variables to terms of the same sort.
+
+    Example:
+        >>> sub = Substitution({x: some_term})
+        >>> sub.apply(term)
+        >>> sub.apply_formula(formula)
+    """
+
+    def __init__(self, mapping: Mapping[Var, Term] | None = None):
+        mapping = dict(mapping or {})
+        for var, term in mapping.items():
+            if var.sort != term.sort:
+                raise SortError(
+                    f"substitution maps {var} (sort {var.sort}) to a term "
+                    f"of sort {term.sort}"
+                )
+        self._mapping: dict[Var, Term] = mapping
+
+    def __getitem__(self, var: Var) -> Term:
+        return self._mapping[var]
+
+    def __iter__(self) -> Iterator[Var]:
+        return iter(self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v}:={t}" for v, t in self._mapping.items())
+        return f"{{{inner}}}"
+
+    def apply(self, term: Term) -> Term:
+        """Apply the substitution to a term."""
+        return apply_to_term(self, term)
+
+    def apply_formula(self, formula: fm.Formula) -> fm.Formula:
+        """Apply the substitution to a formula, avoiding capture."""
+        return apply_to_formula(self, formula)
+
+    def bind(self, var: Var, term: Term) -> "Substitution":
+        """Return a new substitution with ``var := term`` added.
+
+        Raises:
+            SortError: on a sort mismatch or a conflicting binding.
+        """
+        if var in self._mapping and self._mapping[var] != term:
+            raise SortError(f"conflicting binding for {var}")
+        new = dict(self._mapping)
+        new[var] = term
+        return Substitution(new)
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """Return ``self ∘ other``: first apply ``other``, then ``self``.
+
+        ``(self.compose(other)).apply(t) == self.apply(other.apply(t))``.
+        """
+        out: dict[Var, Term] = {
+            var: self.apply(term) for var, term in other.items()
+        }
+        for var, term in self._mapping.items():
+            out.setdefault(var, term)
+        return Substitution(out)
+
+    def restrict(self, variables: frozenset[Var]) -> "Substitution":
+        """Return the restriction of the substitution to ``variables``."""
+        return Substitution(
+            {v: t for v, t in self._mapping.items() if v in variables}
+        )
+
+
+def apply_to_term(sub: Mapping[Var, Term], term: Term) -> Term:
+    """Apply a variable-to-term mapping to ``term``.
+
+    Leaf term kinds other than variables (value literals, scalar
+    references, abstract states, ...) contain no variables and pass
+    through unchanged.
+    """
+    if isinstance(term, Var):
+        return sub.get(term, term)
+    if isinstance(term, App):
+        new_args = tuple(apply_to_term(sub, a) for a in term.args)
+        if new_args == term.args:
+            return term
+        return App(term.symbol, new_args)
+    if isinstance(term, Term) and not term.free_vars():
+        return term
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _fresh_variant(var: Var, avoid: set[str]) -> Var:
+    """Return a variable like ``var`` whose name is not in ``avoid``."""
+    base = var.name
+    counter = 1
+    candidate = f"{base}_{counter}"
+    while candidate in avoid:
+        counter += 1
+        candidate = f"{base}_{counter}"
+    return Var(candidate, var.sort)
+
+
+def apply_to_formula(
+    sub: Mapping[Var, Term], formula: fm.Formula
+) -> fm.Formula:
+    """Apply a substitution to a formula, renaming bound variables as
+    needed so that no free variable of a substituted term is captured.
+    """
+    if isinstance(formula, (fm.TrueF, fm.FalseF)):
+        return formula
+    if isinstance(formula, fm.Atom):
+        return fm.Atom(
+            formula.predicate,
+            tuple(apply_to_term(sub, a) for a in formula.args),
+        )
+    if isinstance(formula, fm.Equals):
+        return fm.Equals(
+            apply_to_term(sub, formula.lhs), apply_to_term(sub, formula.rhs)
+        )
+    if isinstance(formula, fm.Not):
+        return fm.Not(apply_to_formula(sub, formula.body))
+    if isinstance(formula, (fm.And, fm.Or, fm.Implies, fm.Iff)):
+        return type(formula)(
+            apply_to_formula(sub, formula.lhs),
+            apply_to_formula(sub, formula.rhs),
+        )
+    if isinstance(formula, (fm.Forall, fm.Exists)):
+        # Drop any binding for the bound variable itself.
+        inner = {v: t for v, t in sub.items() if v != formula.var}
+        # Rename the bound variable if a substituted term would capture it.
+        incoming_names = {
+            fv.name
+            for v in formula.body.free_vars() - {formula.var}
+            if v in inner
+            for fv in inner[v].free_vars()
+        }
+        var = formula.var
+        body = formula.body
+        if var.name in incoming_names:
+            avoid = incoming_names | {v.name for v in body.free_vars()}
+            fresh = _fresh_variant(var, avoid)
+            body = apply_to_formula({var: fresh}, body)
+            var = fresh
+        return type(formula)(var, apply_to_formula(inner, body))
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def match(
+    pattern: Term, target: Term, sub: Substitution | None = None
+) -> Substitution | None:
+    """First-order matching: find ``σ`` with ``σ(pattern) == target``.
+
+    Unlike unification, variables only occur in ``pattern``.  Returns
+    the extending substitution, or ``None`` if no match exists.
+
+    Args:
+        pattern: term with variables to be bound.
+        target: (usually ground) term to match against.
+        sub: substitution to extend (defaults to the empty one).
+    """
+    sub = sub if sub is not None else Substitution()
+    if isinstance(pattern, Var):
+        if pattern.sort != target.sort:
+            return None
+        bound = sub.get(pattern)
+        if bound is None:
+            return sub.bind(pattern, target)
+        return sub if bound == target else None
+    if isinstance(pattern, App):
+        if not isinstance(target, App) or pattern.symbol != target.symbol:
+            return None
+        for p_arg, t_arg in zip(pattern.args, target.args):
+            result = match(p_arg, t_arg, sub)
+            if result is None:
+                return None
+            sub = result
+        return sub
+    raise TypeError(f"not a term: {pattern!r}")

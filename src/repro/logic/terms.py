@@ -1,0 +1,161 @@
+"""Terms of many-sorted first-order languages.
+
+Terms are immutable and hashable, so they can be used as dictionary
+keys — the algebraic level (Section 4) identifies database states with
+ground terms of sort ``state`` ("traces"), and memoising on them is
+central to the reachability engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator
+
+from repro.errors import SortError
+from repro.logic.signature import FunctionSymbol
+from repro.logic.sorts import Sort
+
+__all__ = ["Term", "Var", "App", "const"]
+
+
+class Term:
+    """Abstract base class of all terms.
+
+    Concrete terms are :class:`Var` (a sorted variable) and
+    :class:`App` (application of a function symbol; constants are
+    0-ary applications).
+    """
+
+    @property
+    def sort(self) -> Sort:
+        """The sort of the term."""
+        raise NotImplementedError
+
+    def free_vars(self) -> frozenset["Var"]:
+        """The set of variables occurring in the term."""
+        raise NotImplementedError
+
+    def subterms(self) -> Iterator["Term"]:
+        """Yield the term itself and every proper subterm, pre-order."""
+        raise NotImplementedError
+
+    @property
+    def is_ground(self) -> bool:
+        """True iff the term contains no variables."""
+        return not self.free_vars()
+
+    def depth(self) -> int:
+        """Height of the term tree (a variable or constant has depth 1)."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Total number of nodes in the term tree."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A sorted variable.
+
+    Attributes:
+        name: the variable's identifier.
+        var_sort: the variable's sort.
+    """
+
+    name: str
+    var_sort: Sort
+
+    @property
+    def sort(self) -> Sort:
+        return self.var_sort
+
+    def free_vars(self) -> frozenset["Var"]:
+        return frozenset({self})
+
+    def subterms(self) -> Iterator[Term]:
+        yield self
+
+    def depth(self) -> int:
+        return 1
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class App(Term):
+    """Application ``f(t1,...,tn)`` of a function symbol to arguments.
+
+    The constructor checks that the argument sorts match the symbol's
+    declared domain sorts, enforcing the many-sorted formation rules.
+
+    Attributes:
+        symbol: the applied function symbol.
+        args: the argument terms.
+    """
+
+    symbol: FunctionSymbol
+    args: tuple[Term, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.args) != self.symbol.arity:
+            raise SortError(
+                f"{self.symbol.name} expects {self.symbol.arity} "
+                f"argument(s), got {len(self.args)}"
+            )
+        for i, (arg, expected) in enumerate(
+            zip(self.args, self.symbol.arg_sorts)
+        ):
+            if arg.sort != expected:
+                raise SortError(
+                    f"argument {i + 1} of {self.symbol.name}: expected "
+                    f"sort {expected}, got {arg.sort} (term {arg})"
+                )
+
+    @property
+    def sort(self) -> Sort:
+        return self.symbol.result_sort
+
+    @cached_property
+    def _free_vars(self) -> frozenset[Var]:
+        out: frozenset[Var] = frozenset()
+        for arg in self.args:
+            out |= arg.free_vars()
+        return out
+
+    def free_vars(self) -> frozenset[Var]:
+        return self._free_vars
+
+    def subterms(self) -> Iterator[Term]:
+        yield self
+        for arg in self.args:
+            yield from arg.subterms()
+
+    def depth(self) -> int:
+        if not self.args:
+            return 1
+        return 1 + max(arg.depth() for arg in self.args)
+
+    def size(self) -> int:
+        return 1 + sum(arg.size() for arg in self.args)
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.symbol.name
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.symbol.name}({inner})"
+
+
+def const(symbol: FunctionSymbol) -> App:
+    """Build the constant term for a 0-ary function symbol.
+
+    Raises:
+        SortError: if ``symbol`` is not 0-ary.
+    """
+    if not symbol.is_constant:
+        raise SortError(f"{symbol.name} is not a constant")
+    return App(symbol, ())

@@ -1,0 +1,59 @@
+"""First-order theories T = (L, A).
+
+A theory pairs a language (given by its signature) with a set of
+axioms.  "The notions of model, logical implication and theory are as
+for first-order languages" (paper, Section 3.1); over the finite
+structures of this library, being a model is decidable and implemented
+by :meth:`Theory.is_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SpecificationError
+from repro.logic.formulas import Formula
+from repro.logic.printer import format_axioms
+from repro.logic.semantics import models_all, satisfies
+from repro.logic.signature import Signature
+from repro.logic.structures import Structure
+
+__all__ = ["Theory"]
+
+
+@dataclass(frozen=True)
+class Theory:
+    """A first-order theory ``T = (L, A)``.
+
+    Attributes:
+        signature: the non-logical vocabulary of the language L.
+        axioms: the axiom set A; every axiom must be a sentence
+            (closed formula).
+    """
+
+    signature: Signature
+    axioms: tuple[Formula, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for axiom in self.axioms:
+            if not axiom.is_closed:
+                raise SpecificationError(
+                    f"axiom is not a sentence (has free variables): {axiom}"
+                )
+
+    def is_model(self, structure: Structure) -> bool:
+        """True iff ``structure`` satisfies every axiom."""
+        return models_all(structure, list(self.axioms))
+
+    def violated_axioms(self, structure: Structure) -> tuple[Formula, ...]:
+        """Return the axioms that ``structure`` falsifies."""
+        return tuple(
+            axiom for axiom in self.axioms if not satisfies(structure, axiom)
+        )
+
+    def with_axioms(self, extra: list[Formula]) -> "Theory":
+        """Return a theory with additional axioms appended."""
+        return Theory(self.signature, self.axioms + tuple(extra))
+
+    def __str__(self) -> str:
+        return f"Theory with axioms:\n{format_axioms(list(self.axioms))}"

@@ -1,0 +1,161 @@
+"""Classical formula transformations: NNF and prenex normal form.
+
+Provided as standard equipment of the logic substrate (the paper
+assumes "familiarity with first-order logic at the level, say, of
+[Enderton]"); both transformations are semantics-preserving over the
+finite structures of this library, a property-tested fact.
+"""
+
+from __future__ import annotations
+
+from repro.logic import formulas as fm
+from repro.logic.substitution import apply_to_formula
+from repro.logic.terms import Var
+
+__all__ = ["to_nnf", "to_prenex", "is_nnf", "is_prenex"]
+
+
+def to_nnf(formula: fm.Formula) -> fm.Formula:
+    """Negation normal form: negations pushed to atoms; ``->`` and
+    ``<->`` expanded.
+
+    Raises:
+        TypeError: on non-first-order constructs (modalities have
+            their own duality laws in :mod:`repro.temporal`).
+    """
+    if isinstance(formula, (fm.TrueF, fm.FalseF, fm.Atom, fm.Equals)):
+        return formula
+    if isinstance(formula, fm.And):
+        return fm.And(to_nnf(formula.lhs), to_nnf(formula.rhs))
+    if isinstance(formula, fm.Or):
+        return fm.Or(to_nnf(formula.lhs), to_nnf(formula.rhs))
+    if isinstance(formula, fm.Implies):
+        return fm.Or(to_nnf(fm.Not(formula.lhs)), to_nnf(formula.rhs))
+    if isinstance(formula, fm.Iff):
+        return fm.And(
+            fm.Or(to_nnf(fm.Not(formula.lhs)), to_nnf(formula.rhs)),
+            fm.Or(to_nnf(formula.lhs), to_nnf(fm.Not(formula.rhs))),
+        )
+    if isinstance(formula, fm.Forall):
+        return fm.Forall(formula.var, to_nnf(formula.body))
+    if isinstance(formula, fm.Exists):
+        return fm.Exists(formula.var, to_nnf(formula.body))
+    if isinstance(formula, fm.Not):
+        body = formula.body
+        if isinstance(body, (fm.Atom, fm.Equals)):
+            return formula
+        if isinstance(body, fm.TrueF):
+            return fm.FALSE
+        if isinstance(body, fm.FalseF):
+            return fm.TRUE
+        if isinstance(body, fm.Not):
+            return to_nnf(body.body)
+        if isinstance(body, fm.And):
+            return fm.Or(
+                to_nnf(fm.Not(body.lhs)), to_nnf(fm.Not(body.rhs))
+            )
+        if isinstance(body, fm.Or):
+            return fm.And(
+                to_nnf(fm.Not(body.lhs)), to_nnf(fm.Not(body.rhs))
+            )
+        if isinstance(body, fm.Implies):
+            return fm.And(to_nnf(body.lhs), to_nnf(fm.Not(body.rhs)))
+        if isinstance(body, fm.Iff):
+            return to_nnf(fm.Not(fm.And(
+                fm.Implies(body.lhs, body.rhs),
+                fm.Implies(body.rhs, body.lhs),
+            )))
+        if isinstance(body, fm.Forall):
+            return fm.Exists(body.var, to_nnf(fm.Not(body.body)))
+        if isinstance(body, fm.Exists):
+            return fm.Forall(body.var, to_nnf(fm.Not(body.body)))
+    raise TypeError(f"not a first-order formula: {formula!r}")
+
+
+def is_nnf(formula: fm.Formula) -> bool:
+    """True iff negations apply only to atoms and there is no
+    ``->``/``<->``."""
+    for sub in formula.subformulas():
+        if isinstance(sub, (fm.Implies, fm.Iff)):
+            return False
+        if isinstance(sub, fm.Not) and not isinstance(
+            sub.body, (fm.Atom, fm.Equals)
+        ):
+            return False
+    return True
+
+
+def to_prenex(formula: fm.Formula) -> fm.Formula:
+    """Prenex normal form: all quantifiers out front (after NNF).
+
+    Bound variables are renamed apart as needed, so the result is
+    semantically equivalent on every structure and valuation of the
+    free variables.
+    """
+    # Every binder is renamed apart from *all* names occurring in the
+    # formula (free or bound) and from every other binder, so pulling
+    # quantifiers over sibling subformulas can never capture anything.
+    used_names = {
+        var.name
+        for sub in formula.subformulas()
+        if isinstance(sub, (fm.Forall, fm.Exists))
+        for var in (sub.var,)
+    }
+    used_names |= {v.name for v in formula.free_vars()}
+    for term in formula.terms():
+        used_names |= {v.name for v in term.free_vars()}
+    counter = [0]
+
+    def fresh(var: Var) -> Var:
+        if var.name not in used_names:
+            used_names.add(var.name)
+            return var
+        while True:
+            counter[0] += 1
+            name = f"{var.name}_{counter[0]}"
+            if name not in used_names:
+                used_names.add(name)
+                return Var(name, var.sort)
+
+    def pull(node: fm.Formula) -> tuple[list, fm.Formula]:
+        """Returns (prefix, matrix); prefix items are (cls, var)."""
+        if isinstance(node, (fm.Forall, fm.Exists)):
+            # used_names was seeded with every binder name upfront,
+            # so fresh() always picks a new, globally unique name.
+            replacement = fresh(node.var)
+            body = node.body
+            if replacement != node.var:
+                body = apply_to_formula(
+                    {node.var: replacement}, body
+                )
+            prefix, matrix = pull(body)
+            return [(type(node), replacement)] + prefix, matrix
+        if isinstance(node, (fm.And, fm.Or)):
+            left_prefix, left_matrix = pull(node.lhs)
+            right_prefix, right_matrix = pull(node.rhs)
+            return left_prefix + right_prefix, type(node)(
+                left_matrix, right_matrix
+            )
+        if isinstance(node, fm.Not):
+            # NNF input: body is atomic.
+            return [], node
+        return [], node
+
+    nnf = to_nnf(formula)
+    prefix, matrix = pull(nnf)
+    result = matrix
+    for cls, var in reversed(prefix):
+        result = cls(var, result)
+    return result
+
+
+def is_prenex(formula: fm.Formula) -> bool:
+    """True iff the formula is a quantifier prefix over a
+    quantifier-free matrix."""
+    node = formula
+    while isinstance(node, (fm.Forall, fm.Exists)):
+        node = node.body
+    return not any(
+        isinstance(sub, (fm.Forall, fm.Exists))
+        for sub in node.subformulas()
+    )

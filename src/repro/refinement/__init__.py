@@ -1,0 +1,60 @@
+"""Refinement between specification levels (paper, Sections 4.3-4.4
+and 5.3-5.4): interpretations I, representation maps K, the induced
+structure mappings M and N, and the machine-checked correctness
+conditions."""
+
+from repro.refinement.first_second import (
+    FirstToSecondReport,
+    StaticConsistencyReport,
+    TransitionConsistencyReport,
+    check_refinement as check_first_second,
+    check_static_consistency,
+    check_transition_consistency,
+    prove_static_consistency,
+    translate_axiom,
+)
+from repro.refinement.interpretation import (
+    Interpretation,
+    PredicateInterpretation,
+)
+from repro.refinement.reachability import (
+    InclusionReport,
+    compare_valid_reachable,
+    enumerate_valid_structures,
+    reachable_structures,
+    synthesize_trace,
+)
+from repro.refinement.second_third import (
+    EquationFailure,
+    InducedStructure,
+    QueryRealization,
+    RepresentationMap,
+    SecondToThirdReport,
+    check_agreement,
+    check_refinement as check_second_third,
+)
+
+__all__ = [
+    "Interpretation",
+    "PredicateInterpretation",
+    "check_first_second",
+    "check_static_consistency",
+    "prove_static_consistency",
+    "check_transition_consistency",
+    "translate_axiom",
+    "FirstToSecondReport",
+    "StaticConsistencyReport",
+    "TransitionConsistencyReport",
+    "InclusionReport",
+    "compare_valid_reachable",
+    "enumerate_valid_structures",
+    "reachable_structures",
+    "synthesize_trace",
+    "RepresentationMap",
+    "QueryRealization",
+    "InducedStructure",
+    "check_second_third",
+    "check_agreement",
+    "SecondToThirdReport",
+    "EquationFailure",
+]

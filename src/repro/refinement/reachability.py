@@ -1,0 +1,217 @@
+"""Valid and reachable state sets: V and G of Section 4.4.
+
+* ``V`` — the set of *valid* states: level-1 structures over the given
+  carriers that satisfy all static constraints
+  (:func:`enumerate_valid_structures` builds it exhaustively; its size
+  is exponential in the carrier sizes, so it is intended for the small
+  domains used in bounded verification).
+
+* ``G`` — the set of *reachable* states: "the least set of states
+  containing initiate and closed under all the other update functions"
+  (:func:`reachable_structures` computes it from the observational
+  state graph of a :class:`TraceAlgebra`).
+
+Section 4.4 proves, for the running example, both ``G ⊆ V`` (every
+reachable state is valid) and ``V ⊆ G`` (every valid state is
+reachable); :func:`compare_valid_reachable` decides both inclusions
+and reports witnesses for any failure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.algebraic.algebra import StateGraph, TraceAlgebra
+from repro.information.consistency import is_consistent_state
+from repro.information.spec import InformationSpec
+from repro.logic.sorts import Sort
+from repro.logic.structures import Structure
+from repro.logic.terms import Term
+from repro.refinement.interpretation import Interpretation
+
+__all__ = [
+    "enumerate_valid_structures",
+    "reachable_structures",
+    "InclusionReport",
+    "compare_valid_reachable",
+    "synthesize_trace",
+]
+
+
+def enumerate_all_structures(
+    information: InformationSpec, carriers: dict[Sort, list[str]]
+) -> Iterator[Structure]:
+    """Yield every structure over the carriers (all combinations of
+    db-predicate extensions).  Exponential; bounded-domain use only."""
+    predicates = information.db_predicates
+    per_predicate_rows = []
+    for predicate in predicates:
+        domains = [carriers[sort] for sort in predicate.arg_sorts]
+        per_predicate_rows.append(list(itertools.product(*domains)))
+    subset_spaces = [
+        list(_all_subsets(rows)) for rows in per_predicate_rows
+    ]
+    for extensions in itertools.product(*subset_spaces):
+        relations = {
+            predicate.name: extension
+            for predicate, extension in zip(predicates, extensions)
+        }
+        yield Structure(
+            information.signature, carriers, relations=relations
+        )
+
+
+def _all_subsets(rows: list[tuple]) -> Iterator[frozenset]:
+    for mask in range(1 << len(rows)):
+        yield frozenset(
+            row for index, row in enumerate(rows) if mask >> index & 1
+        )
+
+
+def enumerate_valid_structures(
+    information: InformationSpec, carriers: dict[Sort, list[str]]
+) -> Iterator[Structure]:
+    """Yield the set V: structures satisfying every static constraint."""
+    for structure in enumerate_all_structures(information, carriers):
+        if is_consistent_state(information, structure):
+            yield structure
+
+
+def reachable_structures(
+    information: InformationSpec,
+    carriers: dict[Sort, list[str]],
+    algebra: TraceAlgebra,
+    interpretation: Interpretation,
+    graph: StateGraph | None = None,
+) -> dict[Structure, Term]:
+    """The set G as level-1 structures, each with a witness trace.
+
+    Args:
+        graph: a previously computed state graph; explored fresh when
+            omitted.
+    """
+    if graph is None:
+        graph = algebra.explore()
+    out: dict[Structure, Term] = {}
+    for snapshot, trace in graph.states.items():
+        structure = interpretation.structure_of_trace(
+            information, carriers, algebra, trace
+        )
+        out.setdefault(structure, trace)
+    return out
+
+
+def synthesize_trace(
+    information: InformationSpec,
+    carriers: dict[Sort, list[str]],
+    algebra: TraceAlgebra,
+    interpretation: Interpretation,
+    target: Structure,
+    graph: StateGraph | None = None,
+) -> Term | None:
+    """Constructive Section 4.4c: a shortest update sequence (as a
+    trace term) reaching ``target``, or ``None`` if it is unreachable.
+
+    The paper proves V ⊆ G "by induction on the number of courses
+    offered and the number of enrollments"; this function turns that
+    existence proof into a witness generator.  The returned trace is a
+    breadth-first witness, hence of minimal update count.
+    """
+    if graph is None:
+        graph = algebra.explore()
+    for snapshot, trace in graph.states.items():
+        structure = interpretation.structure_of_trace(
+            information, carriers, algebra, trace
+        )
+        if structure == target:
+            return trace
+    return None
+
+
+@dataclass(frozen=True)
+class InclusionReport:
+    """Outcome of the G-vs-V comparison (Sections 4.4b and 4.4c).
+
+    Attributes:
+        reachable_subset_valid: G ⊆ V (static consistency).
+        valid_subset_reachable: V ⊆ G (update repertoire completeness).
+        valid_count: |V| over the given carriers.
+        reachable_count: |G| (distinct level-1 structures reached).
+        invalid_reachable: witnesses of G ⊄ V as (structure, trace).
+        unreachable_valid: witnesses of V ⊄ G.
+        truncated: True iff the exploration hit its state bound, in
+            which case a False ``valid_subset_reachable`` may be an
+            artifact.
+    """
+
+    reachable_subset_valid: bool
+    valid_subset_reachable: bool
+    valid_count: int
+    reachable_count: int
+    invalid_reachable: tuple[tuple[Structure, Term], ...] = field(
+        default_factory=tuple
+    )
+    unreachable_valid: tuple[Structure, ...] = field(default_factory=tuple)
+    truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True iff both inclusions hold (G = V)."""
+        return self.reachable_subset_valid and self.valid_subset_reachable
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:
+        lines = [
+            f"valid states |V| = {self.valid_count}, reachable states "
+            f"|G| = {self.reachable_count}"
+            + (" (exploration truncated)" if self.truncated else "")
+        ]
+        lines.append(
+            "G subseteq V: " + ("yes" if self.reachable_subset_valid else "NO")
+        )
+        lines.append(
+            "V subseteq G: " + ("yes" if self.valid_subset_reachable else "NO")
+        )
+        for structure, trace in self.invalid_reachable[:5]:
+            lines.append(f"  invalid but reachable via {trace}: {structure}")
+        for structure in self.unreachable_valid[:5]:
+            lines.append(f"  valid but unreachable: {structure}")
+        return "\n".join(lines)
+
+
+def compare_valid_reachable(
+    information: InformationSpec,
+    carriers: dict[Sort, list[str]],
+    algebra: TraceAlgebra,
+    interpretation: Interpretation,
+    graph: StateGraph | None = None,
+) -> InclusionReport:
+    """Decide both inclusions of Sections 4.4b and 4.4c exhaustively."""
+    if graph is None:
+        graph = algebra.explore()
+    reachable = reachable_structures(
+        information, carriers, algebra, interpretation, graph
+    )
+    valid = set(enumerate_valid_structures(information, carriers))
+
+    invalid_reachable = tuple(
+        (structure, trace)
+        for structure, trace in reachable.items()
+        if structure not in valid
+    )
+    unreachable_valid = tuple(
+        structure for structure in valid if structure not in reachable
+    )
+    return InclusionReport(
+        reachable_subset_valid=not invalid_reachable,
+        valid_subset_reachable=not unreachable_valid,
+        valid_count=len(valid),
+        reachable_count=len(reachable),
+        invalid_reachable=invalid_reachable,
+        unreachable_valid=unreachable_valid,
+        truncated=graph.truncated,
+    )

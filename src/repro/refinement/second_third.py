@@ -1,0 +1,710 @@
+"""Refinement of the functions level by the representation level.
+
+Paper, Section 5.3: the mapping K sends each update function of L2 to
+a procedure declaration of T3, each Boolean query function to a wff of
+L3, and parameter symbols to themselves.  "To circumvent this
+difficulty [L3 cannot express the wff translation], we adopt a
+*semantic* definition of correct refinement": K induces a mapping N
+from universes of L3 into finitely generated structures of L2, and "T3
+is a correct refinement of T2 iff for every universe of L3, N(U) is a
+model of T2".
+
+Section 5.4 proves this for the running example by induction on the
+length of the trace ``u_n(u_{n-1}(...(initiate)...))``.  Here the
+check is mechanized over the reachable fragment: because every
+equation side evaluates through the database state a trace realizes,
+validity of A2 in N(U) is decided by checking each equation at every
+*reachable database state* (with the equation's state variable valued
+at that state) for every parameter instantiation — the same coverage
+as the paper's induction, without enumerating syntactic traces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+from repro.errors import ExecutionError, RefinementError
+from repro.algebraic.algebra import TraceAlgebra
+from repro.algebraic.equations import ConditionalEquation
+from repro.algebraic.signature import AlgebraicSignature
+from repro.algebraic.spec import AlgebraicSpec
+from repro.logic import formulas as fm
+from repro.logic.sorts import BOOLEAN, STATE, Sort
+from repro.logic.terms import App, Term, Var
+from repro.rpr.ast import Schema, is_deterministic
+from repro.rpr.semantics import (
+    DatabaseState,
+    initial_state,
+    run_proc,
+    satisfies,
+)
+
+__all__ = [
+    "QueryRealization",
+    "RepresentationMap",
+    "InducedStructure",
+    "EquationFailure",
+    "SecondToThirdReport",
+    "check_refinement",
+    "check_agreement",
+]
+
+
+@dataclass(frozen=True)
+class QueryRealization:
+    """The image K(q) of one query function: a wff of L3.
+
+    For a Boolean query the wff has one free variable per query
+    parameter (e.g. K(offered) = ``OFFERED(c)``).  For a query of a
+    parameter result sort, ``result_var`` names one extra free
+    variable and the wff must be *functional* in it: the query's value
+    at a state is the unique value of ``result_var`` satisfying the
+    wff (e.g. K(balance) = ``BALANCE(a, m)`` with result variable
+    ``m``).
+
+    Attributes:
+        variables: free variables x1,...,xn (with L3 sorts), one per
+            query parameter, in order.
+        formula: the L3 wff.
+        result_var: the result variable for a non-Boolean query, or
+            ``None`` for a Boolean one.
+    """
+
+    variables: tuple[Var, ...]
+    formula: fm.Formula
+    result_var: Var | None = None
+
+    def __post_init__(self) -> None:
+        allowed = set(self.variables)
+        if self.result_var is not None:
+            allowed.add(self.result_var)
+        extra = self.formula.free_vars() - allowed
+        if extra:
+            names = sorted(v.name for v in extra)
+            raise RefinementError(
+                f"realization wff has unexpected free variables: {names}"
+            )
+
+
+class RepresentationMap:
+    """The mapping K from L2 symbols into the schema T3.
+
+    Args:
+        query_map: L2 query name -> :class:`QueryRealization`.
+        update_map: L2 update name -> procedure name.
+        sort_map: L2 parameter sort -> L3 sort (carriers are shared
+            value strings).
+        initial_proc: procedure implementing the initial constant
+            (default ``initiate``); K(initiate) is this procedure run
+            on the all-empty state.
+    """
+
+    def __init__(
+        self,
+        query_map: Mapping[str, QueryRealization],
+        update_map: Mapping[str, str],
+        sort_map: Mapping[Sort, Sort],
+        initial_proc: str = "initiate",
+    ):
+        self.query_map = dict(query_map)
+        self.update_map = dict(update_map)
+        self.sort_map = dict(sort_map)
+        self.initial_proc = initial_proc
+
+    @classmethod
+    def homonym(
+        cls, signature: AlgebraicSignature, schema: Schema
+    ) -> "RepresentationMap":
+        """The canonical correspondence of the running example:
+
+        * each L2 parameter sort maps to the L3 sort whose
+          (lower-cased) name starts with the L2 sort's name
+          (``student`` -> ``Students``);
+        * each query ``q`` maps to the membership wff of the relation
+          whose lower-cased name equals ``q`` (``offered`` ->
+          ``OFFERED(x1)``);
+        * each update maps to the homonym procedure.
+
+        Raises:
+            RefinementError: when a correspondence is missing or
+                ambiguous — supply the maps explicitly then.
+        """
+        sort_map: dict[Sort, Sort] = {}
+        l3_sorts = schema.sorts
+        for l2_sort in signature.parameter_sorts:
+            matches = [
+                sort
+                for sort in l3_sorts
+                if sort.name.lower().startswith(l2_sort.name.lower())
+            ]
+            if len(matches) != 1:
+                raise RefinementError(
+                    f"cannot map parameter sort {l2_sort} onto a schema "
+                    f"sort (candidates: {[s.name for s in matches]})"
+                )
+            sort_map[l2_sort] = matches[0]
+
+        query_map: dict[str, QueryRealization] = {}
+        for query in signature.queries:
+            if query.result_sort != BOOLEAN:
+                raise RefinementError(
+                    f"homonym map only covers Boolean queries; realize "
+                    f"{query.name!r} explicitly"
+                )
+            matches = [
+                decl
+                for decl in schema.relations
+                if decl.name.lower() == query.name.lower()
+            ]
+            if len(matches) != 1:
+                raise RefinementError(
+                    f"no unique relation for query {query.name!r}"
+                )
+            decl = matches[0]
+            expected = tuple(
+                sort_map[sort] for sort in query.arg_sorts[:-1]
+            )
+            if decl.column_sorts != expected:
+                raise RefinementError(
+                    f"relation {decl.name} columns "
+                    f"{[s.name for s in decl.column_sorts]} do not match "
+                    f"query {query.name} parameters"
+                )
+            variables = tuple(
+                Var(f"x{i + 1}", sort)
+                for i, sort in enumerate(decl.column_sorts)
+            )
+            from repro.logic.signature import PredicateSymbol
+
+            predicate = PredicateSymbol(decl.name, decl.column_sorts)
+            query_map[query.name] = QueryRealization(
+                variables, fm.Atom(predicate, variables)
+            )
+
+        update_map: dict[str, str] = {}
+        for update in signature.updates:
+            schema.proc(update.name)  # raises if missing
+            update_map[update.name] = update.name
+        initial_name = signature.initials[0].name
+        schema.proc(initial_name)
+        return cls(query_map, update_map, sort_map, initial_name)
+
+    def realization(self, query_name: str) -> QueryRealization:
+        """The image K(q) of a query, by name."""
+        try:
+            return self.query_map[query_name]
+        except KeyError:
+            raise RefinementError(
+                f"K does not cover query {query_name!r}"
+            ) from None
+
+    def proc_for(self, update_name: str) -> str:
+        """The procedure implementing an update."""
+        try:
+            return self.update_map[update_name]
+        except KeyError:
+            raise RefinementError(
+                f"K does not cover update {update_name!r}"
+            ) from None
+
+
+class InducedStructure:
+    """The mapping N: the finitely generated L2 structure a schema
+    universe induces (paper, Section 5.3).
+
+    States of sort ``state`` are database states; queries are evaluated
+    by their K-images; updates act by running their procedures.
+
+    Args:
+        signature: the L2 language.
+        schema: the parsed T3 schema.
+        rep_map: the mapping K.
+        require_deterministic: reject schemas whose procedures are
+            nondeterministic or can block (the induced update
+            *functions* would be partial or multivalued).
+    """
+
+    def __init__(
+        self,
+        signature: AlgebraicSignature,
+        schema: Schema,
+        rep_map: RepresentationMap,
+        require_deterministic: bool = True,
+    ):
+        self.signature = signature
+        self.schema = schema
+        self.rep_map = rep_map
+        self._require_deterministic = require_deterministic
+        self._domains = {
+            rep_map.sort_map[sort]: tuple(signature.domain(sort))
+            for sort in signature.parameter_sorts
+        }
+        if require_deterministic:
+            for proc in schema.procs:
+                if not is_deterministic(proc.body):
+                    raise RefinementError(
+                        f"procedure {proc.name!r} is not deterministic; "
+                        "the induced update function would be "
+                        "multivalued"
+                    )
+        self._trace_cache: dict[Term, DatabaseState] = {}
+
+    @property
+    def domains(self) -> dict[Sort, tuple[str, ...]]:
+        """The L3 column domains induced by the L2 parameter domains."""
+        return dict(self._domains)
+
+    # ------------------------------------------------------------------
+    # states
+    # ------------------------------------------------------------------
+    def initial(self) -> DatabaseState:
+        """K(initiate): run the initial procedure on the empty state."""
+        return self._step(
+            self.rep_map.initial_proc, (), initial_state(self.schema)
+        )
+
+    def apply_update(
+        self, update: str, params: tuple[str, ...], state: DatabaseState
+    ) -> DatabaseState:
+        """Run the procedure implementing ``update`` on ``state``."""
+        return self._step(self.rep_map.proc_for(update), params, state)
+
+    def _step(
+        self, proc: str, params: tuple[str, ...], state: DatabaseState
+    ) -> DatabaseState:
+        results = run_proc(
+            self.schema, proc, params, state, self._domains
+        )
+        if not results:
+            raise ExecutionError(
+                f"procedure {proc}({', '.join(params)}) blocks; the "
+                "induced update function is partial"
+            )
+        if len(results) > 1 and self._require_deterministic:
+            raise ExecutionError(
+                f"procedure {proc}({', '.join(params)}) is "
+                f"nondeterministic ({len(results)} successors)"
+            )
+        return next(iter(results))
+
+    def state_of_trace(self, trace: Term) -> DatabaseState:
+        """Realize a ground L2 trace as a database state (memoized)."""
+        cached = self._trace_cache.get(trace)
+        if cached is not None:
+            return cached
+        if not isinstance(trace, App):
+            raise RefinementError(f"not a ground trace: {trace}")
+        if self.signature.is_initial(trace.symbol):
+            result = self.initial()
+        elif self.signature.is_update(trace.symbol):
+            inner = self.state_of_trace(trace.args[-1])
+            params = tuple(
+                self._param_value(arg) for arg in trace.args[:-1]
+            )
+            result = self.apply_update(trace.symbol.name, params, inner)
+        else:
+            raise RefinementError(f"not a trace constructor: {trace}")
+        self._trace_cache[trace] = result
+        return result
+
+    @staticmethod
+    def _param_value(term: Term) -> str:
+        if isinstance(term, App) and term.symbol.is_constant:
+            return term.symbol.name
+        raise RefinementError(
+            f"trace parameter {term} is not a parameter name"
+        )
+
+    def reachable_states(
+        self, max_states: int = 100_000
+    ) -> list[DatabaseState]:
+        """BFS over database states from the initial state through all
+        update instances."""
+        start = self.initial()
+        seen = {start}
+        order = [start]
+        frontier = deque([start])
+        instances = list(self._update_instances())
+        while frontier:
+            state = frontier.popleft()
+            for update, params in instances:
+                successor = self.apply_update(update, params, state)
+                if successor not in seen:
+                    if len(seen) >= max_states:
+                        raise RefinementError(
+                            "state space exceeds max_states; raise the "
+                            "bound or shrink the domains"
+                        )
+                    seen.add(successor)
+                    order.append(successor)
+                    frontier.append(successor)
+        return order
+
+    def _update_instances(self):
+        for update in self.signature.updates:
+            spaces = [
+                self.signature.domain(sort)
+                for sort in update.arg_sorts[:-1]
+            ]
+            for params in itertools.product(*spaces):
+                yield update.name, params
+
+    # ------------------------------------------------------------------
+    # evaluation of L2 terms/conditions in the induced structure
+    # ------------------------------------------------------------------
+    def eval_query(
+        self,
+        query: str,
+        params: tuple[str, ...],
+        state: DatabaseState,
+    ) -> Hashable:
+        """Evaluate query ``q(params)`` at a database state via K(q).
+
+        Boolean queries evaluate their wff directly; non-Boolean
+        queries return the unique value of the realization's result
+        variable that satisfies the wff.
+
+        Raises:
+            RefinementError: if a functional realization has zero or
+                several satisfying result values at the state.
+        """
+        realization = self.rep_map.realization(query)
+        valuation = {
+            var: value
+            for var, value in zip(realization.variables, params)
+        }
+        if realization.result_var is None:
+            return satisfies(
+                realization.formula, state, self._domains, valuation
+            )
+        result_var = realization.result_var
+        candidates = [
+            value
+            for value in self._domains.get(result_var.sort, ())
+            if satisfies(
+                realization.formula,
+                state,
+                self._domains,
+                {**valuation, result_var: value},
+            )
+        ]
+        if len(candidates) != 1:
+            raise RefinementError(
+                f"K({query}) is not functional at state ({state}): "
+                f"{len(candidates)} result value(s) for params {params}"
+            )
+        return candidates[0]
+
+    def eval_term(
+        self,
+        term: Term,
+        valuation: Mapping[Var, Hashable],
+    ) -> Hashable:
+        """Evaluate an L2 term (of parameter/Boolean/state sort) in the
+        induced structure; state-sorted subterms evaluate to database
+        states."""
+        if isinstance(term, Var):
+            try:
+                return valuation[term]
+            except KeyError:
+                raise RefinementError(
+                    f"unbound variable {term.name}"
+                ) from None
+        if not isinstance(term, App):
+            raise RefinementError(f"unsupported term {term!r}")
+        symbol = term.symbol
+        sig = self.signature
+        if symbol.name == "True" and symbol.result_sort == BOOLEAN:
+            return True
+        if symbol.name == "False" and symbol.result_sort == BOOLEAN:
+            return False
+        if sig.is_connective(symbol):
+            values = [
+                bool(self.eval_term(arg, valuation)) for arg in term.args
+            ]
+            return {
+                "not": lambda: not values[0],
+                "and": lambda: values[0] and values[1],
+                "or": lambda: values[0] or values[1],
+                "implies": lambda: (not values[0]) or values[1],
+                "iff": lambda: values[0] == values[1],
+            }[symbol.name]()
+        if sig.is_equality_test(symbol):
+            return self.eval_term(
+                term.args[0], valuation
+            ) == self.eval_term(term.args[1], valuation)
+        interp = sig.interpretation(symbol.name)
+        if interp is not None:
+            return interp(
+                *(self.eval_term(arg, valuation) for arg in term.args)
+            )
+        if sig.is_initial(symbol):
+            return self.initial()
+        if sig.is_update(symbol):
+            inner = self.eval_term(term.args[-1], valuation)
+            params = tuple(
+                str(self.eval_term(arg, valuation))
+                for arg in term.args[:-1]
+            )
+            return self.apply_update(symbol.name, params, inner)
+        if sig.is_query(symbol):
+            state = self.eval_term(term.args[-1], valuation)
+            params = tuple(
+                str(self.eval_term(arg, valuation))
+                for arg in term.args[:-1]
+            )
+            return self.eval_query(symbol.name, params, state)
+        if symbol.is_constant:
+            return symbol.name  # a parameter name
+        raise RefinementError(f"cannot evaluate {term} in N(U)")
+
+    def holds(
+        self,
+        condition: fm.Formula,
+        valuation: Mapping[Var, Hashable],
+    ) -> bool:
+        """Decide an equation condition in the induced structure."""
+        valuation = dict(valuation)
+        if isinstance(condition, fm.TrueF):
+            return True
+        if isinstance(condition, fm.FalseF):
+            return False
+        if isinstance(condition, fm.Equals):
+            return self.eval_term(
+                condition.lhs, valuation
+            ) == self.eval_term(condition.rhs, valuation)
+        if isinstance(condition, fm.Not):
+            return not self.holds(condition.body, valuation)
+        if isinstance(condition, fm.And):
+            return self.holds(condition.lhs, valuation) and self.holds(
+                condition.rhs, valuation
+            )
+        if isinstance(condition, fm.Or):
+            return self.holds(condition.lhs, valuation) or self.holds(
+                condition.rhs, valuation
+            )
+        if isinstance(condition, fm.Implies):
+            return (
+                not self.holds(condition.lhs, valuation)
+            ) or self.holds(condition.rhs, valuation)
+        if isinstance(condition, fm.Iff):
+            return self.holds(condition.lhs, valuation) == self.holds(
+                condition.rhs, valuation
+            )
+        if isinstance(condition, (fm.Forall, fm.Exists)):
+            var = condition.var
+            try:
+                carrier = self.signature.domain(var.sort)
+            except Exception:
+                raise RefinementError(
+                    f"condition quantifies over non-parameter sort "
+                    f"{var.sort}"
+                ) from None
+            results = (
+                self.holds(condition.body, {**valuation, var: value})
+                for value in carrier
+            )
+            if isinstance(condition, fm.Forall):
+                return all(results)
+            return any(results)
+        raise RefinementError(
+            f"unsupported condition construct {condition!r}"
+        )
+
+
+@dataclass(frozen=True)
+class EquationFailure:
+    """A falsified instance of an A2 equation in N(U)."""
+
+    equation: ConditionalEquation
+    state: DatabaseState
+    valuation: tuple[tuple[str, Hashable], ...]
+    lhs_value: Hashable
+    rhs_value: Hashable
+
+    def __str__(self) -> str:
+        binding = ", ".join(
+            f"{name}={value}" for name, value in self.valuation
+        )
+        return (
+            f"{self.equation.describe()} fails at [{binding}] on state "
+            f"({self.state}): lhs={self.lhs_value}, rhs={self.rhs_value}"
+        )
+
+
+@dataclass(frozen=True)
+class SecondToThirdReport:
+    """Outcome of the Section 5.4 check: is N(U) a model of T2?
+
+    Attributes:
+        ok: True iff every equation held on every reachable state and
+            parameter instantiation.
+        states_checked: number of reachable database states examined.
+        instances_checked: number of ground equation instances
+            evaluated.
+        failures: falsified instances (capped at 20).
+    """
+
+    ok: bool
+    states_checked: int
+    instances_checked: int
+    failures: tuple[EquationFailure, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:
+        if self.ok:
+            return (
+                f"T3 correctly refines T2: all {self.instances_checked} "
+                f"equation instances hold on {self.states_checked} "
+                "reachable states"
+            )
+        lines = ["T3 does NOT refine T2:"]
+        for failure in self.failures[:10]:
+            lines.append(f"  {failure}")
+        return "\n".join(lines)
+
+
+def check_refinement(
+    spec: AlgebraicSpec,
+    schema: Schema,
+    rep_map: RepresentationMap | None = None,
+    max_states: int = 100_000,
+) -> SecondToThirdReport:
+    """Verify that T3 is a correct refinement of T2 under K.
+
+    Every conditional equation of A2 is checked at every reachable
+    database state (the value of the equation's state variable), for
+    every instantiation of its parameter variables over the declared
+    domains; both sides are evaluated in the induced structure N(U).
+    """
+    if rep_map is None:
+        rep_map = RepresentationMap.homonym(spec.signature, schema)
+    induced = InducedStructure(spec.signature, schema, rep_map)
+    states = induced.reachable_states(max_states=max_states)
+    failures: list[EquationFailure] = []
+    instances = 0
+    for equation in spec.equations:
+        variables = sorted(
+            equation.lhs.free_vars()
+            | (
+                equation.condition.free_vars()
+                if equation.condition is not None
+                else frozenset()
+            ),
+            key=lambda v: v.name,
+        )
+        state_vars = [v for v in variables if v.sort == STATE]
+        param_vars = [v for v in variables if v.sort != STATE]
+        if len(state_vars) > 1:
+            raise RefinementError(
+                f"{equation.describe()}: more than one state variable"
+            )
+        spaces = [
+            spec.signature.domain(var.sort) for var in param_vars
+        ]
+        for state in states:
+            for values in itertools.product(*spaces):
+                valuation: dict[Var, Hashable] = dict(
+                    zip(param_vars, values)
+                )
+                if state_vars:
+                    valuation[state_vars[0]] = state
+                if equation.condition is not None and not induced.holds(
+                    equation.condition, valuation
+                ):
+                    continue
+                instances += 1
+                lhs_value = induced.eval_term(equation.lhs, valuation)
+                rhs_value = induced.eval_term(equation.rhs, valuation)
+                if lhs_value != rhs_value:
+                    failures.append(
+                        EquationFailure(
+                            equation,
+                            state,
+                            tuple(
+                                (var.name, value)
+                                for var, value in zip(param_vars, values)
+                            ),
+                            lhs_value,
+                            rhs_value,
+                        )
+                    )
+                    if len(failures) >= 20:
+                        return SecondToThirdReport(
+                            False, len(states), instances, tuple(failures)
+                        )
+    return SecondToThirdReport(
+        not failures, len(states), instances, tuple(failures)
+    )
+
+
+def check_agreement(
+    algebra: TraceAlgebra,
+    schema: Schema,
+    rep_map: RepresentationMap | None = None,
+    depth: int = 3,
+    max_traces: int = 2_000,
+) -> SecondToThirdReport:
+    """Cross-level agreement: for every trace, every simple observation
+    computed by rewriting (level 2) equals the K-realized observation
+    on the database state the procedures produce (level 3).
+
+    A complementary, more direct check than equation validity: it
+    compares the two levels' answers to every query.
+    """
+    if rep_map is None:
+        rep_map = RepresentationMap.homonym(algebra.signature, schema)
+    induced = InducedStructure(algebra.signature, schema, rep_map)
+    failures: list[EquationFailure] = []
+    instances = 0
+    states = 0
+    for trace in itertools.islice(algebra.traces(depth), max_traces):
+        states += 1
+        db_state = induced.state_of_trace(trace)
+        for name, params in algebra.observations:
+            instances += 1
+            algebraic_value = algebra.query(name, *params, trace=trace)
+            realized_value = induced.eval_query(name, params, db_state)
+            if algebraic_value != realized_value:
+                signature = algebra.signature
+                query_symbol = signature.query(name)
+                lhs = signature.apply_query(
+                    name,
+                    *(
+                        signature.value(sort, value)
+                        for sort, value in zip(
+                            query_symbol.arg_sorts[:-1], params
+                        )
+                    ),
+                    trace,
+                )
+                if query_symbol.result_sort == BOOLEAN:
+                    rhs: Term = signature.boolean(bool(realized_value))
+                else:
+                    rhs = signature.value(
+                        query_symbol.result_sort, str(realized_value)
+                    )
+                dummy = ConditionalEquation(
+                    lhs, rhs, None, f"agreement:{name}"
+                )
+                failures.append(
+                    EquationFailure(
+                        dummy,
+                        db_state,
+                        (("trace", str(trace)),),
+                        algebraic_value,
+                        realized_value,
+                    )
+                )
+                if len(failures) >= 20:
+                    return SecondToThirdReport(
+                        False, states, instances, tuple(failures)
+                    )
+    return SecondToThirdReport(
+        not failures, states, instances, tuple(failures)
+    )

@@ -1,0 +1,123 @@
+"""A convenience database engine on top of the RPR semantics.
+
+:class:`Database` holds a current :class:`DatabaseState` and exposes
+the schema's operations as callable updates and its relations/formulas
+as queries — the shape of an actual DBMS session, which is what the
+representation level "brings us close to" (paper, Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.errors import ExecutionError
+from repro.logic import formulas as fm
+from repro.logic.sorts import Sort
+from repro.rpr.ast import Schema, is_deterministic
+from repro.rpr.semantics import (
+    DatabaseState,
+    Domains,
+    initial_state,
+    run_proc,
+    satisfies,
+)
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A mutable database session driven by an RPR schema.
+
+    Args:
+        schema: the parsed schema.
+        domains: finite carrier per sort (keyed by :class:`Sort` or
+            sort name).
+        scalars: initial values for declared scalar variables.
+
+    Example:
+        >>> db = Database(schema, {"Students": ["s1"], "Courses": ["c1"]})
+        >>> db.call("initiate")
+        >>> db.call("offer", "c1")
+        >>> db.holds_fact("OFFERED", "c1")
+        True
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        domains: Mapping[Sort | str, list[str]],
+        scalars: Mapping[str, Hashable] | None = None,
+    ):
+        self.schema = schema
+        self._domains: dict[Sort, tuple[str, ...]] = {}
+        for key, values in domains.items():
+            sort = Sort(key) if isinstance(key, str) else key
+            self._domains[sort] = tuple(values)
+        self.state = initial_state(schema, scalars)
+        self._history: list[tuple[str, tuple[str, ...]]] = []
+
+    @property
+    def domains(self) -> Domains:
+        """The column domains of the session."""
+        return dict(self._domains)
+
+    @property
+    def history(self) -> tuple[tuple[str, tuple[str, ...]], ...]:
+        """The operations applied so far (the trace of Section 5.4)."""
+        return tuple(self._history)
+
+    def call(self, proc: str, *args: str) -> DatabaseState:
+        """Invoke an operation, advancing the current state.
+
+        Raises:
+            ExecutionError: if the procedure blocks (no successor
+                state) or is nondeterministic on the current state.
+        """
+        results = run_proc(
+            self.schema, proc, tuple(args), self.state, self._domains
+        )
+        if not results:
+            raise ExecutionError(
+                f"{proc}({', '.join(args)}) blocks at the current state"
+            )
+        if len(results) > 1:
+            raise ExecutionError(
+                f"{proc}({', '.join(args)}) is nondeterministic at the "
+                f"current state ({len(results)} successors); use "
+                "possible_states() instead"
+            )
+        (self.state,) = results
+        self._history.append((proc, tuple(args)))
+        return self.state
+
+    def possible_states(
+        self, proc: str, *args: str
+    ) -> frozenset[DatabaseState]:
+        """All successor states of an operation, without advancing."""
+        return run_proc(
+            self.schema, proc, tuple(args), self.state, self._domains
+        )
+
+    def holds_fact(self, relation: str, *values: str) -> bool:
+        """Membership query: is the tuple in the relation now?"""
+        return tuple(values) in self.state.relation(relation)
+
+    def rows(self, relation: str) -> frozenset[tuple[str, ...]]:
+        """The current extension of a relation."""
+        return self.state.relation(relation)
+
+    def holds(self, formula: fm.Formula) -> bool:
+        """Evaluate a closed wff at the current state."""
+        return satisfies(formula, self.state, self._domains)
+
+    def is_deterministic_schema(self) -> bool:
+        """True iff every operation body is syntactically
+        deterministic (paper, end of Section 5.1.2)."""
+        return all(
+            is_deterministic(proc.body) for proc in self.schema.procs
+        )
+
+    def reset(self, scalars: Mapping[str, Hashable] | None = None) -> None:
+        """Return to the all-empty state and clear the history."""
+        self.state = initial_state(self.schema, scalars)
+        self._history.clear()

@@ -1,0 +1,93 @@
+"""Lexer for the RPR concrete syntax.
+
+Tokens cover the schema skeleton (``schema`` ... ``end-schema``),
+declarations, statements (``:=``, ``;``, ``|``, ``*``, ``?``,
+relational terms ``{(x, y) / P}``) and the embedded formula language
+(shared with :mod:`repro.logic.parser`'s grammar).  Comments run from
+``--`` to end of line; the paper's ``/* ... */`` block comments are
+also accepted.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "schema",
+    "proc",
+    "var",
+    "const",
+    "if",
+    "then",
+    "else",
+    "while",
+    "do",
+    "insert",
+    "delete",
+    "skip",
+    "forall",
+    "exists",
+    "true",
+    "false",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*|/\*.*?\*/)
+  | (?P<endschema>end-schema\b)
+  | (?P<op>:=|<->|->|!=|[(){}=~&|,.:;*?/])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: ``'op'``, ``'ident'``, ``'keyword'``, ``'end-schema'``
+            or ``'eof'``.
+        text: the matched text.
+        position: character offset in the source.
+    """
+
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split RPR source text into tokens.
+
+    Raises:
+        ParseError: on an unrecognized character.
+    """
+    tokens: list[Token] = []
+    index = 0
+    while index < len(source):
+        matched = _TOKEN_RE.match(source, index)
+        if matched is None:
+            raise ParseError(
+                f"unexpected character {source[index]!r} in RPR source",
+                position=index,
+            )
+        group = matched.lastgroup
+        if group == "ident":
+            text = matched.group()
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, index))
+        elif group == "op":
+            tokens.append(Token("op", matched.group(), index))
+        elif group == "endschema":
+            tokens.append(Token("end-schema", matched.group(), index))
+        index = matched.end()
+    tokens.append(Token("eof", "", len(source)))
+    return tokens

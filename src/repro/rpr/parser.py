@@ -1,0 +1,598 @@
+"""Recursive-descent parser for RPR data base schemas.
+
+Grammar (statement level; formulas use the same grammar as
+:mod:`repro.logic.parser`):
+
+.. code-block:: text
+
+    schema    := 'schema' decl* proc* 'end-schema'
+    decl      := RELNAME '(' SORT (',' SORT)* ')' ';'
+               | 'var' ident ':' SORT ';'
+    proc      := 'proc' ident '(' params? ')' '=' statement
+    params    := ident (':' SORT)? (',' ident (':' SORT)?)*
+    statement := seqlevel ('|' seqlevel)*            (union)
+    seqlevel  := unit (';' unit)*                    (composition)
+    unit      := '(' statement ')' '*'?              (grouping, iteration)
+               | 'skip'
+               | 'if' formula 'then' statement ('else' statement)?
+               | 'while' formula 'do' statement
+               | 'insert' RELNAME '(' terms ')'
+               | 'delete' RELNAME '(' terms ')'
+               | ident ':=' (term | relterm)         (assignment)
+               | formula '?'                         (test)
+    relterm   := '{' '}'
+               | '{' '(' ident (',' ident)* ')' '/' formula '}'
+               | '{' ident '/' formula '}'
+
+Parameter sorts may be annotated (``proc enroll(s: Students, c:
+Courses) = ...``) or, as in the paper's notation, left off — in which
+case they are inferred from the parameters' occurrences as arguments
+of declared relations in the body.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError, SpecificationError
+from repro.logic import formulas as fm
+from repro.logic.signature import PredicateSymbol
+from repro.logic.sorts import Sort
+from repro.logic.terms import Term, Var
+from repro.rpr.ast import (
+    Assign,
+    ConstDecl,
+    Delete,
+    IfThen,
+    IfThenElse,
+    Insert,
+    ProcDecl,
+    RelAssign,
+    RelationalTerm,
+    RelationDecl,
+    ScalarDecl,
+    ScalarRef,
+    ValueLiteral,
+    Schema,
+    Seq,
+    Skip,
+    Star,
+    Statement,
+    Test,
+    Union,
+    While,
+)
+from repro.rpr.lexer import Token, tokenize
+
+__all__ = ["parse_schema"]
+
+
+class _SchemaParser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+        self._relations: dict[str, RelationDecl] = {}
+        self._scalars: dict[str, ScalarDecl] = {}
+        self._consts: dict[str, ConstDecl] = {}
+        self._sorts: dict[str, Sort] = {}
+        self._predicates: dict[str, PredicateSymbol] = {}
+        # Variable scope while parsing a proc body: name -> Var.
+        self._scope: dict[str, Var] = {}
+
+    # -- token plumbing -------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._current
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise ParseError(
+                f"expected {want!r}, found "
+                f"{token.text or 'end of input'!r}",
+                position=token.position,
+            )
+        return self._advance()
+
+    def _peek_is(self, kind: str, text: str | None = None) -> bool:
+        token = self._current
+        return token.kind == kind and (text is None or token.text == text)
+
+    # -- schema level ---------------------------------------------------
+    def parse(self) -> Schema:
+        self._expect("keyword", "schema")
+        relations: list[RelationDecl] = []
+        scalars: list[ScalarDecl] = []
+        consts: list[ConstDecl] = []
+        while True:
+            if self._peek_is("keyword", "var"):
+                scalars.append(self._scalar_decl())
+            elif self._peek_is("keyword", "const"):
+                consts.append(self._const_decl())
+            elif self._peek_is("ident") and self._tokens[
+                self._pos + 1
+            ] and self._tokens[self._pos + 1].kind == "op" and self._tokens[
+                self._pos + 1
+            ].text == "(":
+                relations.append(self._relation_decl())
+            else:
+                break
+        procs: list[ProcDecl] = []
+        while self._peek_is("keyword", "proc"):
+            procs.append(self._proc_decl())
+        self._expect("end-schema")
+        if self._current.kind != "eof":
+            raise ParseError(
+                f"unexpected trailing input "
+                f"{self._current.text!r} after end-schema",
+                position=self._current.position,
+            )
+        return Schema(
+            tuple(relations), tuple(procs), tuple(scalars), tuple(consts)
+        )
+
+    def _sort(self, name: str) -> Sort:
+        if name not in self._sorts:
+            self._sorts[name] = Sort(name)
+        return self._sorts[name]
+
+    def _relation_decl(self) -> RelationDecl:
+        name = self._expect("ident").text
+        if name in self._relations:
+            raise ParseError(f"relation {name!r} redeclared")
+        self._expect("op", "(")
+        columns = [self._sort(self._expect("ident").text)]
+        while self._peek_is("op", ","):
+            self._advance()
+            columns.append(self._sort(self._expect("ident").text))
+        self._expect("op", ")")
+        self._expect("op", ";")
+        decl = RelationDecl(name, tuple(columns))
+        self._relations[name] = decl
+        self._predicates[name] = PredicateSymbol(name, tuple(columns))
+        return decl
+
+    def _scalar_decl(self) -> ScalarDecl:
+        self._expect("keyword", "var")
+        name = self._expect("ident").text
+        self._expect("op", ":")
+        sort = self._sort(self._expect("ident").text)
+        self._expect("op", ";")
+        decl = ScalarDecl(name, sort)
+        self._scalars[name] = decl
+        return decl
+
+    def _const_decl(self) -> ConstDecl:
+        self._expect("keyword", "const")
+        name = self._expect("ident").text
+        self._expect("op", ":")
+        sort = self._sort(self._expect("ident").text)
+        self._expect("op", ";")
+        decl = ConstDecl(name, sort)
+        self._consts[name] = decl
+        return decl
+
+    # -- procedures -----------------------------------------------------
+    def _proc_decl(self) -> ProcDecl:
+        self._expect("keyword", "proc")
+        name = self._expect("ident").text
+        self._expect("op", "(")
+        raw_params: list[tuple[str, Sort | None]] = []
+        if not self._peek_is("op", ")"):
+            raw_params.append(self._param())
+            while self._peek_is("op", ","):
+                self._advance()
+                raw_params.append(self._param())
+        self._expect("op", ")")
+        self._expect("op", "=")
+        body_start = self._pos
+        inferred = self._infer_param_sorts(raw_params, body_start)
+        params = tuple(
+            Var(param_name, inferred[param_name])
+            for param_name, _ in raw_params
+        )
+        self._scope = {var.name: var for var in params}
+        body = self._statement()
+        self._scope = {}
+        return ProcDecl(name, params, body)
+
+    def _param(self) -> tuple[str, Sort | None]:
+        name = self._expect("ident").text
+        if self._peek_is("op", ":"):
+            self._advance()
+            return name, self._sort(self._expect("ident").text)
+        return name, None
+
+    def _infer_param_sorts(
+        self,
+        raw_params: list[tuple[str, Sort | None]],
+        body_start: int,
+    ) -> dict[str, Sort]:
+        """Infer unannotated parameter sorts by scanning the body's
+        token stream for relation applications ``R(a1, ..., an)``.
+        """
+        inferred: dict[str, Sort] = {
+            name: sort for name, sort in raw_params if sort is not None
+        }
+        wanted = {name for name, sort in raw_params if sort is None}
+        index = body_start
+        # Scan the whole body (not just until every sort is found) so
+        # conflicting uses are reported as such.
+        while index < len(self._tokens) and wanted:
+            token = self._tokens[index]
+            if token.kind in ("end-schema", "eof"):
+                break
+            if token.kind == "keyword" and token.text == "proc":
+                break
+            if (
+                token.kind == "ident"
+                and token.text in self._relations
+                and index + 1 < len(self._tokens)
+                and self._tokens[index + 1].kind == "op"
+                and self._tokens[index + 1].text == "("
+            ):
+                decl = self._relations[token.text]
+                args, consumed = self._scan_args(index + 2)
+                for column, arg in zip(decl.column_sorts, args):
+                    if arg in wanted:
+                        previous = inferred.get(arg)
+                        if previous is not None and previous != column:
+                            raise ParseError(
+                                f"parameter {arg!r}: conflicting sort "
+                                f"inference ({previous} vs {column})",
+                                position=token.position,
+                            )
+                        inferred[arg] = column
+                index = consumed
+                continue
+            if (
+                token.kind == "ident"
+                and token.text in self._scalars
+                and index + 2 < len(self._tokens)
+                and self._tokens[index + 1].kind == "op"
+                and self._tokens[index + 1].text == ":="
+                and self._tokens[index + 2].kind == "ident"
+                and self._tokens[index + 2].text in wanted
+            ):
+                # Scalar assignment 'counter := x' sorts x as well.
+                name = self._tokens[index + 2].text
+                column = self._scalars[token.text].sort
+                previous = inferred.get(name)
+                if previous is not None and previous != column:
+                    raise ParseError(
+                        f"parameter {name!r}: conflicting sort "
+                        f"inference ({previous} vs {column})",
+                        position=token.position,
+                    )
+                inferred[name] = column
+                index += 3
+                continue
+            index += 1
+        missing = [name for name, _ in raw_params if name not in inferred]
+        if missing:
+            raise ParseError(
+                f"cannot infer sort(s) of parameter(s) {missing}; "
+                "annotate them (e.g. 'proc p(x: SortName) = ...')"
+            )
+        return inferred
+
+    def _scan_args(self, index: int) -> tuple[list[str | None], int]:
+        """Scan a parenthesized argument list starting right after the
+        '('; returns top-level bare-identifier arguments (None for
+        complex arguments) and the index just past the ')'."""
+        args: list[str | None] = []
+        current: list[Token] = []
+        depth = 0
+        while index < len(self._tokens):
+            token = self._tokens[index]
+            if token.kind == "op" and token.text == "(":
+                depth += 1
+                current.append(token)
+            elif token.kind == "op" and token.text == ")":
+                if depth == 0:
+                    args.append(self._bare_ident(current))
+                    return args, index + 1
+                depth -= 1
+                current.append(token)
+            elif token.kind == "op" and token.text == "," and depth == 0:
+                args.append(self._bare_ident(current))
+                current = []
+            elif token.kind == "eof":
+                break
+            else:
+                current.append(token)
+            index += 1
+        raise ParseError("unterminated argument list", position=index)
+
+    @staticmethod
+    def _bare_ident(tokens: list[Token]) -> str | None:
+        if len(tokens) == 1 and tokens[0].kind == "ident":
+            return tokens[0].text
+        return None
+
+    # -- statements -----------------------------------------------------
+    def _statement(self) -> Statement:
+        left = self._seqlevel()
+        while self._peek_is("op", "|"):
+            self._advance()
+            left = Union(left, self._seqlevel())
+        return left
+
+    def _seqlevel(self) -> Statement:
+        left = self._unit()
+        while self._peek_is("op", ";"):
+            self._advance()
+            left = Seq(left, self._unit())
+        return left
+
+    def _unit(self) -> Statement:
+        if self._peek_is("op", "("):
+            saved = self._pos
+            self._advance()
+            try:
+                inner = self._statement()
+                self._expect("op", ")")
+            except ParseError:
+                # Not a parenthesized statement: a parenthesized
+                # formula test, e.g. "(P & Q)?".
+                self._pos = saved
+                return self._test()
+            if self._peek_is("op", "*"):
+                self._advance()
+                return Star(inner)
+            return inner
+        if self._peek_is("keyword", "skip"):
+            self._advance()
+            return Skip()
+        if self._peek_is("keyword", "if"):
+            self._advance()
+            condition = self._formula()
+            self._expect("keyword", "then")
+            then = self._unit_or_statementish()
+            if self._peek_is("keyword", "else"):
+                self._advance()
+                orelse = self._unit_or_statementish()
+                return IfThenElse(condition, then, orelse)
+            return IfThen(condition, then)
+        if self._peek_is("keyword", "while"):
+            self._advance()
+            condition = self._formula()
+            self._expect("keyword", "do")
+            return While(condition, self._unit_or_statementish())
+        if self._peek_is("keyword", "insert") or self._peek_is(
+            "keyword", "delete"
+        ):
+            keyword = self._advance().text
+            relation = self._expect("ident").text
+            if relation not in self._relations:
+                raise ParseError(
+                    f"{keyword} on undeclared relation {relation!r}"
+                )
+            self._expect("op", "(")
+            args: list[Term] = [self._term()]
+            while self._peek_is("op", ","):
+                self._advance()
+                args.append(self._term())
+            self._expect("op", ")")
+            node = Insert if keyword == "insert" else Delete
+            decl = self._relations[relation]
+            if len(args) != decl.arity:
+                raise ParseError(
+                    f"{keyword} {relation}: expected {decl.arity} "
+                    f"argument(s), got {len(args)}"
+                )
+            for arg, sort in zip(args, decl.column_sorts):
+                if arg.sort != sort:
+                    raise ParseError(
+                        f"{keyword} {relation}: argument {arg} has sort "
+                        f"{arg.sort}, column needs {sort}"
+                    )
+            return node(relation, tuple(args))
+        if self._peek_is("ident"):
+            name = self._current.text
+            next_token = self._tokens[self._pos + 1]
+            if next_token.kind == "op" and next_token.text == ":=":
+                return self._assignment()
+        return self._test()
+
+    def _unit_or_statementish(self) -> Statement:
+        """The branch of an if/while: a single unit, or a parenthesized
+        full statement (already handled by _unit)."""
+        return self._unit()
+
+    def _assignment(self) -> Statement:
+        name = self._advance().text
+        self._expect("op", ":=")
+        if name in self._relations:
+            return RelAssign(name, self._relational_term(name))
+        if name in self._scalars:
+            return Assign(name, self._term())
+        raise ParseError(
+            f"assignment to undeclared program variable {name!r}"
+        )
+
+    def _relational_term(self, relation: str) -> RelationalTerm:
+        decl = self._relations[relation]
+        self._expect("op", "{")
+        if self._peek_is("op", "}"):
+            self._advance()
+            variables = tuple(
+                Var(f"rx{i + 1}", sort)
+                for i, sort in enumerate(decl.column_sorts)
+            )
+            return RelationalTerm(variables, fm.FALSE)
+        names: list[str] = []
+        if self._peek_is("op", "("):
+            self._advance()
+            names.append(self._expect("ident").text)
+            while self._peek_is("op", ","):
+                self._advance()
+                names.append(self._expect("ident").text)
+            self._expect("op", ")")
+        else:
+            names.append(self._expect("ident").text)
+        if len(names) != decl.arity:
+            raise ParseError(
+                f"relational term for {relation}: expected {decl.arity} "
+                f"tuple variable(s), got {len(names)}"
+            )
+        variables = tuple(
+            Var(name, sort)
+            for name, sort in zip(names, decl.column_sorts)
+        )
+        self._expect("op", "/")
+        saved_scope = dict(self._scope)
+        for var in variables:
+            self._scope[var.name] = var
+        formula = self._formula()
+        self._scope = saved_scope
+        self._expect("op", "}")
+        return RelationalTerm(variables, formula)
+
+    def _test(self) -> Statement:
+        formula = self._formula()
+        self._expect("op", "?")
+        return Test(formula)
+
+    # -- formulas (same precedence as repro.logic.parser) ---------------
+    def _formula(self) -> fm.Formula:
+        return self._iff()
+
+    def _iff(self) -> fm.Formula:
+        left = self._imp()
+        while self._peek_is("op", "<->"):
+            self._advance()
+            left = fm.Iff(left, self._imp())
+        return left
+
+    def _imp(self) -> fm.Formula:
+        left = self._or()
+        if self._peek_is("op", "->"):
+            self._advance()
+            return fm.Implies(left, self._imp())
+        return left
+
+    def _or(self) -> fm.Formula:
+        left = self._and()
+        while self._peek_is("op", "|"):
+            # At statement level '|' means union; inside a formula it
+            # is disjunction.  Formula context always wins here because
+            # _formula is only entered from formula positions.
+            self._advance()
+            left = fm.Or(left, self._and())
+        return left
+
+    def _and(self) -> fm.Formula:
+        left = self._funary()
+        while self._peek_is("op", "&"):
+            self._advance()
+            left = fm.And(left, self._funary())
+        return left
+
+    def _funary(self) -> fm.Formula:
+        if self._peek_is("op", "~"):
+            self._advance()
+            return fm.Not(self._funary())
+        if self._peek_is("keyword", "forall") or self._peek_is(
+            "keyword", "exists"
+        ):
+            return self._quantified()
+        return self._fprimary()
+
+    def _quantified(self) -> fm.Formula:
+        cls = (
+            fm.Forall
+            if self._advance().text == "forall"
+            else fm.Exists
+        )
+        bindings: list[Var] = []
+        while True:
+            name = self._expect("ident").text
+            self._expect("op", ":")
+            sort = self._sort(self._expect("ident").text)
+            bindings.append(Var(name, sort))
+            if self._peek_is("op", ","):
+                self._advance()
+                continue
+            break
+        self._expect("op", ".")
+        saved = dict(self._scope)
+        for var in bindings:
+            self._scope[var.name] = var
+        body = self._formula()
+        self._scope = saved
+        result: fm.Formula = body
+        for var in reversed(bindings):
+            result = cls(var, result)
+        return result
+
+    def _fprimary(self) -> fm.Formula:
+        if self._peek_is("op", "("):
+            self._advance()
+            inner = self._formula()
+            self._expect("op", ")")
+            return inner
+        if self._peek_is("keyword", "true"):
+            self._advance()
+            return fm.TRUE
+        if self._peek_is("keyword", "false"):
+            self._advance()
+            return fm.FALSE
+        if self._peek_is("ident") and self._current.text in self._relations:
+            return self._atom()
+        lhs = self._term()
+        if self._peek_is("op", "="):
+            self._advance()
+            return fm.Equals(lhs, self._term())
+        if self._peek_is("op", "!="):
+            self._advance()
+            return fm.Not(fm.Equals(lhs, self._term()))
+        raise ParseError(
+            f"expected '=' or '!=' after term, found "
+            f"{self._current.text or 'end of input'!r}",
+            position=self._current.position,
+        )
+
+    def _atom(self) -> fm.Formula:
+        name = self._advance().text
+        predicate = self._predicates[name]
+        self._expect("op", "(")
+        args = [self._term()]
+        while self._peek_is("op", ","):
+            self._advance()
+            args.append(self._term())
+        self._expect("op", ")")
+        return fm.Atom(predicate, tuple(args))
+
+    def _term(self) -> Term:
+        token = self._expect("ident")
+        name = token.text
+        if name in self._scope:
+            return self._scope[name]
+        if name in self._scalars:
+            return ScalarRef(name, self._scalars[name].sort)
+        if name in self._consts:
+            return ValueLiteral(name, self._consts[name].sort)
+        raise ParseError(
+            f"unknown identifier {name!r} (not a parameter, bound "
+            "variable, scalar program variable, or declared constant)",
+            position=token.position,
+        )
+
+
+def parse_schema(source: str) -> Schema:
+    """Parse an RPR data base schema from concrete syntax.
+
+    Raises:
+        ParseError: on a syntax error, an undeclared program variable
+            (the context condition the W-grammar enforces), or a
+            failed parameter-sort inference.
+    """
+    try:
+        return _SchemaParser(tokenize(source)).parse()
+    except SpecificationError as exc:
+        raise ParseError(str(exc)) from exc

@@ -1,0 +1,55 @@
+"""Temporal extension L^T of first-order languages (paper, Section 3.1).
+
+Adds the possibility/necessity modal operators, Kripke universes
+``U = (S, R)`` over database states, modal satisfaction, and the
+static-vs-transition classification of axioms.
+"""
+
+from repro.temporal.constraints import (
+    STATIC,
+    TRANSITION,
+    ConstraintKind,
+    classify,
+    split_axioms,
+)
+from repro.temporal.formulas import (
+    Necessarily,
+    Possibly,
+    is_modal,
+    modal_depth,
+    necessity_as_dual,
+)
+from repro.temporal.kripke import (
+    KripkeUniverse,
+    linear_history,
+    transition_pair,
+)
+from repro.temporal.semantics import holds_at_every_state, satisfies_temporal
+from repro.temporal.timesort import (
+    TIME,
+    structure_of_universe,
+    timestamp_formula,
+    timestamped_signature,
+)
+
+__all__ = [
+    "TIME",
+    "timestamped_signature",
+    "timestamp_formula",
+    "structure_of_universe",
+    "Possibly",
+    "Necessarily",
+    "is_modal",
+    "necessity_as_dual",
+    "modal_depth",
+    "KripkeUniverse",
+    "linear_history",
+    "transition_pair",
+    "satisfies_temporal",
+    "holds_at_every_state",
+    "ConstraintKind",
+    "STATIC",
+    "TRANSITION",
+    "classify",
+    "split_axioms",
+]

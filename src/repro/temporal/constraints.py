@@ -1,0 +1,46 @@
+"""Classification of axioms into static and transition constraints.
+
+Paper, Section 3.1: "The axioms in A define static constraints, if they
+do not involve modalities, or transition constraints, otherwise."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic.formulas import Formula
+from repro.temporal.formulas import is_modal
+
+__all__ = ["ConstraintKind", "STATIC", "TRANSITION", "classify", "split_axioms"]
+
+
+@dataclass(frozen=True)
+class ConstraintKind:
+    """The kind of an axiom: ``"static"`` or ``"transition"``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Axiom without modal operators: restricts individual states.
+STATIC = ConstraintKind("static")
+
+#: Axiom with modal operators: restricts which transitions are
+#: acceptable.
+TRANSITION = ConstraintKind("transition")
+
+
+def classify(axiom: Formula) -> ConstraintKind:
+    """Classify one axiom by the paper's criterion (modality presence)."""
+    return TRANSITION if is_modal(axiom) else STATIC
+
+
+def split_axioms(
+    axioms: list[Formula],
+) -> tuple[tuple[Formula, ...], tuple[Formula, ...]]:
+    """Split axioms into (static constraints, transition constraints)."""
+    static = tuple(a for a in axioms if classify(a) is STATIC)
+    transition = tuple(a for a in axioms if classify(a) is TRANSITION)
+    return static, transition

@@ -1,0 +1,114 @@
+"""The temporal extension L^T of a first-order language L.
+
+Paper, Section 3.1: "The symbols of L^T are those of L, plus one modal
+operator, the possibility operator ◇.  The modal operator of necessity
+□ is the dual of ◇ in the sense that it can be introduced by definition
+as □P ≡ ¬◇¬P."  We nevertheless provide :class:`Necessarily` as a
+first-class node (it reads better in transition constraints) together
+with :func:`necessity_as_dual` to expand it by its definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.logic import formulas as fm
+from repro.logic.terms import Var
+
+__all__ = [
+    "Possibly",
+    "Necessarily",
+    "is_modal",
+    "necessity_as_dual",
+    "modal_depth",
+]
+
+
+@dataclass(frozen=True)
+class Possibly(fm.Formula):
+    """The possibility operator ``<>P``: P holds in *some* accessible
+    state."""
+
+    body: fm.Formula
+
+    def free_vars(self) -> frozenset[Var]:
+        return self.body.free_vars()
+
+    def subformulas(self) -> Iterator[fm.Formula]:
+        yield self
+        yield from self.body.subformulas()
+
+    def __str__(self) -> str:
+        return f"<>{_paren(self.body)}"
+
+
+@dataclass(frozen=True)
+class Necessarily(fm.Formula):
+    """The necessity operator ``[]P``: P holds in *every* accessible
+    state.  Dual of :class:`Possibly` (``[]P ≡ ~<>~P``)."""
+
+    body: fm.Formula
+
+    def free_vars(self) -> frozenset[Var]:
+        return self.body.free_vars()
+
+    def subformulas(self) -> Iterator[fm.Formula]:
+        yield self
+        yield from self.body.subformulas()
+
+    def __str__(self) -> str:
+        return f"[]{_paren(self.body)}"
+
+
+def _paren(formula: fm.Formula) -> str:
+    if isinstance(formula, (fm.Forall, fm.Exists)):
+        return f"({formula})"
+    return str(formula)
+
+
+def is_modal(formula: fm.Formula) -> bool:
+    """True iff the formula contains a modal operator.
+
+    The paper's distinction: axioms *without* modalities are static
+    constraints; axioms *with* modalities are transition constraints.
+    """
+    return any(
+        isinstance(sub, (Possibly, Necessarily))
+        for sub in formula.subformulas()
+    )
+
+
+def necessity_as_dual(formula: fm.Formula) -> fm.Formula:
+    """Rewrite every ``[]P`` into ``~<>~P`` (the paper's definition).
+
+    The result contains only the primitive possibility operator; the
+    temporal semantics treats both forms identically, which is verified
+    by property tests.
+    """
+    if isinstance(formula, Necessarily):
+        return fm.Not(Possibly(fm.Not(necessity_as_dual(formula.body))))
+    if isinstance(formula, Possibly):
+        return Possibly(necessity_as_dual(formula.body))
+    if isinstance(formula, fm.Not):
+        return fm.Not(necessity_as_dual(formula.body))
+    if isinstance(formula, (fm.And, fm.Or, fm.Implies, fm.Iff)):
+        return type(formula)(
+            necessity_as_dual(formula.lhs), necessity_as_dual(formula.rhs)
+        )
+    if isinstance(formula, (fm.Forall, fm.Exists)):
+        return type(formula)(formula.var, necessity_as_dual(formula.body))
+    return formula
+
+
+def modal_depth(formula: fm.Formula) -> int:
+    """Maximum nesting depth of modal operators in ``formula``."""
+    if isinstance(formula, (Possibly, Necessarily)):
+        return 1 + modal_depth(formula.body)
+    if isinstance(formula, fm.Not):
+        return modal_depth(formula.body)
+    if isinstance(formula, (fm.And, fm.Or, fm.Implies, fm.Iff)):
+        return max(modal_depth(formula.lhs), modal_depth(formula.rhs))
+    if isinstance(formula, (fm.Forall, fm.Exists)):
+        return modal_depth(formula.body)
+    return 0

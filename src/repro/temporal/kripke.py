@@ -1,0 +1,141 @@
+"""Kripke universes for the temporal extension.
+
+Paper, Section 3.1: "A universe U for L^T is a pair (S, R), where S is
+a set of structures of L, all with the same domain D (...), and R is a
+binary relation over S, called the accessibility relation."  R(A, B)
+is read "B is a future state with respect to A".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import SpecificationError
+from repro.logic.structures import Structure
+
+__all__ = ["KripkeUniverse", "linear_history", "transition_pair"]
+
+
+class KripkeUniverse:
+    """A universe ``U = (S, R)`` of database states.
+
+    States are :class:`~repro.logic.structures.Structure` instances;
+    the accessibility relation is a set of (before, after) pairs of
+    states.  The constructor enforces the paper's common-domain
+    restriction: all states must share the same carriers.
+
+    Args:
+        states: the set S of states (order preserved, duplicates
+            removed).
+        accessibility: the relation R as pairs of states (each of
+            which must be in S).
+    """
+
+    def __init__(
+        self,
+        states: Iterable[Structure],
+        accessibility: Iterable[tuple[Structure, Structure]] = (),
+    ):
+        self._states: list[Structure] = []
+        seen: set[Structure] = set()
+        for state in states:
+            if state not in seen:
+                seen.add(state)
+                self._states.append(state)
+        if not self._states:
+            raise SpecificationError("a Kripke universe needs >= 1 state")
+
+        reference = self._states[0].carriers
+        for state in self._states[1:]:
+            if state.carriers != reference:
+                raise SpecificationError(
+                    "all states of a universe must share the same domain "
+                    "(carriers differ)"
+                )
+
+        self._accessibility: set[tuple[Structure, Structure]] = set()
+        for before, after in accessibility:
+            if before not in seen or after not in seen:
+                raise SpecificationError(
+                    "accessibility relates states outside the universe"
+                )
+            self._accessibility.add((before, after))
+
+    @property
+    def states(self) -> tuple[Structure, ...]:
+        """The states S of the universe."""
+        return tuple(self._states)
+
+    @property
+    def accessibility(self) -> frozenset[tuple[Structure, Structure]]:
+        """The accessibility relation R."""
+        return frozenset(self._accessibility)
+
+    def successors(self, state: Structure) -> Iterator[Structure]:
+        """Yield the states B with R(state, B)."""
+        for before, after in self._accessibility:
+            if before == state:
+                yield after
+
+    def accessible(self, before: Structure, after: Structure) -> bool:
+        """True iff R(before, after)."""
+        return (before, after) in self._accessibility
+
+    def transitive_closure(self) -> "KripkeUniverse":
+        """Return the universe with R replaced by its transitive closure.
+
+        The paper reads R(A, B) as "B is a *future* state of A"; when R
+        is given as single-step successorship, the future-state reading
+        is its transitive closure.
+        """
+        closure = set(self._accessibility)
+        changed = True
+        while changed:
+            changed = False
+            for a, b in list(closure):
+                for c, d in list(closure):
+                    if b == c and (a, d) not in closure:
+                        closure.add((a, d))
+                        changed = True
+        return KripkeUniverse(self._states, closure)
+
+    def reflexive_closure(self) -> "KripkeUniverse":
+        """Return the universe with every state accessible from itself."""
+        extra = {(s, s) for s in self._states}
+        return KripkeUniverse(self._states, self._accessibility | extra)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __repr__(self) -> str:
+        return (
+            f"KripkeUniverse(states={len(self._states)}, "
+            f"edges={len(self._accessibility)})"
+        )
+
+
+def linear_history(states: list[Structure]) -> KripkeUniverse:
+    """Build a universe from a linear run ``s0 → s1 → ... → sn``.
+
+    Accessibility is the *future-of* relation: ``R(si, sj)`` iff
+    ``i < j`` — i.e. the transitive closure of successorship, matching
+    the paper's reading of R.
+    """
+    edges = [
+        (states[i], states[j])
+        for i in range(len(states))
+        for j in range(i + 1, len(states))
+    ]
+    return KripkeUniverse(states, edges)
+
+
+def transition_pair(
+    before: Structure, after: Structure
+) -> KripkeUniverse:
+    """Build the two-state universe for a single transition.
+
+    Used to check a transition constraint against one update step:
+    the constraint must hold at ``before`` in ``({before, after},
+    {(before, after)})``.
+    """
+    return KripkeUniverse([before, after], [(before, after)])

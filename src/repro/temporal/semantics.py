@@ -1,0 +1,115 @@
+"""Satisfaction for the temporal extension L^T.
+
+Paper, Section 3.1: satisfaction uses "rules identical to those of
+first-order languages, plus one additional rule:
+
+    A ⊨ (◇P)[v]  iff  there is B in S such that R(A, B) and B ⊨ P[v]"
+
+Necessity is the dual: A ⊨ (□P)[v] iff every B with R(A, B) satisfies
+P[v].  Valuations are shared across states because all states have the
+same domain (the common-domain restriction of :class:`KripkeUniverse`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.logic import formulas as fm
+from repro.logic.semantics import evaluate_term
+from repro.logic.structures import Structure
+from repro.logic.terms import Var
+from repro.temporal.formulas import Necessarily, Possibly
+from repro.temporal.kripke import KripkeUniverse
+
+__all__ = ["satisfies_temporal", "holds_at_every_state"]
+
+
+def satisfies_temporal(
+    universe: KripkeUniverse,
+    state: Structure,
+    formula: fm.Formula,
+    valuation: dict[Var, Hashable] | None = None,
+) -> bool:
+    """Decide ``U, state ⊨ formula[valuation]``.
+
+    First-order connectives and quantifiers are interpreted at
+    ``state``; ``<>P`` looks at some R-successor, ``[]P`` at all of
+    them.
+    """
+    valuation = valuation or {}
+    if isinstance(formula, Possibly):
+        return any(
+            satisfies_temporal(universe, successor, formula.body, valuation)
+            for successor in universe.successors(state)
+        )
+    if isinstance(formula, Necessarily):
+        return all(
+            satisfies_temporal(universe, successor, formula.body, valuation)
+            for successor in universe.successors(state)
+        )
+    if isinstance(formula, fm.TrueF):
+        return True
+    if isinstance(formula, fm.FalseF):
+        return False
+    if isinstance(formula, fm.Atom):
+        args = tuple(
+            evaluate_term(state, arg, valuation) for arg in formula.args
+        )
+        return state.holds(formula.predicate.name, args)
+    if isinstance(formula, fm.Equals):
+        return evaluate_term(state, formula.lhs, valuation) == evaluate_term(
+            state, formula.rhs, valuation
+        )
+    if isinstance(formula, fm.Not):
+        return not satisfies_temporal(
+            universe, state, formula.body, valuation
+        )
+    if isinstance(formula, fm.And):
+        return satisfies_temporal(
+            universe, state, formula.lhs, valuation
+        ) and satisfies_temporal(universe, state, formula.rhs, valuation)
+    if isinstance(formula, fm.Or):
+        return satisfies_temporal(
+            universe, state, formula.lhs, valuation
+        ) or satisfies_temporal(universe, state, formula.rhs, valuation)
+    if isinstance(formula, fm.Implies):
+        return (
+            not satisfies_temporal(universe, state, formula.lhs, valuation)
+        ) or satisfies_temporal(universe, state, formula.rhs, valuation)
+    if isinstance(formula, fm.Iff):
+        return satisfies_temporal(
+            universe, state, formula.lhs, valuation
+        ) == satisfies_temporal(universe, state, formula.rhs, valuation)
+    if isinstance(formula, fm.Forall):
+        carrier = state.carrier(formula.var.sort)
+        return all(
+            satisfies_temporal(
+                universe, state, formula.body,
+                {**valuation, formula.var: value},
+            )
+            for value in carrier
+        )
+    if isinstance(formula, fm.Exists):
+        carrier = state.carrier(formula.var.sort)
+        return any(
+            satisfies_temporal(
+                universe, state, formula.body,
+                {**valuation, formula.var: value},
+            )
+            for value in carrier
+        )
+    raise TypeError(f"not a temporal formula: {formula!r}")
+
+
+def holds_at_every_state(
+    universe: KripkeUniverse, formula: fm.Formula
+) -> bool:
+    """True iff the closed formula holds at every state of the universe.
+
+    This is the natural reading of an axiom of a temporal theory: it
+    constrains the whole intended universe, not a single state.
+    """
+    return all(
+        satisfies_temporal(universe, state, formula)
+        for state in universe.states
+    )

@@ -1,0 +1,176 @@
+"""The time-sort alternative to modal operators.
+
+Paper, Section 3.1: "A different approach could also be taken by
+selecting a many-sorted first-order language with a special sort
+interpreted as time (see [CF, BADW] for extensive discussions)."
+
+This module implements that alternative and proves it equivalent on
+finite universes:
+
+* :func:`timestamped_signature` extends a language L with a ``time``
+  sort, an ``accessible(time, time)`` predicate, and a timestamped
+  copy ``p@t`` of every db-predicate (one extra time argument);
+* :func:`timestamp_formula` translates a wff of L^T into an ordinary
+  first-order wff over the extended language — modal operators become
+  quantification over accessible instants;
+* :func:`structure_of_universe` flattens a Kripke universe into a
+  single first-order structure over the extended language.
+
+The round-trip theorem — ``U, A ⊨ P`` iff the flattened structure
+satisfies the translation with the time variable valued at A — is
+property-tested in ``tests/temporal/test_timesort.py``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecificationError
+from repro.logic import formulas as fm
+from repro.logic.signature import Signature
+from repro.logic.sorts import Sort
+from repro.logic.structures import Structure
+from repro.logic.terms import Var
+from repro.temporal.formulas import Necessarily, Possibly
+from repro.temporal.kripke import KripkeUniverse
+
+__all__ = [
+    "TIME",
+    "timestamped_signature",
+    "timestamp_formula",
+    "structure_of_universe",
+]
+
+#: The distinguished time sort of the encoding.
+TIME = Sort("time")
+
+#: Name of the accessibility predicate over instants.
+_ACCESSIBLE = "accessible"
+
+
+def _timestamped_name(predicate_name: str) -> str:
+    return f"{predicate_name}_at"
+
+
+def timestamped_signature(signature: Signature) -> Signature:
+    """The extension of L for the time-sort encoding.
+
+    Every predicate ``p<s1,...,sn>`` gains a timestamped twin
+    ``p_at<s1,...,sn,time>``; the original predicates are kept (they
+    no longer occur in translated formulas).
+    """
+    extended = signature.copy()
+    extended.add_sort(TIME)
+    extended.add_predicate(_ACCESSIBLE, [TIME, TIME])
+    for predicate in signature.predicates:
+        extended.add_predicate(
+            _timestamped_name(predicate.name),
+            [*predicate.arg_sorts, TIME],
+            db=predicate.db,
+        )
+    return extended
+
+
+def timestamp_formula(
+    formula: fm.Formula,
+    signature: Signature,
+    time_var: Var | None = None,
+) -> fm.Formula:
+    """Translate a wff of L^T into first-order form over the extended
+    language; the result's extra free variable is ``time_var``
+    (default ``now:time``).
+
+    ``p(t...)`` becomes ``p_at(t..., now)``; ``<>P`` becomes
+    ``exists t'. accessible(now, t') & P[t']``; ``[]P`` dually.
+    """
+    extended = timestamped_signature(signature)
+    now = time_var or Var("now", TIME)
+    counter = [0]
+
+    def fresh() -> Var:
+        counter[0] += 1
+        return Var(f"t{counter[0]}", TIME)
+
+    accessible = extended.predicate(_ACCESSIBLE)
+
+    def walk(node: fm.Formula, instant: Var) -> fm.Formula:
+        if isinstance(node, (fm.TrueF, fm.FalseF)):
+            return node
+        if isinstance(node, fm.Atom):
+            twin = extended.predicate(
+                _timestamped_name(node.predicate.name)
+            )
+            return fm.Atom(twin, (*node.args, instant))
+        if isinstance(node, fm.Equals):
+            return node
+        if isinstance(node, fm.Not):
+            return fm.Not(walk(node.body, instant))
+        if isinstance(node, (fm.And, fm.Or, fm.Implies, fm.Iff)):
+            return type(node)(
+                walk(node.lhs, instant), walk(node.rhs, instant)
+            )
+        if isinstance(node, (fm.Forall, fm.Exists)):
+            if node.var.sort == TIME:
+                raise SpecificationError(
+                    "source formula already quantifies over time"
+                )
+            return type(node)(node.var, walk(node.body, instant))
+        if isinstance(node, Possibly):
+            successor = fresh()
+            return fm.Exists(
+                successor,
+                fm.And(
+                    fm.Atom(accessible, (instant, successor)),
+                    walk(node.body, successor),
+                ),
+            )
+        if isinstance(node, Necessarily):
+            successor = fresh()
+            return fm.Forall(
+                successor,
+                fm.Implies(
+                    fm.Atom(accessible, (instant, successor)),
+                    walk(node.body, successor),
+                ),
+            )
+        raise TypeError(f"cannot timestamp {node!r}")
+
+    return walk(formula, now)
+
+
+def structure_of_universe(
+    universe: KripkeUniverse, signature: Signature
+) -> tuple[Structure, dict[Structure, int]]:
+    """Flatten a Kripke universe into one structure over the extended
+    language.
+
+    The time carrier is ``0..len(universe)-1`` (indices into
+    ``universe.states``); ``accessible`` is R on indices; ``p_at`` is
+    the union over instants of each state's extension of ``p``.
+
+    Returns:
+        The flattened structure and the map from state to its instant.
+    """
+    extended = timestamped_signature(signature)
+    states = universe.states
+    instant_of = {state: index for index, state in enumerate(states)}
+    carriers: dict[Sort, list] = {
+        sort: list(values)
+        for sort, values in states[0].carriers.items()
+    }
+    carriers[TIME] = list(range(len(states)))
+
+    relations: dict[str, set[tuple]] = {
+        _ACCESSIBLE: {
+            (instant_of[a], instant_of[b])
+            for a, b in universe.accessibility
+        }
+    }
+    for predicate in signature.predicates:
+        rows: set[tuple] = set()
+        for state in states:
+            instant = instant_of[state]
+            for row in state.relation(predicate.name):
+                rows.add((*row, instant))
+        relations[_timestamped_name(predicate.name)] = rows
+
+    structure = Structure(extended, carriers, relations=relations)
+    return structure, instant_of

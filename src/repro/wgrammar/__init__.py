@@ -1,0 +1,32 @@
+"""Two-level (van Wijngaarden) grammars and the W-grammar for RPR
+schemas (paper, Section 5.1.1)."""
+
+from repro.wgrammar.grammar import (
+    Call,
+    Hyperrule,
+    LexicalMeta,
+    Mark,
+    MetaRef,
+    RuleMeta,
+    Terminal,
+    WGrammar,
+)
+from repro.wgrammar.rpr_grammar import (
+    check_schema_source,
+    rpr_wgrammar,
+    schema_marks,
+)
+
+__all__ = [
+    "WGrammar",
+    "Hyperrule",
+    "Mark",
+    "MetaRef",
+    "Terminal",
+    "Call",
+    "LexicalMeta",
+    "RuleMeta",
+    "rpr_wgrammar",
+    "schema_marks",
+    "check_schema_source",
+]

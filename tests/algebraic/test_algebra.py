@@ -1,0 +1,151 @@
+"""Tests for trace algebras, snapshots and state-space exploration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SpecificationError
+
+
+UPDATE_STRATEGY = st.lists(
+    st.one_of(
+        st.tuples(st.just("offer"), st.sampled_from(["c1", "c2"])),
+        st.tuples(st.just("cancel"), st.sampled_from(["c1", "c2"])),
+        st.tuples(
+            st.just("enroll"),
+            st.sampled_from(["s1", "s2"]),
+            st.sampled_from(["c1", "c2"]),
+        ),
+        st.tuples(
+            st.just("transfer"),
+            st.sampled_from(["s1", "s2"]),
+            st.sampled_from(["c1", "c2"]),
+            st.sampled_from(["c1", "c2"]),
+        ),
+    ),
+    max_size=6,
+)
+
+
+def build(algebra, steps):
+    term = algebra.initial_trace()
+    for name, *params in steps:
+        term = algebra.apply(name, *params, trace=term)
+    return term
+
+
+class TestTraceConstruction:
+    def test_initial_trace(self, courses_algebra):
+        assert str(courses_algebra.initial_trace()) == "initiate"
+
+    def test_apply_builds_nested_term(self, courses_algebra):
+        term = build(courses_algebra, [("offer", "c1")])
+        assert str(term) == "offer(c1, initiate)"
+
+    def test_apply_arity_checked(self, courses_algebra):
+        with pytest.raises(SpecificationError):
+            courses_algebra.apply(
+                "offer", "c1", "c2", trace=courses_algebra.initial_trace()
+            )
+
+    def test_query_arity_checked(self, courses_algebra):
+        with pytest.raises(SpecificationError):
+            courses_algebra.query(
+                "offered", trace=courses_algebra.initial_trace()
+            )
+
+    def test_update_instances_count(self, courses_algebra):
+        # offer: 2, cancel: 2, enroll: 4, transfer: 8.
+        assert len(list(courses_algebra.update_instances())) == 16
+
+    def test_traces_bfs_counts(self, courses_algebra):
+        assert len(list(courses_algebra.traces(0))) == 1
+        assert len(list(courses_algebra.traces(1))) == 17
+
+
+class TestObservations:
+    def test_observation_count(self, courses_algebra):
+        # offered: 2 instances, takes: 4.
+        assert len(courses_algebra.observations) == 6
+
+    def test_snapshot_values(self, courses_algebra):
+        term = build(
+            courses_algebra, [("offer", "c1"), ("enroll", "s1", "c1")]
+        )
+        snapshot = courses_algebra.snapshot(term)
+        assert snapshot.value("offered", ("c1",)) is True
+        assert snapshot.value("offered", ("c2",)) is False
+        assert snapshot.value("takes", ("s1", "c1")) is True
+
+    def test_snapshot_relation_view(self, courses_algebra):
+        term = build(courses_algebra, [("offer", "c1")])
+        snapshot = courses_algebra.snapshot(term)
+        assert snapshot.relation("offered") == frozenset({("c1",)})
+
+    def test_snapshot_missing_observation(self, courses_algebra):
+        snapshot = courses_algebra.snapshot(
+            courses_algebra.initial_trace()
+        )
+        with pytest.raises(KeyError):
+            snapshot.value("offered", ("c99",))
+
+    def test_observationally_equal_for_commuting_offers(
+        self, courses_algebra
+    ):
+        left = build(courses_algebra, [("offer", "c1"), ("offer", "c2")])
+        right = build(courses_algebra, [("offer", "c2"), ("offer", "c1")])
+        assert courses_algebra.observationally_equal(left, right)
+
+    def test_observationally_distinct(self, courses_algebra):
+        left = build(courses_algebra, [("offer", "c1")])
+        right = build(courses_algebra, [("offer", "c2")])
+        assert not courses_algebra.observationally_equal(left, right)
+
+    @settings(max_examples=30, deadline=None)
+    @given(UPDATE_STRATEGY)
+    def test_blocked_update_leaves_snapshot_unchanged(
+        self, courses_algebra, steps
+    ):
+        # cancel on a taken course is the paper's canonical blocked
+        # update: the state must be observationally unchanged.
+        term = build(courses_algebra, steps)
+        before = courses_algebra.snapshot(term)
+        if before.value("takes", ("s1", "c1")):
+            after = courses_algebra.snapshot(
+                courses_algebra.apply("cancel", "c1", trace=term)
+            )
+            assert before == after
+
+
+class TestExploration:
+    def test_reachable_state_count_matches_valid(self, courses_algebra):
+        # Hand count for 2 students x 2 courses: offered in {(), c1,
+        # c2, c1c2} with takes limited to offered courses:
+        # 1 + 4 + 4 + 16 = 25.
+        graph = courses_algebra.explore()
+        assert len(graph) == 25
+        assert not graph.truncated
+
+    def test_every_state_has_out_degree_16(self, courses_algebra):
+        graph = courses_algebra.explore()
+        assert len(graph.transitions) == 25 * 16
+
+    def test_witness_traces_denote_their_snapshot(self, courses_algebra):
+        graph = courses_algebra.explore()
+        for snapshot, witness in list(graph.states.items())[:5]:
+            assert courses_algebra.snapshot(witness) == snapshot
+
+    def test_truncation_flag(self, courses_algebra):
+        graph = courses_algebra.explore(max_states=5)
+        assert graph.truncated
+        assert len(graph) == 5
+
+    def test_max_depth_limits_exploration(self, courses_algebra):
+        graph = courses_algebra.explore(max_depth=1)
+        # initiate plus the distinct single-update states:
+        # offer c1, offer c2 (cancel/enroll/transfer are no-ops).
+        assert len(graph) == 3
+
+    def test_successors_iterator(self, courses_algebra):
+        graph = courses_algebra.explore(max_depth=1)
+        outgoing = list(graph.successors(graph.initial))
+        assert len(outgoing) == 16

@@ -1,0 +1,110 @@
+"""Tests for conditional equations."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.algebraic.equations import ConditionalEquation
+from repro.algebraic.signature import AlgebraicSignature
+from repro.logic import formulas as fm
+from repro.logic.sorts import STATE
+from repro.logic.terms import Var
+
+
+@pytest.fixture()
+def signature():
+    sig = AlgebraicSignature()
+    course = sig.add_parameter_sort("course")
+    sig.add_parameter_values(course, ["c1"])
+    sig.add_query("offered", [course])
+    sig.add_initial()
+    sig.add_update("offer", [course])
+    return sig
+
+
+def _parts(signature):
+    course = signature.logic.sort("course")
+    c = Var("c", course)
+    u = Var("U", STATE)
+    lhs = signature.apply_query(
+        "offered", c, signature.apply_update("offer", c, u)
+    )
+    return course, c, u, lhs
+
+
+class TestValidation:
+    def test_sides_must_share_sort(self, signature):
+        course, c, u, lhs = _parts(signature)
+        with pytest.raises(SpecificationError):
+            ConditionalEquation(lhs, u)
+
+    def test_rhs_vars_must_come_from_lhs(self, signature):
+        course, c, u, lhs = _parts(signature)
+        stray = Var("z", course)
+        with pytest.raises(SpecificationError):
+            ConditionalEquation(
+                lhs, signature.apply_query("offered", stray, u)
+            )
+
+    def test_condition_vars_must_come_from_lhs(self, signature):
+        course, c, u, lhs = _parts(signature)
+        stray = Var("z", course)
+        with pytest.raises(SpecificationError):
+            ConditionalEquation(
+                lhs,
+                signature.true(),
+                fm.Equals(stray, c),
+            )
+
+    def test_condition_cannot_quantify_states(self, signature):
+        course, c, u, lhs = _parts(signature)
+        condition = fm.Exists(
+            Var("V", STATE),
+            fm.Equals(signature.true(), signature.true()),
+        )
+        with pytest.raises(SpecificationError):
+            ConditionalEquation(lhs, signature.true(), condition)
+
+    def test_condition_atoms_must_be_equalities(self, signature):
+        course, c, u, lhs = _parts(signature)
+        from repro.logic.signature import PredicateSymbol
+
+        atom = fm.Atom(PredicateSymbol("p", (course,)), (c,))
+        with pytest.raises(SpecificationError):
+            ConditionalEquation(lhs, signature.true(), atom)
+
+
+class TestClassification:
+    def test_q_equation(self, signature):
+        course, c, u, lhs = _parts(signature)
+        equation = ConditionalEquation(lhs, signature.true())
+        assert equation.is_q_equation
+        assert not equation.is_u_equation
+
+    def test_u_equation(self, signature):
+        course, c, u, _ = _parts(signature)
+        lhs = signature.apply_update("offer", c, u)
+        equation = ConditionalEquation(lhs, u)
+        assert equation.is_u_equation
+
+    def test_head_query_and_constructor(self, signature):
+        course, c, u, lhs = _parts(signature)
+        equation = ConditionalEquation(lhs, signature.true())
+        assert equation.head_query == "offered"
+        assert equation.constructor == "offer"
+
+    def test_constructor_of_initiate(self, signature):
+        course, c, u, _ = _parts(signature)
+        lhs = signature.apply_query(
+            "offered", c, signature.initial_term()
+        )
+        equation = ConditionalEquation(lhs, signature.false())
+        assert equation.constructor == "initiate"
+
+    def test_str_with_and_without_condition(self, signature):
+        course, c, u, lhs = _parts(signature)
+        bare = ConditionalEquation(lhs, signature.true(), None, "eq3")
+        assert str(bare).startswith("[eq3]")
+        guarded = ConditionalEquation(
+            lhs, signature.true(), fm.Not(fm.Equals(c, c))
+        )
+        assert "=>" in str(guarded)

@@ -1,0 +1,174 @@
+"""Tests for structural induction over abstract states — the paper's
+Section 4.4b proof rule, mechanized."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.algebraic.algebra import Snapshot, TraceAlgebra
+from repro.algebraic.induction import (
+    AbstractState,
+    abstract_successor,
+    all_snapshots,
+    make_abstract_engine,
+    prove_invariant,
+)
+from repro.applications.bank import bank_algebraic
+from repro.applications.courses import courses_algebraic
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return courses_algebraic()
+
+
+def _static_ok(snapshot: Snapshot) -> bool:
+    offered = snapshot.relation("offered")
+    return all(
+        (course,) in offered
+        for _, course in snapshot.relation("takes")
+    )
+
+
+class TestAbstractStates:
+    def test_abstract_space_size(self, spec):
+        # 6 Boolean observations -> 2^6 abstract snapshots.
+        assert sum(1 for _ in all_snapshots(spec)) == 64
+
+    def test_abstract_space_with_valued_queries(self):
+        # bank: 2 Boolean (open) x 2 money-valued (balance, |money|=4).
+        assert sum(1 for _ in all_snapshots(bank_algebraic())) == 64
+
+    def test_oracle_engine_answers_from_snapshot(self, spec):
+        algebra = TraceAlgebra(spec)
+        trace = algebra.apply(
+            "offer", "c1", trace=algebra.initial_trace()
+        )
+        snapshot = algebra.snapshot(trace)
+        engine = make_abstract_engine(spec)
+        signature = spec.signature
+        course = signature.logic.sort("course")
+        term = signature.apply_query(
+            "offered",
+            signature.value(course, "c1"),
+            AbstractState(snapshot),
+        )
+        assert engine.evaluate(term) is True
+
+
+class TestAbstractSuccessor:
+    def test_matches_concrete_successor_on_reachable_states(self, spec):
+        algebra = TraceAlgebra(spec)
+        graph = algebra.explore()
+        for snapshot, witness in list(graph.states.items())[:8]:
+            for update, params in list(algebra.update_instances())[:6]:
+                abstract = abstract_successor(
+                    spec, snapshot, update, params
+                )
+                concrete = algebra.snapshot(
+                    algebra.apply(update, *params, trace=witness)
+                )
+                assert abstract == concrete
+
+    def test_works_on_unreachable_states(self, spec):
+        # takes(s1,c1) without offered(c1): unreachable, but the
+        # abstract successor is still defined by the equations.
+        base = {key: False for key, _ in next(
+            iter(all_snapshots(spec))
+        ).entries}
+        base[("takes", ("s1", "c1"))] = True
+        snapshot = Snapshot(tuple(sorted(base.items())))
+        successor = abstract_successor(spec, snapshot, "offer", ("c1",))
+        assert successor.value("offered", ("c1",)) is True
+        assert successor.value("takes", ("s1", "c1")) is True
+
+
+class TestProveInvariant:
+    def test_static_constraint_proved(self, spec):
+        report = prove_invariant(spec, _static_ok)
+        assert report.ok
+        assert report.base_ok and report.step_ok
+        # The step quantified over exactly the 25 V-states.
+        assert report.states_examined == 25
+        assert "PROVED" in str(report)
+
+    def test_false_invariant_fails_with_witnesses(self, spec):
+        report = prove_invariant(
+            spec,
+            lambda s: ("c1",) not in s.relation("offered"),
+        )
+        assert not report.ok
+        assert report.base_ok  # initially nothing is offered
+        assert report.counterexamples
+        snapshot, update, params, successor = report.counterexamples[0]
+        assert update == "offer" and params == ("c1",)
+        assert "FAILED" in str(report)
+
+    def test_base_violation_detected(self, spec):
+        report = prove_invariant(
+            spec, lambda s: bool(s.relation("offered"))
+        )
+        assert not report.base_ok
+        assert not report.ok
+
+    def test_state_bound_enforced(self, spec):
+        with pytest.raises(SpecificationError):
+            prove_invariant(spec, _static_ok, max_abstract_states=3)
+
+
+class TestProveStaticConsistency:
+    def test_courses(self):
+        from repro.applications.courses import (
+            courses_information,
+            courses_information_carriers,
+        )
+        from repro.refinement.first_second import (
+            prove_static_consistency,
+        )
+
+        report = prove_static_consistency(
+            courses_information(),
+            courses_information_carriers(),
+            courses_algebraic(),
+        )
+        assert report.ok
+        assert report.states_examined == 25
+
+    def test_faulty_cancel_caught_inductively(self):
+        from repro.applications.courses import (
+            courses_descriptions,
+            courses_information,
+            courses_information_carriers,
+            courses_signature,
+        )
+        from repro.algebraic.description import (
+            StructuredDescription,
+            initial_equations,
+            synthesize_equations,
+        )
+        from repro.algebraic.spec import AlgebraicSpec
+        from repro.refinement.first_second import (
+            prove_static_consistency,
+        )
+
+        signature = courses_signature()
+        descriptions = []
+        for description in courses_descriptions(signature):
+            if description.update == "cancel":
+                description = StructuredDescription(
+                    update="cancel",
+                    params=description.params,
+                    precondition=None,
+                    effects=description.effects,
+                )
+            descriptions.append(description)
+        equations = initial_equations(signature) + synthesize_equations(
+            signature, descriptions
+        )
+        spec = AlgebraicSpec(signature, tuple(equations))
+        report = prove_static_consistency(
+            courses_information(),
+            courses_information_carriers(),
+            spec,
+        )
+        assert not report.ok
+        assert report.counterexamples

@@ -1,0 +1,307 @@
+"""Tests for the conditional rewriting engine, checked against the
+paper's worked examples in Section 4.2."""
+
+import pytest
+
+from repro.errors import (
+    EvaluationError,
+    IncompletenessError,
+    NonTerminationError,
+)
+from repro.algebraic.equations import ConditionalEquation
+from repro.algebraic.rewriting import RewriteEngine
+from repro.algebraic.signature import AlgebraicSignature
+from repro.algebraic.spec import AlgebraicSpec
+from repro.applications.courses import courses_algebraic
+from repro.logic import formulas as fm
+from repro.logic.sorts import STATE
+from repro.logic.terms import Var
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return RewriteEngine(courses_algebraic())
+
+
+def trace(engine, *ops):
+    """Build a trace from ("update", params...) steps."""
+    signature = engine.signature
+    term = signature.initial_term()
+    for name, *params in ops:
+        symbol = signature.update(name)
+        args = [
+            signature.value(sort, value)
+            for sort, value in zip(symbol.arg_sorts[:-1], params)
+        ]
+        from repro.logic.terms import App
+
+        term = App(symbol, (*args, term))
+    return term
+
+
+def offered(engine, course, state):
+    signature = engine.signature
+    c = signature.value(signature.logic.sort("course"), course)
+    return engine.evaluate(signature.apply_query("offered", c, state))
+
+
+def takes(engine, student, course, state):
+    signature = engine.signature
+    s = signature.value(signature.logic.sort("student"), student)
+    c = signature.value(signature.logic.sort("course"), course)
+    return engine.evaluate(signature.apply_query("takes", s, c, state))
+
+
+class TestPaperEquations:
+    """Each test exercises one of the fifteen equations of Section 4.2."""
+
+    def test_eq1_nothing_offered_initially(self, engine):
+        assert offered(engine, "c1", trace(engine)) is False
+
+    def test_eq2_nothing_taken_initially(self, engine):
+        assert takes(engine, "s1", "c1", trace(engine)) is False
+
+    def test_eq3_offer_offers(self, engine):
+        state = trace(engine, ("offer", "c1"))
+        assert offered(engine, "c1", state) is True
+
+    def test_eq4_offer_leaves_other_courses(self, engine):
+        state = trace(engine, ("offer", "c1"))
+        assert offered(engine, "c2", state) is False
+
+    def test_eq5_offer_leaves_enrollment(self, engine):
+        state = trace(engine, ("offer", "c1"))
+        assert takes(engine, "s1", "c1", state) is False
+
+    def test_eq6_cancel_blocked_while_taken(self, engine):
+        state = trace(
+            engine, ("offer", "c1"), ("enroll", "s1", "c1"), ("cancel", "c1")
+        )
+        assert offered(engine, "c1", state) is True
+
+    def test_eq6_cancel_succeeds_when_free(self, engine):
+        state = trace(engine, ("offer", "c1"), ("cancel", "c1"))
+        assert offered(engine, "c1", state) is False
+
+    def test_eq7_cancel_leaves_other_courses(self, engine):
+        state = trace(
+            engine, ("offer", "c1"), ("offer", "c2"), ("cancel", "c2")
+        )
+        assert offered(engine, "c1", state) is True
+
+    def test_eq8_cancel_leaves_enrollment(self, engine):
+        state = trace(
+            engine, ("offer", "c1"), ("enroll", "s1", "c1"), ("cancel", "c2")
+        )
+        assert takes(engine, "s1", "c1", state) is True
+
+    def test_eq9_enroll_leaves_offerings(self, engine):
+        state = trace(engine, ("offer", "c1"), ("enroll", "s1", "c1"))
+        assert offered(engine, "c1", state) is True
+
+    def test_eq10_enroll_takes_iff_offered(self, engine):
+        enrolled = trace(engine, ("offer", "c1"), ("enroll", "s1", "c1"))
+        assert takes(engine, "s1", "c1", enrolled) is True
+        blocked = trace(engine, ("enroll", "s1", "c1"))
+        assert takes(engine, "s1", "c1", blocked) is False
+
+    def test_eq11_enroll_leaves_other_enrollments(self, engine):
+        state = trace(engine, ("offer", "c1"), ("enroll", "s1", "c1"))
+        assert takes(engine, "s2", "c1", state) is False
+
+    def test_eq12_transfer_leaves_offerings(self, engine):
+        state = trace(
+            engine,
+            ("offer", "c1"),
+            ("offer", "c2"),
+            ("enroll", "s1", "c1"),
+            ("transfer", "s1", "c1", "c2"),
+        )
+        assert offered(engine, "c1", state) is True
+        assert offered(engine, "c2", state) is True
+
+    def test_eq13_eq14_transfer_moves_enrollment(self, engine):
+        state = trace(
+            engine,
+            ("offer", "c1"),
+            ("offer", "c2"),
+            ("enroll", "s1", "c1"),
+            ("transfer", "s1", "c1", "c2"),
+        )
+        assert takes(engine, "s1", "c1", state) is False
+        assert takes(engine, "s1", "c2", state) is True
+
+    def test_transfer_blocked_to_unoffered_course(self, engine):
+        state = trace(
+            engine,
+            ("offer", "c1"),
+            ("enroll", "s1", "c1"),
+            ("transfer", "s1", "c1", "c2"),
+        )
+        assert takes(engine, "s1", "c1", state) is True
+        assert takes(engine, "s1", "c2", state) is False
+
+    def test_transfer_to_same_course_is_noop(self, engine):
+        state = trace(
+            engine,
+            ("offer", "c1"),
+            ("enroll", "s1", "c1"),
+            ("transfer", "s1", "c1", "c1"),
+        )
+        assert takes(engine, "s1", "c1", state) is True
+
+    def test_eq15_transfer_leaves_other_students(self, engine):
+        state = trace(
+            engine,
+            ("offer", "c1"),
+            ("offer", "c2"),
+            ("enroll", "s1", "c1"),
+            ("enroll", "s2", "c1"),
+            ("transfer", "s1", "c1", "c2"),
+        )
+        assert takes(engine, "s2", "c1", state) is True
+
+
+class TestEngineBasics:
+    def test_state_terms_not_evaluable(self, engine):
+        with pytest.raises(EvaluationError):
+            engine.evaluate(trace(engine, ("offer", "c1")))
+
+    def test_non_ground_rejected(self, engine):
+        signature = engine.signature
+        c = Var("c", signature.logic.sort("course"))
+        with pytest.raises(EvaluationError):
+            engine.evaluate(
+                signature.apply_query("offered", c, trace(engine))
+            )
+
+    def test_connectives(self, engine):
+        signature = engine.signature
+        term = signature.and_(
+            signature.true(), signature.not_(signature.false())
+        )
+        assert engine.evaluate(term) is True
+
+    def test_equality_test(self, engine):
+        signature = engine.signature
+        course = signature.logic.sort("course")
+        same = signature.eq(
+            signature.value(course, "c1"), signature.value(course, "c1")
+        )
+        different = signature.eq(
+            signature.value(course, "c1"), signature.value(course, "c2")
+        )
+        assert engine.evaluate(same) is True
+        assert engine.evaluate(different) is False
+
+    def test_holds_quantified_condition(self, engine):
+        signature = engine.signature
+        student = signature.logic.sort("student")
+        s = Var("s", student)
+        state = trace(
+            engine, ("offer", "c1"), ("enroll", "s1", "c1")
+        )
+        c1 = signature.value(signature.logic.sort("course"), "c1")
+        condition = fm.Exists(
+            s,
+            fm.Equals(
+                signature.apply_query("takes", s, c1, state),
+                signature.true(),
+            ),
+        )
+        assert engine.holds(condition)
+        assert engine.holds(fm.Not(condition)) is False
+
+    def test_memoization_reuses_results(self, engine):
+        fresh = RewriteEngine(courses_algebraic())
+        state = trace(fresh, ("offer", "c1"), ("enroll", "s1", "c1"))
+        offered(fresh, "c1", state)
+        size_after_first = fresh.cache_size
+        offered(fresh, "c1", state)
+        assert fresh.cache_size == size_after_first
+        fresh.clear_cache()
+        assert fresh.cache_size == 0
+
+    def test_memoization_correct_for_false_values(self):
+        # Regression guard: False must be cached and returned, not
+        # confused with a cache miss.
+        fresh = RewriteEngine(courses_algebraic())
+        state = trace(fresh)
+        assert offered(fresh, "c1", state) is False
+        assert offered(fresh, "c1", state) is False
+
+
+class TestFailureModes:
+    def _tiny_signature(self):
+        signature = AlgebraicSignature()
+        course = signature.add_parameter_sort("course")
+        signature.add_parameter_values(course, ["c1"])
+        signature.add_query("q", [course])
+        signature.add_query("r", [course])
+        signature.add_initial()
+        signature.add_update("touch", [course])
+        return signature, course
+
+    def test_incomplete_spec_raises(self):
+        signature, course = self._tiny_signature()
+        c = Var("c", course)
+        u = Var("U", STATE)
+        # Only q on initiate is defined; q on touch is missing.
+        equations = (
+            ConditionalEquation(
+                signature.apply_query("q", c, signature.initial_term()),
+                signature.false(),
+            ),
+        )
+        spec = AlgebraicSpec(signature, equations)
+        engine = RewriteEngine(spec)
+        term = signature.apply_query(
+            "q",
+            signature.value(course, "c1"),
+            signature.apply_update(
+                "touch",
+                signature.value(course, "c1"),
+                signature.initial_term(),
+            ),
+        )
+        with pytest.raises(IncompletenessError):
+            engine.evaluate(term)
+
+    def test_circular_spec_raises_nontermination(self):
+        signature, course = self._tiny_signature()
+        c = Var("c", course)
+        u = Var("U", STATE)
+        touched = signature.apply_update("touch", c, u)
+        # q on touch is defined in terms of r on the SAME (unreduced)
+        # state and vice versa: the circularity of Section 4.2.
+        equations = (
+            ConditionalEquation(
+                signature.apply_query("q", c, signature.initial_term()),
+                signature.false(),
+            ),
+            ConditionalEquation(
+                signature.apply_query("r", c, signature.initial_term()),
+                signature.false(),
+            ),
+            ConditionalEquation(
+                signature.apply_query("q", c, touched),
+                signature.apply_query("r", c, touched),
+            ),
+            ConditionalEquation(
+                signature.apply_query("r", c, touched),
+                signature.apply_query("q", c, touched),
+            ),
+        )
+        spec = AlgebraicSpec(signature, equations)
+        engine = RewriteEngine(spec, fuel=100)
+        term = signature.apply_query(
+            "q",
+            signature.value(course, "c1"),
+            signature.apply_update(
+                "touch",
+                signature.value(course, "c1"),
+                signature.initial_term(),
+            ),
+        )
+        with pytest.raises(NonTerminationError):
+            engine.evaluate(term)

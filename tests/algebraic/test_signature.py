@@ -1,0 +1,122 @@
+"""Tests for AlgebraicSignature."""
+
+import pytest
+
+from repro.errors import SignatureError, SpecificationError
+from repro.algebraic.signature import AlgebraicSignature
+from repro.logic.sorts import BOOLEAN, STATE, Sort
+
+
+@pytest.fixture()
+def signature():
+    sig = AlgebraicSignature("test")
+    course = sig.add_parameter_sort("course")
+    sig.add_parameter_values(course, ["c1", "c2"])
+    sig.add_query("offered", [course])
+    sig.add_initial()
+    sig.add_update("offer", [course])
+    return sig
+
+
+class TestDeclarations:
+    def test_boolean_preequipped(self, signature):
+        assert signature.logic.has_function("True")
+        assert signature.logic.has_function("and")
+        assert signature.logic.has_function("iff")
+
+    def test_parameter_sort_gets_equality_test(self, signature):
+        eq = signature.logic.function("eq_course")
+        assert eq.result_sort == BOOLEAN
+        assert signature.is_equality_test(eq)
+
+    def test_reserved_sorts_rejected(self):
+        sig = AlgebraicSignature()
+        with pytest.raises(SignatureError):
+            sig.add_parameter_sort("Boolean")
+        with pytest.raises(SignatureError):
+            sig.add_parameter_sort("state")
+
+    def test_query_appends_state_sort(self, signature):
+        query = signature.query("offered")
+        assert query.arg_sorts[-1] == STATE
+        assert query.result_sort == BOOLEAN
+
+    def test_query_cannot_return_state(self, signature):
+        with pytest.raises(SignatureError):
+            signature.add_query("bad", [], result_sort=STATE)
+
+    def test_update_returns_state(self, signature):
+        update = signature.update("offer")
+        assert update.result_sort == STATE
+        assert update.arg_sorts[-1] == STATE
+
+    def test_initial_is_state_constant(self, signature):
+        initial = signature.initial()
+        assert initial.is_constant
+        assert initial.result_sort == STATE
+
+    def test_domain_records_values(self, signature):
+        course = signature.logic.sort("course")
+        assert signature.domain(course) == ("c1", "c2")
+
+    def test_domain_of_non_parameter_sort_raises(self, signature):
+        with pytest.raises(SignatureError):
+            signature.domain(Sort("nope"))
+
+    def test_parameter_function_interpretation(self):
+        sig = AlgebraicSignature()
+        money = sig.add_parameter_sort("money")
+        sig.add_parameter_values(money, ["m0", "m1"])
+        sig.add_parameter_function(
+            "inc", [money], money, lambda m: "m1"
+        )
+        assert sig.interpretation("inc")("m0") == "m1"
+
+    def test_parameter_function_cannot_touch_state(self):
+        sig = AlgebraicSignature()
+        with pytest.raises(SignatureError):
+            sig.add_parameter_function(
+                "bad", [STATE], BOOLEAN, lambda s: True
+            )
+
+    def test_value_of_undeclared_rejected(self, signature):
+        course = signature.logic.sort("course")
+        with pytest.raises(SignatureError):
+            signature.value(course, "c99")
+
+
+class TestTermBuilders:
+    def test_boolean_constants(self, signature):
+        assert str(signature.true()) == "True"
+        assert str(signature.boolean(False)) == "False"
+
+    def test_connective_builders(self, signature):
+        term = signature.implies_(
+            signature.not_(signature.true()),
+            signature.or_(signature.false(), signature.true()),
+        )
+        assert term.sort == BOOLEAN
+
+    def test_eq_builder_checks_sorts(self, signature):
+        course = signature.logic.sort("course")
+        c1 = signature.value(course, "c1")
+        assert signature.eq(c1, c1).symbol.name == "eq_course"
+        student_like = signature.state_var()
+        with pytest.raises(SpecificationError):
+            signature.eq(c1, student_like)
+
+    def test_apply_query_and_update(self, signature):
+        course = signature.logic.sort("course")
+        c1 = signature.value(course, "c1")
+        trace = signature.apply_update(
+            "offer", c1, signature.initial_term()
+        )
+        query = signature.apply_query("offered", c1, trace)
+        assert query.sort == BOOLEAN
+        assert trace.sort == STATE
+
+    def test_classifiers(self, signature):
+        assert signature.is_query(signature.query("offered"))
+        assert signature.is_update(signature.update("offer"))
+        assert signature.is_initial(signature.initial())
+        assert not signature.is_query(signature.update("offer"))

@@ -1,0 +1,224 @@
+"""Tests for U-equations (state-sorted axioms, Section 4.1) used as
+trace-normalization rules."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NonTerminationError, SpecificationError
+from repro.algebraic.algebra import TraceAlgebra
+from repro.algebraic.equations import ConditionalEquation
+from repro.algebraic.rewriting import RewriteEngine
+from repro.algebraic.spec import AlgebraicSpec
+from repro.applications.courses import (
+    courses_equations,
+    courses_signature,
+)
+from repro.logic import formulas as fm
+from repro.logic.sorts import STATE
+from repro.logic.terms import Var
+
+
+def spec_with_u_equations() -> AlgebraicSpec:
+    """The registrar plus two sound U-equations:
+
+    * idempotence:  offer(c, offer(c, U)) = offer(c, U)
+    * cancellation: cancel(c, offer(c, U)) = U, provided c was not
+      offered in U and nobody takes it there.
+    """
+    signature = courses_signature()
+    course = signature.logic.sort("course")
+    student = signature.logic.sort("student")
+    c = Var("c", course)
+    s = Var("s", student)
+    u = Var("U", STATE)
+    offer = lambda ct, st_: signature.apply_update("offer", ct, st_)
+    cancel = lambda ct, st_: signature.apply_update("cancel", ct, st_)
+    idempotence = ConditionalEquation(
+        offer(c, offer(c, u)), offer(c, u), None, "u-idem"
+    )
+    cancellation = ConditionalEquation(
+        cancel(c, offer(c, u)),
+        u,
+        fm.And(
+            fm.Equals(
+                signature.apply_query("offered", c, u),
+                signature.false(),
+            ),
+            fm.Not(
+                fm.Exists(
+                    s,
+                    fm.Equals(
+                        signature.apply_query("takes", s, c, u),
+                        signature.true(),
+                    ),
+                )
+            ),
+        ),
+        "u-cancel-offer",
+    )
+    return AlgebraicSpec(
+        signature,
+        tuple(courses_equations(signature)) + (idempotence, cancellation),
+        name="courses + U-equations",
+    )
+
+
+class TestIndexingAndValidation:
+    def test_u_equations_indexed_by_constructor(self):
+        spec = spec_with_u_equations()
+        assert len(spec.u_equations) == 2
+        assert len(spec.u_equations_for("offer")) == 1
+        assert len(spec.u_equations_for("cancel")) == 1
+        assert spec.u_equations_for("enroll") == ()
+
+    def test_u_equation_lhs_must_be_update_application(self):
+        signature = courses_signature()
+        u = Var("U", STATE)
+        bad = ConditionalEquation(u, u, None)  # lhs a bare variable
+        with pytest.raises(SpecificationError):
+            AlgebraicSpec(signature, (bad,))
+
+
+class TestNormalization:
+    def test_idempotence_collapses(self):
+        spec = spec_with_u_equations()
+        engine = RewriteEngine(spec)
+        algebra = TraceAlgebra(spec)
+        t = algebra.apply(
+            "offer",
+            "c1",
+            trace=algebra.apply(
+                "offer", "c1", trace=algebra.initial_trace()
+            ),
+        )
+        normalized = engine.normalize_state(t)
+        assert str(normalized) == "offer(c1, initiate)"
+
+    def test_conditional_cancellation(self):
+        spec = spec_with_u_equations()
+        engine = RewriteEngine(spec)
+        algebra = TraceAlgebra(spec)
+        t0 = algebra.initial_trace()
+        round_trip = algebra.apply(
+            "cancel", "c1", trace=algebra.apply("offer", "c1", trace=t0)
+        )
+        assert engine.normalize_state(round_trip) == t0
+
+    def test_condition_blocks_unsound_collapse(self):
+        spec = spec_with_u_equations()
+        engine = RewriteEngine(spec)
+        algebra = TraceAlgebra(spec)
+        # c1 offered and taken underneath: cancel(c1, offer(c1, U))
+        # is NOT observationally U, and the guard must block the rule.
+        base = algebra.apply(
+            "enroll",
+            "s1",
+            "c1",
+            trace=algebra.apply(
+                "offer", "c1", trace=algebra.initial_trace()
+            ),
+        )
+        t = algebra.apply(
+            "cancel", "c1", trace=algebra.apply("offer", "c1", trace=base)
+        )
+        normalized = engine.normalize_state(t)
+        assert str(normalized) == (
+            "cancel(c1, offer(c1, enroll(s1, c1, offer(c1, initiate))))"
+        )
+
+    def test_inner_redexes_normalized(self):
+        spec = spec_with_u_equations()
+        engine = RewriteEngine(spec)
+        algebra = TraceAlgebra(spec)
+        t = algebra.initial_trace()
+        t = algebra.apply("offer", "c1", trace=t)
+        t = algebra.apply("offer", "c1", trace=t)
+        t = algebra.apply("enroll", "s1", "c1", trace=t)
+        normalized = engine.normalize_state(t)
+        assert str(normalized) == "enroll(s1, c1, offer(c1, initiate))"
+
+    def test_specs_without_u_equations_are_untouched(self):
+        signature = courses_signature()
+        spec = AlgebraicSpec(
+            signature, tuple(courses_equations(signature))
+        )
+        engine = RewriteEngine(spec)
+        algebra = TraceAlgebra(spec)
+        t = algebra.apply(
+            "offer",
+            "c1",
+            trace=algebra.apply(
+                "offer", "c1", trace=algebra.initial_trace()
+            ),
+        )
+        assert engine.normalize_state(t) is t
+
+    def test_nonterminating_rules_detected(self):
+        signature = courses_signature()
+        course = signature.logic.sort("course")
+        c = Var("c", course)
+        c2 = Var("c2", course)
+        u = Var("U", STATE)
+        offer = lambda ct, st_: signature.apply_update("offer", ct, st_)
+        swap = ConditionalEquation(
+            offer(c, offer(c2, u)), offer(c2, offer(c, u)), None, "u-swap"
+        )
+        spec = AlgebraicSpec(
+            signature,
+            tuple(courses_equations(signature)) + (swap,),
+        )
+        engine = RewriteEngine(spec, fuel=200)
+        algebra = TraceAlgebra(spec)
+        t = algebra.apply(
+            "offer",
+            "c1",
+            trace=algebra.apply(
+                "offer", "c2", trace=algebra.initial_trace()
+            ),
+        )
+        with pytest.raises(NonTerminationError):
+            engine.normalize_state(t)
+
+
+WORKLOADS = st.lists(
+    st.one_of(
+        st.tuples(st.just("offer"), st.sampled_from(["c1", "c2"])),
+        st.tuples(st.just("cancel"), st.sampled_from(["c1", "c2"])),
+        st.tuples(
+            st.just("enroll"),
+            st.sampled_from(["s1", "s2"]),
+            st.sampled_from(["c1", "c2"]),
+        ),
+    ),
+    max_size=7,
+)
+
+
+class TestSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(WORKLOADS)
+    def test_normalization_preserves_observations(self, steps):
+        # The two U-equations are sound: the normalized trace is
+        # observationally equal to the original on every workload.
+        spec = spec_with_u_equations()
+        plain = TraceAlgebra(spec)
+        normalizing = TraceAlgebra(spec, normalize=True)
+        t_plain = plain.initial_trace()
+        t_norm = normalizing.initial_trace()
+        for name, *params in steps:
+            t_plain = plain.apply(name, *params, trace=t_plain)
+            t_norm = normalizing.apply(name, *params, trace=t_norm)
+        assert plain.snapshot(t_plain) == plain.snapshot(t_norm)
+
+    @settings(max_examples=30, deadline=None)
+    @given(WORKLOADS)
+    def test_normalized_traces_never_longer(self, steps):
+        spec = spec_with_u_equations()
+        plain = TraceAlgebra(spec)
+        normalizing = TraceAlgebra(spec, normalize=True)
+        t_plain = plain.initial_trace()
+        t_norm = normalizing.initial_trace()
+        for name, *params in steps:
+            t_plain = plain.apply(name, *params, trace=t_plain)
+            t_norm = normalizing.apply(name, *params, trace=t_norm)
+        assert t_norm.size() <= t_plain.size()

@@ -1,0 +1,157 @@
+"""Tests for the bank accounts application: non-Boolean queries,
+interpreted arithmetic, and the explicit I and K maps."""
+
+import pytest
+
+from repro.algebraic.algebra import TraceAlgebra
+from repro.applications.bank import (
+    bank_algebraic,
+    bank_framework,
+    bank_information,
+    bank_interpretation,
+    bank_schema_source,
+)
+from repro.rpr.interpreter import Database
+from repro.rpr.parser import parse_schema
+
+
+@pytest.fixture(scope="module")
+def algebra():
+    return TraceAlgebra(bank_algebraic())
+
+
+def session(algebra, *steps):
+    t = algebra.initial_trace()
+    for name, *params in steps:
+        t = algebra.apply(name, *params, trace=t)
+    return t
+
+
+class TestBalances:
+    def test_initial_balance_zero(self, algebra):
+        assert (
+            algebra.query("balance", "a1", trace=algebra.initial_trace())
+            == "m0"
+        )
+
+    def test_deposit_increments(self, algebra):
+        t = session(
+            algebra, ("open_account", "a1"), ("deposit", "a1"),
+            ("deposit", "a1"),
+        )
+        assert algebra.query("balance", "a1", trace=t) == "m2"
+
+    def test_withdraw_decrements(self, algebra):
+        t = session(
+            algebra,
+            ("open_account", "a1"),
+            ("deposit", "a1"),
+            ("withdraw", "a1"),
+        )
+        assert algebra.query("balance", "a1", trace=t) == "m0"
+
+    def test_deposit_needs_open_account(self, algebra):
+        t = session(algebra, ("deposit", "a1"))
+        assert algebra.query("balance", "a1", trace=t) == "m0"
+        assert algebra.query("open", "a1", trace=t) is False
+
+    def test_overdraft_blocked(self, algebra):
+        t = session(algebra, ("open_account", "a1"), ("withdraw", "a1"))
+        assert algebra.query("balance", "a1", trace=t) == "m0"
+
+    def test_overflow_blocked_at_top(self, algebra):
+        t = session(
+            algebra,
+            ("open_account", "a1"),
+            *[("deposit", "a1")] * 5,
+        )
+        assert algebra.query("balance", "a1", trace=t) == "m3"
+
+    def test_close_needs_zero_balance(self, algebra):
+        t = session(
+            algebra,
+            ("open_account", "a1"),
+            ("deposit", "a1"),
+            ("close_account", "a1"),
+        )
+        assert algebra.query("open", "a1", trace=t) is True
+        t = algebra.apply("withdraw", "a1", trace=t)
+        t = algebra.apply("close_account", "a1", trace=t)
+        assert algebra.query("open", "a1", trace=t) is False
+
+
+class TestStateSpace:
+    def test_reachable_count(self, algebra):
+        # Per account: closed(m0) or open x {m0..m3} = 5 states.
+        assert len(algebra.explore()) == 25
+
+
+class TestSchemaExecution:
+    def test_successor_table_arithmetic(self):
+        schema = parse_schema(bank_schema_source())
+        db = Database(
+            schema,
+            {"Accounts": ["a1", "a2"], "Money": ["m0", "m1", "m2", "m3"]},
+        )
+        db.call("initiate")
+        assert db.rows("NEXT") == {
+            ("m0", "m1"),
+            ("m1", "m2"),
+            ("m2", "m3"),
+        }
+        db.call("open_account", "a1")
+        db.call("deposit", "a1")
+        db.call("deposit", "a1")
+        assert db.holds_fact("BALANCE", "a1", "m2")
+        assert not db.holds_fact("BALANCE", "a1", "m0")
+        # Balance stays functional: exactly one row per account.
+        rows_a1 = [r for r in db.rows("BALANCE") if r[0] == "a1"]
+        assert len(rows_a1) == 1
+
+    def test_withdraw_via_inverse_successor(self):
+        schema = parse_schema(bank_schema_source())
+        db = Database(
+            schema,
+            {"Accounts": ["a1"], "Money": ["m0", "m1", "m2", "m3"]},
+        )
+        db.call("initiate")
+        db.call("open_account", "a1")
+        db.call("deposit", "a1")
+        db.call("withdraw", "a1")
+        assert db.holds_fact("BALANCE", "a1", "m0")
+
+
+class TestInformationLevel:
+    def test_closed_account_with_money_is_inconsistent(self):
+        info = bank_information()
+        from repro.applications.bank import bank_carriers
+        from repro.information.consistency import is_consistent_state
+        from repro.logic.structures import Structure
+
+        bad = Structure(
+            info.signature,
+            bank_carriers(),
+            relations={
+                "open": set(),
+                "balance": {("a1", "m2"), ("a2", "m0")},
+            },
+        )
+        assert not is_consistent_state(info, bad)
+
+    def test_interpretation_realizes_balance_as_relation(self):
+        spec = bank_algebraic()
+        algebra = TraceAlgebra(spec)
+        interpretation = bank_interpretation(spec.signature)
+        t = session(algebra, ("open_account", "a1"), ("deposit", "a1"))
+        assert interpretation.realize(algebra, "balance", ("a1", "m1"), t)
+        assert not interpretation.realize(
+            algebra, "balance", ("a1", "m0"), t
+        )
+
+
+class TestFullVerification:
+    def test_framework_verifies(self):
+        report = bank_framework().verify()
+        assert report.ok
+        assert report.grammar_ok is None  # const decls: grammar skipped
+        assert report.first_second.inclusion.valid_count == 25

@@ -1,0 +1,100 @@
+"""Tests for the library loans application."""
+
+import pytest
+
+from repro.algebraic.algebra import TraceAlgebra
+from repro.applications.library import (
+    library_algebraic,
+    library_carriers,
+    library_framework,
+    library_information,
+    library_schema_source,
+)
+from repro.rpr.interpreter import Database
+from repro.rpr.parser import parse_schema
+
+
+@pytest.fixture(scope="module")
+def algebra():
+    return TraceAlgebra(library_algebraic())
+
+
+class TestAlgebraicBehaviour:
+    def test_checkout_needs_catalog(self, algebra):
+        t = algebra.apply(
+            "checkout", "m1", "b1", trace=algebra.initial_trace()
+        )
+        assert algebra.query("loaned", "m1", "b1", trace=t) is False
+
+    def test_checkout_succeeds_when_free(self, algebra):
+        t = algebra.initial_trace()
+        t = algebra.apply("acquire", "b1", trace=t)
+        t = algebra.apply("checkout", "m1", "b1", trace=t)
+        assert algebra.query("loaned", "m1", "b1", trace=t) is True
+
+    def test_second_member_blocked(self, algebra):
+        t = algebra.initial_trace()
+        t = algebra.apply("acquire", "b1", trace=t)
+        t = algebra.apply("checkout", "m1", "b1", trace=t)
+        t = algebra.apply("checkout", "m2", "b1", trace=t)
+        assert algebra.query("loaned", "m2", "b1", trace=t) is False
+        assert algebra.query("loaned", "m1", "b1", trace=t) is True
+
+    def test_retire_blocked_while_loaned(self, algebra):
+        t = algebra.initial_trace()
+        t = algebra.apply("acquire", "b1", trace=t)
+        t = algebra.apply("checkout", "m1", "b1", trace=t)
+        t = algebra.apply("retire", "b1", trace=t)
+        assert algebra.query("catalog", "b1", trace=t) is True
+
+    def test_return_then_retire(self, algebra):
+        t = algebra.initial_trace()
+        t = algebra.apply("acquire", "b1", trace=t)
+        t = algebra.apply("checkout", "m1", "b1", trace=t)
+        t = algebra.apply("return_book", "m1", "b1", trace=t)
+        t = algebra.apply("retire", "b1", trace=t)
+        assert algebra.query("catalog", "b1", trace=t) is False
+
+    def test_reachable_state_count(self, algebra):
+        # catalog {} -> 1; {b} -> 3 loans states each; {b1,b2} -> 9.
+        assert len(algebra.explore()) == 16
+
+
+class TestSchema:
+    def test_session_mirrors_algebra(self):
+        schema = parse_schema(library_schema_source())
+        db = Database(
+            schema, {"Members": ["m1", "m2"], "Books": ["b1", "b2"]}
+        )
+        db.call("initiate")
+        db.call("acquire", "b1")
+        db.call("checkout", "m1", "b1")
+        db.call("checkout", "m2", "b1")  # blocked
+        assert db.rows("LOANED") == {("m1", "b1")}
+        db.call("retire", "b1")  # blocked
+        assert db.holds_fact("CATALOG", "b1")
+
+
+class TestInformationLevel:
+    def test_unique_holder_constraint(self):
+        info = library_information()
+        from repro.logic.structures import Structure
+
+        double = Structure(
+            info.signature,
+            library_carriers(),
+            relations={
+                "catalog": {("b1",)},
+                "loaned": {("m1", "b1"), ("m2", "b1")},
+            },
+        )
+        from repro.information.consistency import is_consistent_state
+
+        assert not is_consistent_state(info, double)
+
+
+class TestFullVerification:
+    def test_framework_verifies(self):
+        report = library_framework().verify()
+        assert report.ok
+        assert report.first_second.inclusion.valid_count == 16

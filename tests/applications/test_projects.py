@@ -1,0 +1,97 @@
+"""Tests for the project staffing application."""
+
+import pytest
+
+from repro.algebraic.algebra import TraceAlgebra
+from repro.applications.projects import (
+    projects_algebraic,
+    projects_framework,
+)
+
+
+@pytest.fixture(scope="module")
+def algebra():
+    return TraceAlgebra(projects_algebraic())
+
+
+def staffed(algebra, *steps):
+    t = algebra.initial_trace()
+    for name, *params in steps:
+        t = algebra.apply(name, *params, trace=t)
+    return t
+
+
+class TestCapacity:
+    def test_third_assignment_blocked(self, algebra):
+        t = staffed(
+            algebra,
+            ("open_project", "p1"),
+            ("open_project", "p2"),
+            ("open_project", "p3"),
+            ("assign", "e1", "p1"),
+            ("assign", "e1", "p2"),
+            ("assign", "e1", "p3"),
+        )
+        assert algebra.query("assigned", "e1", "p3", trace=t) is False
+        assert algebra.query("assigned", "e1", "p1", trace=t) is True
+        assert algebra.query("assigned", "e1", "p2", trace=t) is True
+
+    def test_reassign_frees_capacity(self, algebra):
+        t = staffed(
+            algebra,
+            ("open_project", "p1"),
+            ("open_project", "p2"),
+            ("open_project", "p3"),
+            ("assign", "e1", "p1"),
+            ("assign", "e1", "p2"),
+            ("reassign", "e1", "p1", "p3"),
+        )
+        assert algebra.query("assigned", "e1", "p1", trace=t) is False
+        assert algebra.query("assigned", "e1", "p3", trace=t) is True
+
+    def test_repeat_assignment_is_noop_not_blocked(self, algebra):
+        t = staffed(
+            algebra,
+            ("open_project", "p1"),
+            ("assign", "e1", "p1"),
+            ("assign", "e1", "p1"),
+        )
+        assert algebra.query("assigned", "e1", "p1", trace=t) is True
+
+
+class TestDissolve:
+    def test_dissolve_blocked_while_staffed(self, algebra):
+        t = staffed(
+            algebra,
+            ("open_project", "p1"),
+            ("assign", "e1", "p1"),
+            ("dissolve", "p1"),
+        )
+        assert algebra.query("active", "p1", trace=t) is True
+
+    def test_dissolve_after_reassign(self, algebra):
+        t = staffed(
+            algebra,
+            ("open_project", "p1"),
+            ("open_project", "p2"),
+            ("assign", "e1", "p1"),
+            ("reassign", "e1", "p1", "p2"),
+            ("dissolve", "p1"),
+        )
+        assert algebra.query("active", "p1", trace=t) is False
+
+
+class TestStateSpace:
+    def test_reachable_count_matches_hand_count(self, algebra):
+        # Sum over active subsets A of (assignments per employee)^2
+        # where each employee picks <= 2 projects from A:
+        # |A|=0: 1, |A|=1: 2^2 * 3, |A|=2: 4^2 * 3, |A|=3: 7^2.
+        assert len(algebra.explore()) == 1 + 12 + 48 + 49
+
+
+class TestFullVerification:
+    def test_framework_verifies_small(self):
+        # 2 employees x 2 projects to keep the integration test fast;
+        # the default 3-project domain is exercised above.
+        report = projects_framework(employees=2, projects=2).verify()
+        assert report.ok

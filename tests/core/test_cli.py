@@ -1,0 +1,49 @@
+"""Tests for the verification CLI."""
+
+import pytest
+
+from repro.cli import APPLICATIONS, main
+
+
+class TestList:
+    def test_lists_all_applications(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in APPLICATIONS:
+            assert name in out
+
+
+class TestVerify:
+    def test_verify_courses_quiet(self, capsys):
+        assert main(["verify", "courses", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("[OK]")
+
+    def test_verify_unknown_application(self, capsys):
+        assert main(["verify", "atlantis"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_verify_prints_full_report_by_default(self, capsys):
+        assert main(["verify", "library"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 4.4" in out
+
+
+class TestSchemaAndAxioms:
+    def test_schema_prints_rpr_source(self, capsys):
+        assert main(["schema", "courses"]) == 0
+        out = capsys.readouterr().out
+        assert "proc cancel(c)" in out
+        assert "end-schema" in out
+
+    def test_axioms_prints_theory(self, capsys):
+        assert main(["axioms", "courses"]) == 0
+        out = capsys.readouterr().out
+        assert "static constraints" in out
+        assert "takes" in out
+
+    def test_schema_unknown(self, capsys):
+        assert main(["schema", "atlantis"]) == 2
+
+    def test_axioms_unknown(self, capsys):
+        assert main(["axioms", "atlantis"]) == 2

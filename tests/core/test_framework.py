@@ -1,0 +1,81 @@
+"""Tests for the combined design framework."""
+
+import pytest
+
+from repro.core.framework import DesignFramework
+from repro.applications import courses
+
+
+@pytest.fixture(scope="module")
+def framework():
+    return DesignFramework.from_sources(
+        information=courses.courses_information(),
+        algebraic=courses.courses_algebraic(),
+        schema_source=courses.courses_schema_source(),
+        carriers=courses.courses_information_carriers(),
+        name="courses registrar",
+    )
+
+
+@pytest.fixture(scope="module")
+def report(framework):
+    return framework.verify()
+
+
+class TestVerify:
+    def test_everything_passes(self, report):
+        assert report.ok
+        assert bool(report)
+
+    def test_sections_present(self, report):
+        assert report.first_second.ok
+        assert report.congruence.ok
+        assert report.grammar_ok is True
+        assert report.second_third.ok
+        assert report.agreement.ok
+
+    def test_render(self, report):
+        text = str(report)
+        assert "W-grammar" in text
+        assert "full design verified: True" in text
+
+    def test_algebra_accessor(self, framework):
+        algebra = framework.algebra()
+        assert algebra.query(
+            "offered", "c1", trace=algebra.initial_trace()
+        ) is False
+
+
+class TestWithoutSource:
+    def test_grammar_check_skipped(self):
+        framework = DesignFramework(
+            information=courses.courses_information(),
+            algebraic=courses.courses_algebraic(),
+            schema=__import__(
+                "repro.rpr.parser", fromlist=["parse_schema"]
+            ).parse_schema(courses.courses_schema_source()),
+            carriers=courses.courses_information_carriers(),
+            name="no source",
+        )
+        report = framework.verify()
+        assert report.grammar_ok is None
+        assert report.ok  # None does not fail the bundle
+        assert "skipped" in str(report)
+
+
+class TestFailurePropagation:
+    def test_broken_schema_fails_bundle(self):
+        broken = courses.courses_schema_source().replace(
+            "if ~exists s: Students. TAKES(s, c)\n    then delete OFFERED(c)",
+            "delete OFFERED(c)",
+        )
+        framework = DesignFramework.from_sources(
+            information=courses.courses_information(),
+            algebraic=courses.courses_algebraic(),
+            schema_source=broken,
+            carriers=courses.courses_information_carriers(),
+            name="broken",
+        )
+        report = framework.verify()
+        assert not report.second_third.ok
+        assert not report.ok

@@ -1,0 +1,140 @@
+"""Tests for dynamic-logic satisfaction over RPR states."""
+
+import pytest
+
+from repro.dynamic.formulas import Box, Diamond, ProcCall
+from repro.dynamic.semantics import (
+    counterexample,
+    satisfies_dynamic,
+    valid_in_schema,
+)
+from repro.logic import formulas as fm
+from repro.logic.signature import PredicateSymbol
+from repro.logic.sorts import Sort
+from repro.logic.terms import Var
+from repro.rpr.ast import Insert, Skip, Union, ValueLiteral
+from repro.rpr.semantics import initial_state
+
+COURSES = Sort("Courses")
+STUDENTS = Sort("Students")
+DOMAINS = {STUDENTS: ("s1", "s2"), COURSES: ("c1", "c2")}
+
+OFFERED = PredicateSymbol("OFFERED", (COURSES,))
+TAKES = PredicateSymbol("TAKES", (STUDENTS, COURSES))
+
+
+def lit(value, sort=COURSES):
+    return ValueLiteral(value, sort)
+
+
+def offered(term):
+    return fm.Atom(OFFERED, (term,))
+
+
+@pytest.fixture()
+def empty(courses_schema):
+    return initial_state(courses_schema)
+
+
+class TestModalities:
+    def test_box_after_proc(self, courses_schema, empty):
+        formula = Box(ProcCall("offer", (lit("c1"),)), offered(lit("c1")))
+        assert satisfies_dynamic(formula, empty, courses_schema, DOMAINS)
+
+    def test_box_false_when_some_run_fails(self, courses_schema, empty):
+        program = Union(Insert("OFFERED", (lit("c1"),)), Skip())
+        formula = Box(program, offered(lit("c1")))
+        assert not satisfies_dynamic(
+            formula, empty, courses_schema, DOMAINS
+        )
+
+    def test_diamond_true_when_some_run_succeeds(
+        self, courses_schema, empty
+    ):
+        program = Union(Insert("OFFERED", (lit("c1"),)), Skip())
+        formula = Diamond(program, offered(lit("c1")))
+        assert satisfies_dynamic(formula, empty, courses_schema, DOMAINS)
+
+    def test_box_diamond_duality(self, courses_schema, empty):
+        program = Union(Insert("OFFERED", (lit("c1"),)), Skip())
+        post = offered(lit("c1"))
+        box = satisfies_dynamic(
+            Box(program, post), empty, courses_schema, DOMAINS
+        )
+        dual = not satisfies_dynamic(
+            Diamond(program, fm.Not(post)), empty, courses_schema, DOMAINS
+        )
+        assert box == dual
+
+    def test_proc_call_with_variable_args(self, courses_schema, empty):
+        c = Var("c", COURSES)
+        formula = fm.Forall(
+            c, Box(ProcCall("offer", (c,)), offered(c))
+        )
+        assert satisfies_dynamic(formula, empty, courses_schema, DOMAINS)
+
+    def test_nested_modalities(self, courses_schema, empty):
+        formula = Box(
+            ProcCall("offer", (lit("c1"),)),
+            Box(
+                ProcCall("enroll", (lit("s1", STUDENTS), lit("c1"))),
+                fm.Atom(TAKES, (lit("s1", STUDENTS), lit("c1"))),
+            ),
+        )
+        assert satisfies_dynamic(formula, empty, courses_schema, DOMAINS)
+
+    def test_blocked_guard_semantics(self, courses_schema, empty):
+        # enroll into an unoffered course is a no-op: TAKES stays empty.
+        formula = Box(
+            ProcCall("enroll", (lit("s1", STUDENTS), lit("c1"))),
+            fm.Not(fm.Atom(TAKES, (lit("s1", STUDENTS), lit("c1")))),
+        )
+        assert satisfies_dynamic(formula, empty, courses_schema, DOMAINS)
+
+
+class TestValidity:
+    def test_valid_over_all_states(self, courses_schema):
+        # After offer(c), c is offered — at EVERY state.
+        c = Var("c", COURSES)
+        formula = fm.Forall(c, Box(ProcCall("offer", (c,)), offered(c)))
+        assert valid_in_schema(formula, courses_schema, DOMAINS)
+
+    def test_invalid_formula_has_counterexample(self, courses_schema):
+        # "c1 is offered" is not valid; the empty state refutes it.
+        formula = offered(lit("c1"))
+        state = counterexample(formula, courses_schema, DOMAINS)
+        assert state is not None
+        assert ("c1",) not in state.relation("OFFERED")
+
+    def test_cancel_guard_as_dynamic_sentence(self, courses_schema):
+        # The paper's equation 6a, stated in dynamic logic: if someone
+        # takes c, cancel(c) leaves it offered — valid over states
+        # satisfying the static constraint; over ALL states it is also
+        # valid because the guard blocks precisely then.
+        c = Var("c", COURSES)
+        s = Var("s", STUDENTS)
+        someone = fm.Exists(s, fm.Atom(TAKES, (s, c)))
+        formula = fm.Forall(
+            c,
+            fm.Implies(
+                someone, Box(ProcCall("cancel", (c,)), offered(c))
+            ),
+        )
+        # Not valid over arbitrary states: cancel blocks, but c may
+        # never have been offered.
+        state = counterexample(formula, courses_schema, DOMAINS)
+        assert state is not None
+        # Valid over states where takes -> offered holds:
+        from repro.rpr.semantics import all_states
+
+        consistent = [
+            st
+            for st in all_states(courses_schema, DOMAINS)
+            if all(
+                (course,) in st.relation("OFFERED")
+                for _, course in st.relation("TAKES")
+            )
+        ]
+        assert valid_in_schema(
+            formula, courses_schema, DOMAINS, states=consistent
+        )

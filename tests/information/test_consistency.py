@@ -1,0 +1,103 @@
+"""Tests for state/transition/history consistency checks — the
+information-level reading of the paper's Section 3.2 example."""
+
+import pytest
+
+from repro.information.consistency import (
+    check_history,
+    check_state,
+    check_transition,
+    is_acceptable_transition,
+    is_consistent_state,
+)
+from repro.logic.structures import Structure
+
+
+@pytest.fixture()
+def states(courses_info, courses_carriers):
+    empty = Structure(courses_info.signature, courses_carriers)
+    offered = empty.with_relation("offered", {("c1",)})
+    enrolled = offered.with_relation("takes", {("s1", "c1")})
+    orphan = empty.with_relation("takes", {("s1", "c1")})
+    return empty, offered, enrolled, orphan
+
+
+class TestStaticConsistency:
+    def test_empty_state_is_consistent(self, courses_info, states):
+        empty, *_ = states
+        assert is_consistent_state(courses_info, empty)
+
+    def test_enrolled_state_is_consistent(self, courses_info, states):
+        *_, enrolled, _ = states
+        assert is_consistent_state(courses_info, enrolled)
+
+    def test_taking_unoffered_course_is_inconsistent(
+        self, courses_info, states
+    ):
+        *_, orphan = states
+        assert not is_consistent_state(courses_info, orphan)
+
+    def test_report_carries_the_violated_axiom(self, courses_info, states):
+        *_, orphan = states
+        report = check_state(courses_info, orphan)
+        assert not report.ok
+        assert len(report.violations) == 1
+        assert "takes" in str(report.violations[0][0])
+
+    def test_report_str(self, courses_info, states):
+        empty, *_ = states
+        assert str(check_state(courses_info, empty)) == "consistent"
+
+
+class TestTransitionConsistency:
+    def test_dropping_all_courses_is_unacceptable(
+        self, courses_info, states
+    ):
+        _, offered, enrolled, _ = states
+        assert not is_acceptable_transition(
+            courses_info, enrolled, offered
+        )
+
+    def test_enrolling_is_acceptable(self, courses_info, states):
+        _, offered, enrolled, _ = states
+        assert is_acceptable_transition(courses_info, offered, enrolled)
+
+    def test_swapping_course_is_acceptable(self, courses_info, states):
+        *_, enrolled, _ = states
+        swapped = enrolled.with_relations(
+            {"offered": {("c1",), ("c2",)}, "takes": {("s1", "c2")}}
+        )
+        assert is_acceptable_transition(courses_info, enrolled, swapped)
+
+    def test_report_names_the_constraint(self, courses_info, states):
+        _, offered, enrolled, _ = states
+        report = check_transition(courses_info, enrolled, offered)
+        assert not report.ok
+        assert "[]" in str(report.violations[0][0])
+
+
+class TestHistoryConsistency:
+    def test_good_history(self, courses_info, states):
+        empty, offered, enrolled, _ = states
+        assert check_history(courses_info, [empty, offered, enrolled]).ok
+
+    def test_static_violation_located_by_index(
+        self, courses_info, states
+    ):
+        empty, _, _, orphan = states
+        report = check_history(courses_info, [empty, orphan])
+        assert not report.ok
+        assert any("state 1" in where for _, where in report.violations)
+
+    def test_transition_violation_detected_across_gap(
+        self, courses_info, states
+    ):
+        # enrolled -> offered -> empty: the student's course count
+        # drops to zero along the history.
+        empty, offered, enrolled, _ = states
+        report = check_history(courses_info, [enrolled, offered])
+        assert not report.ok
+
+    def test_single_state_history(self, courses_info, states):
+        empty, *_ = states
+        assert check_history(courses_info, [empty]).ok

@@ -1,0 +1,44 @@
+"""Tests for information-level specifications."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.information.spec import InformationSpec
+from repro.logic.parser import parse_formula
+from repro.logic.signature import Signature
+from repro.logic.sorts import Sort
+
+COURSE = Sort("course")
+
+
+def _signature(db=True):
+    sig = Signature(sorts=[COURSE])
+    sig.add_predicate("offered", [COURSE], db=db)
+    return sig
+
+
+class TestInformationSpec:
+    def test_requires_db_predicate(self):
+        with pytest.raises(SpecificationError):
+            InformationSpec(_signature(db=False))
+
+    def test_requires_closed_axioms(self):
+        sig = _signature()
+        open_axiom = parse_formula(
+            "offered(c)", sig, variables={"c": COURSE}
+        )
+        with pytest.raises(SpecificationError):
+            InformationSpec(sig, (open_axiom,))
+
+    def test_constraint_split(self, courses_info):
+        assert len(courses_info.static_constraints) == 1
+        assert len(courses_info.transition_constraints) == 1
+
+    def test_db_predicates(self, courses_info):
+        names = {p.name for p in courses_info.db_predicates}
+        assert names == {"offered", "takes"}
+
+    def test_str_mentions_both_kinds(self, courses_info):
+        text = str(courses_info)
+        assert "static constraints" in text
+        assert "transition constraints" in text

@@ -1,0 +1,101 @@
+"""Tests for repro.logic.formulas."""
+
+import pytest
+
+from repro.errors import SortError
+from repro.logic import formulas as fm
+from repro.logic.signature import PredicateSymbol
+from repro.logic.sorts import Sort
+from repro.logic.terms import Var
+
+STUDENT = Sort("student")
+COURSE = Sort("course")
+TAKES = PredicateSymbol("takes", (STUDENT, COURSE))
+
+S = Var("s", STUDENT)
+C = Var("c", COURSE)
+ATOM = fm.Atom(TAKES, (S, C))
+
+
+class TestAtoms:
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SortError):
+            fm.Atom(TAKES, (S,))
+
+    def test_wrong_sort_rejected(self):
+        with pytest.raises(SortError):
+            fm.Atom(TAKES, (C, S))
+
+    def test_free_vars(self):
+        assert ATOM.free_vars() == frozenset({S, C})
+
+    def test_equals_same_sort_required(self):
+        with pytest.raises(SortError):
+            fm.Equals(S, C)
+
+    def test_equals_free_vars(self):
+        s2 = Var("s2", STUDENT)
+        assert fm.Equals(S, s2).free_vars() == frozenset({S, s2})
+
+
+class TestConnectives:
+    def test_not_free_vars(self):
+        assert fm.Not(ATOM).free_vars() == frozenset({S, C})
+
+    def test_and_or_differ(self):
+        assert fm.And(ATOM, ATOM) != fm.Or(ATOM, ATOM)
+
+    def test_subformulas_preorder(self):
+        formula = fm.And(fm.Not(ATOM), fm.TRUE)
+        kinds = [type(sub).__name__ for sub in formula.subformulas()]
+        assert kinds == ["And", "Not", "Atom", "TrueF"]
+
+    def test_atoms_iterator(self):
+        formula = fm.Implies(ATOM, fm.Equals(S, S))
+        assert len(list(formula.atoms())) == 2
+
+    def test_terms_iterator(self):
+        formula = fm.Implies(ATOM, fm.Equals(S, S))
+        assert S in list(formula.terms())
+
+
+class TestQuantifiers:
+    def test_binding_removes_free_var(self):
+        assert fm.Forall(S, ATOM).free_vars() == frozenset({C})
+
+    def test_closed_detection(self):
+        closed = fm.Forall(S, fm.Exists(C, ATOM))
+        assert closed.is_closed
+
+    def test_forall_exists_differ(self):
+        assert fm.Forall(S, ATOM) != fm.Exists(S, ATOM)
+
+
+class TestHelpers:
+    def test_conjunction_empty_is_true(self):
+        assert fm.conjunction([]) == fm.TRUE
+
+    def test_conjunction_singleton(self):
+        assert fm.conjunction([ATOM]) == ATOM
+
+    def test_conjunction_right_associated(self):
+        result = fm.conjunction([fm.TRUE, fm.FALSE, ATOM])
+        assert result == fm.And(fm.TRUE, fm.And(fm.FALSE, ATOM))
+
+    def test_disjunction_empty_is_false(self):
+        assert fm.disjunction([]) == fm.FALSE
+
+    def test_disjunction_two(self):
+        assert fm.disjunction([fm.TRUE, ATOM]) == fm.Or(fm.TRUE, ATOM)
+
+
+class TestPrinting:
+    def test_atom(self):
+        assert str(ATOM) == "takes(s, c)"
+
+    def test_quantifier(self):
+        text = str(fm.Forall(S, ATOM))
+        assert text.startswith("forall s:student.")
+
+    def test_binary_parenthesised(self):
+        assert str(fm.And(fm.TRUE, fm.FALSE)) == "(true & false)"

@@ -1,0 +1,174 @@
+"""Tests for the formula/term parser, including the printer round-trip
+property."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParseError
+from repro.logic import formulas as fm
+from repro.logic.parser import parse_formula, parse_term, tokenize
+from repro.logic.printer import format_formula
+from repro.logic.signature import Signature
+from repro.logic.sorts import Sort
+from repro.logic.terms import App, Var
+
+STUDENT = Sort("student")
+COURSE = Sort("course")
+
+
+@pytest.fixture()
+def signature():
+    sig = Signature(sorts=[STUDENT, COURSE])
+    sig.add_predicate("takes", [STUDENT, COURSE], db=True)
+    sig.add_predicate("offered", [COURSE], db=True)
+    sig.add_constant("c1", COURSE)
+    sig.add_constant("s1", STUDENT)
+    sig.add_function("best", [COURSE], STUDENT)
+    return sig
+
+
+class TestTokenizer:
+    def test_operators(self):
+        kinds = [t.text for t in tokenize("-> <-> <> [] != = ~ & |")[:-1]]
+        assert kinds == ["->", "<->", "<>", "[]", "!=", "=", "~", "&", "|"]
+
+    def test_keywords_versus_idents(self):
+        tokens = tokenize("forall x exists")
+        assert [t.kind for t in tokens[:-1]] == [
+            "keyword",
+            "ident",
+            "keyword",
+        ]
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a $ b")
+
+
+class TestTermParsing:
+    def test_constant(self, signature):
+        term = parse_term("c1", signature)
+        assert isinstance(term, App) and term.symbol.name == "c1"
+
+    def test_application(self, signature):
+        term = parse_term("best(c1)", signature)
+        assert term.symbol.name == "best"
+
+    def test_free_variable_with_sort_context(self, signature):
+        term = parse_term("x", signature, variables={"x": COURSE})
+        assert term == Var("x", COURSE)
+
+    def test_unknown_identifier(self, signature):
+        with pytest.raises(ParseError):
+            parse_term("mystery", signature)
+
+    def test_function_without_args_rejected(self, signature):
+        with pytest.raises(ParseError):
+            parse_term("best", signature)
+
+
+class TestFormulaParsing:
+    def test_atom(self, signature):
+        formula = parse_formula("offered(c1)", signature)
+        assert isinstance(formula, fm.Atom)
+
+    def test_precedence_and_binds_tighter_than_or(self, signature):
+        formula = parse_formula(
+            "offered(c1) | offered(c1) & ~offered(c1)", signature
+        )
+        assert isinstance(formula, fm.Or)
+        assert isinstance(formula.rhs, fm.And)
+
+    def test_implication_right_associative(self, signature):
+        formula = parse_formula(
+            "offered(c1) -> offered(c1) -> offered(c1)", signature
+        )
+        assert isinstance(formula, fm.Implies)
+        assert isinstance(formula.rhs, fm.Implies)
+
+    def test_quantifier_with_multiple_binders(self, signature):
+        formula = parse_formula(
+            "exists s:student, c:course. takes(s, c)", signature
+        )
+        assert isinstance(formula, fm.Exists)
+        assert isinstance(formula.body, fm.Exists)
+
+    def test_quantifier_scope_restored(self, signature):
+        # After the quantifier closes, 'c' is unknown again.
+        with pytest.raises(ParseError):
+            parse_formula(
+                "(exists c:course. offered(c)) & offered(c)", signature
+            )
+
+    def test_equality_and_disequality(self, signature):
+        eq = parse_formula("c1 = c1", signature)
+        assert isinstance(eq, fm.Equals)
+        neq = parse_formula("c1 != c1", signature)
+        assert isinstance(neq, fm.Not)
+
+    def test_true_false(self, signature):
+        assert parse_formula("true", signature) == fm.TRUE
+        assert parse_formula("false", signature) == fm.FALSE
+
+    def test_modal_rejected_without_flag(self, signature):
+        with pytest.raises(ParseError):
+            parse_formula("<>offered(c1)", signature)
+
+    def test_modal_accepted_with_flag(self, signature):
+        from repro.temporal.formulas import Necessarily, Possibly
+
+        diamond = parse_formula(
+            "<>offered(c1)", signature, allow_modal=True
+        )
+        assert isinstance(diamond, Possibly)
+        box = parse_formula("[]offered(c1)", signature, allow_modal=True)
+        assert isinstance(box, Necessarily)
+
+    def test_trailing_input_rejected(self, signature):
+        with pytest.raises(ParseError):
+            parse_formula("offered(c1) offered(c1)", signature)
+
+    def test_error_position_reported(self, signature):
+        with pytest.raises(ParseError) as err:
+            parse_formula("offered(c1", signature)
+        assert err.value.position is not None
+
+
+# -- round-trip property ----------------------------------------------
+def formula_strategy(signature):
+    s = Var("s", STUDENT)
+    c = Var("c", COURSE)
+    takes = signature.predicate("takes")
+    offered = signature.predicate("offered")
+    atoms = st.sampled_from(
+        [
+            fm.Atom(takes, (s, c)),
+            fm.Atom(offered, (c,)),
+            fm.Equals(c, c),
+            fm.TRUE,
+            fm.FALSE,
+        ]
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(fm.Not, children),
+            st.builds(fm.And, children, children),
+            st.builds(fm.Or, children, children),
+            st.builds(fm.Implies, children, children),
+            st.builds(fm.Iff, children, children),
+        )
+
+    open_formulas = st.recursive(atoms, extend, max_leaves=8)
+    return open_formulas.map(lambda body: fm.Forall(s, fm.Exists(c, body)))
+
+
+class TestRoundTrip:
+    @given(st.data())
+    def test_parse_of_print_is_identity(self, data):
+        sig = Signature(sorts=[STUDENT, COURSE])
+        sig.add_predicate("takes", [STUDENT, COURSE], db=True)
+        sig.add_predicate("offered", [COURSE], db=True)
+        formula = data.draw(formula_strategy(sig))
+        text = format_formula(formula)
+        assert parse_formula(text, sig) == formula

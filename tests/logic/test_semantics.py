@@ -1,0 +1,142 @@
+"""Tests for repro.logic.semantics (Tarskian satisfaction)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.logic import formulas as fm
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import (
+    all_valuations,
+    evaluate_term,
+    models_all,
+    satisfies,
+)
+from repro.logic.signature import Signature
+from repro.logic.sorts import Sort
+from repro.logic.structures import Structure
+from repro.logic.terms import Var
+
+STUDENT = Sort("student")
+COURSE = Sort("course")
+
+
+@pytest.fixture()
+def signature():
+    sig = Signature(sorts=[STUDENT, COURSE])
+    sig.add_predicate("takes", [STUDENT, COURSE], db=True)
+    sig.add_predicate("offered", [COURSE], db=True)
+    sig.add_constant("c1", COURSE)
+    return sig
+
+
+@pytest.fixture()
+def structure(signature):
+    return Structure(
+        signature,
+        {STUDENT: ["s1", "s2"], COURSE: ["c1", "c2"]},
+        relations={
+            "offered": {("c1",)},
+            "takes": {("s1", "c1")},
+        },
+    )
+
+
+def parse(signature, text, **kw):
+    return parse_formula(text, signature, **kw)
+
+
+class TestTermEvaluation:
+    def test_constant(self, signature, structure):
+        term = signature and structure
+        from repro.logic.terms import App
+
+        c1 = App(signature.function("c1"), ())
+        assert evaluate_term(structure, c1) == "c1"
+
+    def test_variable_from_valuation(self, structure):
+        x = Var("x", COURSE)
+        assert evaluate_term(structure, x, {x: "c2"}) == "c2"
+
+    def test_unbound_variable_raises(self, structure):
+        with pytest.raises(EvaluationError):
+            evaluate_term(structure, Var("x", COURSE))
+
+
+class TestSatisfaction:
+    def test_atom_true(self, signature, structure):
+        assert satisfies(structure, parse(signature, "offered(c1)"))
+
+    def test_atom_false(self, signature, structure):
+        s = Var("s", STUDENT)
+        c = Var("c", COURSE)
+        atom = fm.Atom(signature.predicate("takes"), (s, c))
+        assert not satisfies(structure, atom, {s: "s2", c: "c1"})
+
+    def test_negation(self, signature, structure):
+        assert satisfies(structure, parse(signature, "~takes(s, c)",
+                                          variables={"s": STUDENT,
+                                                     "c": COURSE}),
+                         {Var("s", STUDENT): "s2", Var("c", COURSE): "c2"})
+
+    def test_connective_truth_tables(self, signature, structure):
+        t = fm.TRUE
+        f = fm.FALSE
+        assert satisfies(structure, fm.And(t, t))
+        assert not satisfies(structure, fm.And(t, f))
+        assert satisfies(structure, fm.Or(f, t))
+        assert satisfies(structure, fm.Implies(f, f))
+        assert not satisfies(structure, fm.Implies(t, f))
+        assert satisfies(structure, fm.Iff(f, f))
+        assert not satisfies(structure, fm.Iff(t, f))
+
+    def test_equals(self, signature, structure):
+        x = Var("x", COURSE)
+        y = Var("y", COURSE)
+        assert satisfies(
+            structure, fm.Equals(x, y), {x: "c1", y: "c1"}
+        )
+        assert not satisfies(
+            structure, fm.Equals(x, y), {x: "c1", y: "c2"}
+        )
+
+    def test_exists_over_carrier(self, signature, structure):
+        formula = parse(
+            signature, "exists s:student, c:course. takes(s, c)"
+        )
+        assert satisfies(structure, formula)
+
+    def test_forall_over_carrier(self, signature, structure):
+        formula = parse(signature, "forall c:course. offered(c)")
+        assert not satisfies(structure, formula)
+
+    def test_static_constraint_of_the_paper(self, signature, structure):
+        constraint = parse(
+            signature,
+            "~exists s:student, c:course. takes(s, c) & ~offered(c)",
+        )
+        assert satisfies(structure, constraint)
+        bad = structure.insert("takes", ("s1", "c2"))
+        assert not satisfies(bad, constraint)
+
+
+class TestHelpers:
+    def test_all_valuations_count(self, structure):
+        variables = [Var("s", STUDENT), Var("c", COURSE)]
+        assert len(list(all_valuations(structure, variables))) == 4
+
+    def test_all_valuations_deterministic_order(self, structure):
+        variables = [Var("b", COURSE), Var("a", STUDENT)]
+        first = list(all_valuations(structure, variables))
+        second = list(all_valuations(structure, variables))
+        assert first == second
+
+    def test_models_all(self, signature, structure):
+        good = parse(signature, "offered(c1)")
+        assert models_all(structure, [good])
+
+    def test_models_all_rejects_open_formula(self, signature, structure):
+        open_formula = parse(
+            signature, "offered(c)", variables={"c": COURSE}
+        )
+        with pytest.raises(EvaluationError):
+            models_all(structure, [open_formula])

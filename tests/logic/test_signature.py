@@ -1,0 +1,117 @@
+"""Tests for repro.logic.signature."""
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.logic.signature import FunctionSymbol, PredicateSymbol, Signature
+from repro.logic.sorts import BOOLEAN, Sort
+
+STUDENT = Sort("student")
+COURSE = Sort("course")
+
+
+class TestSymbols:
+    def test_function_arity(self):
+        f = FunctionSymbol("f", (STUDENT, COURSE), BOOLEAN)
+        assert f.arity == 2
+
+    def test_constant(self):
+        c = FunctionSymbol("c", (), STUDENT)
+        assert c.is_constant
+        assert c.arity == 0
+
+    def test_predicate_db_flag_default(self):
+        assert PredicateSymbol("p", (STUDENT,)).db is False
+
+    def test_empty_function_name_rejected(self):
+        with pytest.raises(SignatureError):
+            FunctionSymbol("", (), STUDENT)
+
+    def test_empty_predicate_name_rejected(self):
+        with pytest.raises(SignatureError):
+            PredicateSymbol("", ())
+
+
+class TestSignature:
+    def _signature(self):
+        return Signature(sorts=[STUDENT, COURSE, BOOLEAN])
+
+    def test_add_and_lookup_function(self):
+        sig = self._signature()
+        sig.add_function("f", [STUDENT], COURSE)
+        assert sig.function("f").result_sort == COURSE
+
+    def test_add_and_lookup_predicate(self):
+        sig = self._signature()
+        sig.add_predicate("takes", [STUDENT, COURSE], db=True)
+        assert sig.predicate("takes").db
+
+    def test_duplicate_function_rejected(self):
+        sig = self._signature()
+        sig.add_function("f", [STUDENT], COURSE)
+        with pytest.raises(SignatureError):
+            sig.add_function("f", [COURSE], STUDENT)
+
+    def test_identical_redeclaration_is_noop(self):
+        sig = self._signature()
+        first = sig.add_function("f", [STUDENT], COURSE)
+        second = sig.add_function("f", [STUDENT], COURSE)
+        assert first == second
+
+    def test_function_predicate_name_clash_rejected(self):
+        sig = self._signature()
+        sig.add_function("x", [], STUDENT)
+        with pytest.raises(SignatureError):
+            sig.add_predicate("x", [STUDENT])
+
+    def test_undeclared_sort_rejected(self):
+        sig = Signature(sorts=[STUDENT])
+        with pytest.raises(SignatureError):
+            sig.add_function("f", [COURSE], STUDENT)
+
+    def test_undeclared_lookup_raises(self):
+        sig = self._signature()
+        with pytest.raises(SignatureError):
+            sig.function("missing")
+        with pytest.raises(SignatureError):
+            sig.predicate("missing")
+        with pytest.raises(SignatureError):
+            sig.sort("missing")
+
+    def test_db_predicates_filter(self):
+        sig = self._signature()
+        sig.add_predicate("takes", [STUDENT, COURSE], db=True)
+        sig.add_predicate("lt", [COURSE, COURSE])
+        assert [p.name for p in sig.db_predicates] == ["takes"]
+
+    def test_constants_of_sort(self):
+        sig = self._signature()
+        sig.add_constant("s1", STUDENT)
+        sig.add_constant("c1", COURSE)
+        names = [f.name for f in sig.constants_of_sort(STUDENT)]
+        assert names == ["s1"]
+
+    def test_copy_is_independent(self):
+        sig = self._signature()
+        clone = sig.copy()
+        clone.add_predicate("p", [STUDENT])
+        assert not sig.has_predicate("p")
+
+    def test_extended_adds_symbols(self):
+        sig = self._signature()
+        new = sig.extended(
+            predicates=[PredicateSymbol("F", (STUDENT, STUDENT))]
+        )
+        assert new.has_predicate("F")
+        assert not sig.has_predicate("F")
+
+    def test_iter_yields_all_symbols(self):
+        sig = self._signature()
+        sig.add_constant("s1", STUDENT)
+        sig.add_predicate("p", [STUDENT])
+        kinds = {type(symbol).__name__ for symbol in sig}
+        assert kinds == {"FunctionSymbol", "PredicateSymbol"}
+
+    def test_conflicting_sort_redeclaration_ok_for_same(self):
+        sig = self._signature()
+        assert sig.add_sort(STUDENT) == STUDENT

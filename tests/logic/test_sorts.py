@@ -1,0 +1,54 @@
+"""Tests for repro.logic.sorts."""
+
+import pytest
+
+from repro.errors import SortError
+from repro.logic.sorts import BOOLEAN, STATE, Sort, check_same_sort
+
+
+class TestSort:
+    def test_equality_by_name(self):
+        assert Sort("student") == Sort("student")
+
+    def test_inequality(self):
+        assert Sort("student") != Sort("course")
+
+    def test_hashable(self):
+        assert len({Sort("a"), Sort("a"), Sort("b")}) == 2
+
+    def test_str(self):
+        assert str(Sort("student")) == "student"
+
+    def test_ordering_by_name(self):
+        assert Sort("a") < Sort("b")
+
+    def test_underscore_names_allowed(self):
+        assert Sort("my_sort").name == "my_sort"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SortError):
+            Sort("")
+
+    def test_name_with_spaces_rejected(self):
+        with pytest.raises(SortError):
+            Sort("two words")
+
+
+class TestDistinguishedSorts:
+    def test_boolean_name(self):
+        assert BOOLEAN.name == "Boolean"
+
+    def test_state_name(self):
+        assert STATE.name == "state"
+
+    def test_distinct(self):
+        assert BOOLEAN != STATE
+
+
+class TestCheckSameSort:
+    def test_match_is_silent(self):
+        check_same_sort(BOOLEAN, BOOLEAN, "ctx")
+
+    def test_mismatch_raises_with_context(self):
+        with pytest.raises(SortError, match="ctx"):
+            check_same_sort(BOOLEAN, STATE, "ctx")

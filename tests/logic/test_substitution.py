@@ -1,0 +1,145 @@
+"""Tests for repro.logic.substitution, including property-based tests
+for composition and matching."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SortError
+from repro.logic import formulas as fm
+from repro.logic.signature import FunctionSymbol, PredicateSymbol
+from repro.logic.sorts import Sort
+from repro.logic.substitution import Substitution, apply_to_term, match
+from repro.logic.terms import App, Var, const
+
+STUDENT = Sort("student")
+COURSE = Sort("course")
+PAIR = FunctionSymbol("pair", (STUDENT, STUDENT), STUDENT)
+S1 = FunctionSymbol("s1", (), STUDENT)
+S2 = FunctionSymbol("s2", (), STUDENT)
+TAKES = PredicateSymbol("takes", (STUDENT, COURSE))
+
+X = Var("x", STUDENT)
+Y = Var("y", STUDENT)
+Z = Var("z", STUDENT)
+C = Var("c", COURSE)
+
+
+# -- strategies --------------------------------------------------------
+def term_strategy(max_depth=3):
+    base = st.sampled_from([X, Y, Z, const(S1), const(S2)])
+    return st.recursive(
+        base,
+        lambda children: st.builds(
+            lambda a, b: App(PAIR, (a, b)), children, children
+        ),
+        max_leaves=2 ** max_depth,
+    )
+
+
+def substitution_strategy():
+    return st.dictionaries(
+        st.sampled_from([X, Y, Z]), term_strategy(2), max_size=3
+    ).map(Substitution)
+
+
+class TestSubstitution:
+    def test_sort_mismatch_rejected(self):
+        with pytest.raises(SortError):
+            Substitution({C: const(S1)})
+
+    def test_identity_on_unbound(self):
+        sub = Substitution({X: const(S1)})
+        assert sub.apply(Y) == Y
+
+    def test_apply_nested(self):
+        sub = Substitution({X: const(S1)})
+        term = App(PAIR, (X, Y))
+        assert sub.apply(term) == App(PAIR, (const(S1), Y))
+
+    def test_apply_preserves_unchanged_object(self):
+        sub = Substitution({X: const(S1)})
+        term = App(PAIR, (Y, Z))
+        assert sub.apply(term) is term
+
+    def test_bind_conflict_rejected(self):
+        sub = Substitution({X: const(S1)})
+        with pytest.raises(SortError):
+            sub.bind(X, const(S2))
+
+    def test_bind_same_is_ok(self):
+        sub = Substitution({X: const(S1)})
+        assert sub.bind(X, const(S1))[X] == const(S1)
+
+    def test_restrict(self):
+        sub = Substitution({X: const(S1), Y: const(S2)})
+        restricted = sub.restrict(frozenset({X}))
+        assert X in restricted and Y not in restricted
+
+    @given(substitution_strategy(), substitution_strategy(), term_strategy())
+    def test_composition_law(self, outer, inner, term):
+        composed = outer.compose(inner)
+        assert composed.apply(term) == outer.apply(inner.apply(term))
+
+
+class TestFormulaSubstitution:
+    def test_atom_substitution(self):
+        sub = Substitution({X: const(S1)})
+        atom = fm.Atom(TAKES, (X, C))
+        assert sub.apply_formula(atom) == fm.Atom(TAKES, (const(S1), C))
+
+    def test_bound_variable_shielded(self):
+        sub = Substitution({X: const(S1)})
+        formula = fm.Forall(X, fm.Equals(X, Y))
+        assert sub.apply_formula(formula) == formula
+
+    def test_capture_avoided(self):
+        # Substituting y := x under a binder for x must rename the
+        # binder, not capture the incoming x.
+        sub = Substitution({Y: X})
+        formula = fm.Forall(X, fm.Equals(X, Y))
+        result = sub.apply_formula(formula)
+        assert isinstance(result, fm.Forall)
+        assert result.var != X
+        assert isinstance(result.body, fm.Equals)
+        assert result.body.lhs == result.var
+        assert result.body.rhs == X
+
+    def test_quantifier_body_substituted(self):
+        sub = Substitution({Y: const(S1)})
+        formula = fm.Exists(X, fm.Equals(X, Y))
+        result = sub.apply_formula(formula)
+        assert result == fm.Exists(X, fm.Equals(X, const(S1)))
+
+
+class TestMatch:
+    def test_match_variable(self):
+        result = match(X, const(S1))
+        assert result is not None and result[X] == const(S1)
+
+    def test_match_nested(self):
+        pattern = App(PAIR, (X, Y))
+        target = App(PAIR, (const(S1), const(S2)))
+        result = match(pattern, target)
+        assert result[X] == const(S1)
+        assert result[Y] == const(S2)
+
+    def test_nonlinear_pattern_consistent(self):
+        pattern = App(PAIR, (X, X))
+        assert match(pattern, App(PAIR, (const(S1), const(S1)))) is not None
+        assert match(pattern, App(PAIR, (const(S1), const(S2)))) is None
+
+    def test_symbol_mismatch(self):
+        assert match(const(S1), const(S2)) is None
+
+    def test_sort_mismatch(self):
+        assert match(Var("v", COURSE), const(S1)) is None
+
+    @given(term_strategy())
+    def test_match_roundtrip(self, target):
+        # Matching a pattern against its own instance recovers an
+        # instantiating substitution.
+        pattern = App(PAIR, (X, Y))
+        instance = App(PAIR, (target, const(S1)))
+        result = match(pattern, instance)
+        assert result is not None
+        assert apply_to_term(result, pattern) == instance

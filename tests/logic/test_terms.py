@@ -1,0 +1,95 @@
+"""Tests for repro.logic.terms."""
+
+import pytest
+
+from repro.errors import SortError
+from repro.logic.signature import FunctionSymbol
+from repro.logic.sorts import Sort
+from repro.logic.terms import App, Var, const
+
+STUDENT = Sort("student")
+COURSE = Sort("course")
+
+F = FunctionSymbol("f", (STUDENT, COURSE), COURSE)
+C1 = FunctionSymbol("c1", (), COURSE)
+S1 = FunctionSymbol("s1", (), STUDENT)
+
+
+def app(symbol, *args):
+    return App(symbol, tuple(args))
+
+
+class TestVar:
+    def test_sort(self):
+        assert Var("x", STUDENT).sort == STUDENT
+
+    def test_free_vars_is_self(self):
+        x = Var("x", STUDENT)
+        assert x.free_vars() == frozenset({x})
+
+    def test_not_ground(self):
+        assert not Var("x", STUDENT).is_ground
+
+    def test_vars_differ_by_sort(self):
+        assert Var("x", STUDENT) != Var("x", COURSE)
+
+    def test_metrics(self):
+        x = Var("x", STUDENT)
+        assert x.depth() == 1
+        assert x.size() == 1
+
+
+class TestApp:
+    def test_result_sort(self):
+        term = app(F, Var("s", STUDENT), const(C1))
+        assert term.sort == COURSE
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SortError):
+            app(F, const(C1))
+
+    def test_wrong_sort_rejected(self):
+        with pytest.raises(SortError):
+            app(F, const(C1), const(C1))
+
+    def test_ground_detection(self):
+        assert app(F, const(S1), const(C1)).is_ground
+        assert not app(F, Var("s", STUDENT), const(C1)).is_ground
+
+    def test_free_vars_union(self):
+        s = Var("s", STUDENT)
+        term = app(F, s, const(C1))
+        assert term.free_vars() == frozenset({s})
+
+    def test_subterms_preorder(self):
+        s = Var("s", STUDENT)
+        term = app(F, s, const(C1))
+        subs = list(term.subterms())
+        assert subs[0] is term
+        assert s in subs
+
+    def test_depth_and_size(self):
+        term = app(F, const(S1), const(C1))
+        assert term.depth() == 2
+        assert term.size() == 3
+
+    def test_str_constant(self):
+        assert str(const(C1)) == "c1"
+
+    def test_str_application(self):
+        assert str(app(F, const(S1), const(C1))) == "f(s1, c1)"
+
+    def test_hashable_and_equal(self):
+        a = app(F, const(S1), const(C1))
+        b = app(F, const(S1), const(C1))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestConst:
+    def test_builds_zeroary_app(self):
+        assert const(C1).args == ()
+
+    def test_rejects_nonconstant(self):
+        with pytest.raises(SortError):
+            const(F)

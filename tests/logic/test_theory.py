@@ -1,0 +1,61 @@
+"""Tests for repro.logic.theory."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.logic.parser import parse_formula
+from repro.logic.signature import Signature
+from repro.logic.sorts import Sort
+from repro.logic.structures import Structure
+from repro.logic.theory import Theory
+
+COURSE = Sort("course")
+
+
+@pytest.fixture()
+def signature():
+    sig = Signature(sorts=[COURSE])
+    sig.add_predicate("offered", [COURSE], db=True)
+    sig.add_constant("c1", COURSE)
+    return sig
+
+
+def theory(signature, *texts):
+    return Theory(
+        signature,
+        tuple(parse_formula(t, signature) for t in texts),
+    )
+
+
+class TestTheory:
+    def test_open_axiom_rejected(self, signature):
+        open_axiom = parse_formula(
+            "offered(c)", signature, variables={"c": COURSE}
+        )
+        with pytest.raises(SpecificationError):
+            Theory(signature, (open_axiom,))
+
+    def test_is_model(self, signature):
+        t = theory(signature, "offered(c1)")
+        good = Structure(
+            signature, {COURSE: ["c1"]}, relations={"offered": {("c1",)}}
+        )
+        bad = Structure(signature, {COURSE: ["c1"]})
+        assert t.is_model(good)
+        assert not t.is_model(bad)
+
+    def test_violated_axioms(self, signature):
+        t = theory(signature, "offered(c1)", "c1 = c1")
+        bad = Structure(signature, {COURSE: ["c1"]})
+        violated = t.violated_axioms(bad)
+        assert len(violated) == 1
+
+    def test_with_axioms(self, signature):
+        t = theory(signature, "c1 = c1")
+        extended = t.with_axioms([parse_formula("offered(c1)", signature)])
+        assert len(extended.axioms) == 2
+        assert len(t.axioms) == 1
+
+    def test_str_renders_numbered_axioms(self, signature):
+        t = theory(signature, "offered(c1)")
+        assert "(1)" in str(t)

@@ -1,0 +1,120 @@
+"""Property-based cross-level agreement: random update workloads must
+yield identical answers at all three levels.
+
+For any sequence of update instances, the level-1 structure induced by
+the level-2 trace (via I), the level-2 snapshot computed by rewriting,
+and the level-3 database state produced by running the procedures (via
+K) must all present the same relations — the strongest executable form
+of the paper's refinement claims.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebraic.algebra import TraceAlgebra
+from repro.applications import courses
+from repro.information.consistency import check_state
+from repro.refinement.interpretation import Interpretation
+from repro.refinement.second_third import (
+    InducedStructure,
+    RepresentationMap,
+)
+from repro.rpr.parser import parse_schema
+
+
+@pytest.fixture(scope="module")
+def setting():
+    info = courses.courses_information()
+    carriers = courses.courses_information_carriers()
+    spec = courses.courses_algebraic()
+    algebra = TraceAlgebra(spec)
+    schema = parse_schema(courses.courses_schema_source())
+    interpretation = Interpretation.homonym(info, spec.signature)
+    induced = InducedStructure(
+        spec.signature,
+        schema,
+        RepresentationMap.homonym(spec.signature, schema),
+    )
+    return info, carriers, algebra, interpretation, induced
+
+
+UPDATES = st.lists(
+    st.one_of(
+        st.tuples(st.just("offer"), st.sampled_from(["c1", "c2"])),
+        st.tuples(st.just("cancel"), st.sampled_from(["c1", "c2"])),
+        st.tuples(
+            st.just("enroll"),
+            st.sampled_from(["s1", "s2"]),
+            st.sampled_from(["c1", "c2"]),
+        ),
+        st.tuples(
+            st.just("transfer"),
+            st.sampled_from(["s1", "s2"]),
+            st.sampled_from(["c1", "c2"]),
+            st.sampled_from(["c1", "c2"]),
+        ),
+    ),
+    max_size=8,
+)
+
+
+class TestThreeLevelAgreement:
+    @settings(max_examples=50, deadline=None)
+    @given(UPDATES)
+    def test_levels_agree_on_random_workloads(self, setting, steps):
+        info, carriers, algebra, interpretation, induced = setting
+        trace = algebra.initial_trace()
+        for name, *params in steps:
+            trace = algebra.apply(name, *params, trace=trace)
+
+        snapshot = algebra.snapshot(trace)
+        db_state = induced.state_of_trace(trace)
+        structure = interpretation.structure_of_trace(
+            info, carriers, algebra, trace
+        )
+
+        # level 2 vs level 3
+        assert snapshot.relation("offered") == db_state.relation(
+            "OFFERED"
+        )
+        assert snapshot.relation("takes") == db_state.relation("TAKES")
+        # level 2 vs level 1 (via I)
+        assert structure.relation("offered") == snapshot.relation(
+            "offered"
+        )
+        assert structure.relation("takes") == snapshot.relation("takes")
+
+    @settings(max_examples=50, deadline=None)
+    @given(UPDATES)
+    def test_every_random_state_is_statically_consistent(
+        self, setting, steps
+    ):
+        # The encapsulation guarantee: no update sequence can produce
+        # an inconsistent state.
+        info, carriers, algebra, interpretation, _ = setting
+        trace = algebra.initial_trace()
+        for name, *params in steps:
+            trace = algebra.apply(name, *params, trace=trace)
+        structure = interpretation.structure_of_trace(
+            info, carriers, algebra, trace
+        )
+        assert check_state(info, structure).ok
+
+    @settings(max_examples=30, deadline=None)
+    @given(UPDATES, UPDATES)
+    def test_observational_equality_transfers_to_level_3(
+        self, setting, left_steps, right_steps
+    ):
+        # If two traces are level-2 observationally equal, their
+        # level-3 realizations are the same database state.
+        _, _, algebra, _, induced = setting
+        left = algebra.initial_trace()
+        for name, *params in left_steps:
+            left = algebra.apply(name, *params, trace=left)
+        right = algebra.initial_trace()
+        for name, *params in right_steps:
+            right = algebra.apply(name, *params, trace=right)
+        if algebra.observationally_equal(left, right):
+            assert induced.state_of_trace(left) == induced.state_of_trace(
+                right
+            )

@@ -1,0 +1,153 @@
+"""Tests for the 2nd->3rd refinement (Sections 5.3-5.4), including a
+faulty schema that must be caught."""
+
+import pytest
+
+from repro.errors import RefinementError
+from repro.applications.courses import (
+    courses_algebraic,
+    courses_schema_source,
+)
+from repro.refinement.second_third import (
+    InducedStructure,
+    RepresentationMap,
+    check_agreement,
+    check_refinement,
+)
+from repro.rpr.parser import parse_schema
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return courses_algebraic()
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_schema(courses_schema_source())
+
+
+BROKEN_CANCEL = courses_schema_source().replace(
+    "if ~exists s: Students. TAKES(s, c)\n    then delete OFFERED(c)",
+    "delete OFFERED(c)",
+)
+
+NONDETERMINISTIC = courses_schema_source().replace(
+    "proc offer(c) =\n    insert OFFERED(c)",
+    "proc offer(c) =\n    (insert OFFERED(c) | skip)",
+)
+
+
+class TestRepresentationMap:
+    def test_homonym_builds(self, spec, schema):
+        rep_map = RepresentationMap.homonym(spec.signature, schema)
+        assert set(rep_map.query_map) == {"offered", "takes"}
+        assert rep_map.proc_for("enroll") == "enroll"
+        assert rep_map.initial_proc == "initiate"
+
+    def test_missing_relation_rejected(self, spec):
+        other = parse_schema(
+            "schema OFFERED(Courses);"
+            " proc initiate() = OFFERED := {} end-schema"
+        )
+        with pytest.raises(RefinementError):
+            RepresentationMap.homonym(spec.signature, other)
+
+    def test_uncovered_query_lookup(self, spec, schema):
+        rep_map = RepresentationMap.homonym(spec.signature, schema)
+        with pytest.raises(RefinementError):
+            rep_map.realization("ghost")
+
+
+class TestInducedStructure:
+    def test_initial_state_is_empty(self, spec, schema):
+        induced = InducedStructure(
+            spec.signature,
+            schema,
+            RepresentationMap.homonym(spec.signature, schema),
+        )
+        state = induced.initial()
+        assert state.relation("OFFERED") == frozenset()
+        assert state.relation("TAKES") == frozenset()
+
+    def test_state_of_trace_runs_procs(self, spec, schema):
+        from repro.algebraic.algebra import TraceAlgebra
+
+        algebra = TraceAlgebra(spec)
+        induced = InducedStructure(
+            spec.signature,
+            schema,
+            RepresentationMap.homonym(spec.signature, schema),
+        )
+        trace = algebra.apply(
+            "enroll",
+            "s1",
+            "c1",
+            trace=algebra.apply(
+                "offer", "c1", trace=algebra.initial_trace()
+            ),
+        )
+        state = induced.state_of_trace(trace)
+        assert state.relation("TAKES") == {("s1", "c1")}
+
+    def test_eval_query_via_k(self, spec, schema):
+        induced = InducedStructure(
+            spec.signature,
+            schema,
+            RepresentationMap.homonym(spec.signature, schema),
+        )
+        state = induced.initial()
+        opened = induced.apply_update("offer", ("c1",), state)
+        assert induced.eval_query("offered", ("c1",), opened) is True
+        assert induced.eval_query("offered", ("c2",), opened) is False
+
+    def test_reachable_states_count(self, spec, schema):
+        induced = InducedStructure(
+            spec.signature,
+            schema,
+            RepresentationMap.homonym(spec.signature, schema),
+        )
+        assert len(induced.reachable_states()) == 25
+
+    def test_nondeterministic_schema_rejected(self, spec):
+        bad = parse_schema(NONDETERMINISTIC)
+        with pytest.raises(RefinementError, match="deterministic"):
+            InducedStructure(
+                spec.signature,
+                bad,
+                RepresentationMap.homonym(spec.signature, bad),
+            )
+
+
+class TestRefinementCheck:
+    def test_paper_schema_refines(self, spec, schema):
+        report = check_refinement(spec, schema)
+        assert report.ok
+        assert report.states_checked == 25
+        assert "correctly refines" in str(report)
+
+    def test_broken_cancel_schema_caught(self, spec):
+        bad = parse_schema(BROKEN_CANCEL)
+        report = check_refinement(spec, bad)
+        assert not report.ok
+        assert report.failures
+        labels = {f.equation.label for f in report.failures}
+        # The violated equations are cancel's (6a in the paper).
+        assert any("eq6" in label for label in labels)
+        assert "does NOT refine" in str(report)
+
+    def test_agreement_on_paper_schema(self, spec, schema):
+        from repro.algebraic.algebra import TraceAlgebra
+
+        report = check_agreement(TraceAlgebra(spec), schema, depth=2)
+        assert report.ok
+
+    def test_agreement_catches_broken_schema(self, spec):
+        from repro.algebraic.algebra import TraceAlgebra
+
+        bad = parse_schema(BROKEN_CANCEL)
+        # Exposing the fault needs offer -> enroll -> cancel: depth 3.
+        report = check_agreement(
+            TraceAlgebra(spec), bad, depth=3, max_traces=6_000
+        )
+        assert not report.ok

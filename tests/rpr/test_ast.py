@@ -1,0 +1,138 @@
+"""Tests for the RPR AST: desugaring laws and determinism analysis."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.logic import formulas as fm
+from repro.logic.signature import PredicateSymbol
+from repro.logic.sorts import Sort
+from repro.logic.terms import Var
+from repro.rpr.ast import (
+    Delete,
+    IfThen,
+    IfThenElse,
+    Insert,
+    ProcDecl,
+    RelAssign,
+    RelationalTerm,
+    RelationDecl,
+    Schema,
+    Seq,
+    Skip,
+    Star,
+    Test,
+    Union,
+    While,
+    desugar,
+    is_deterministic,
+)
+
+COURSES = Sort("Courses")
+OFFERED = RelationDecl("OFFERED", (COURSES,))
+OFFERED_PRED = PredicateSymbol("OFFERED", (COURSES,))
+C = Var("c", COURSES)
+ATOM = fm.Atom(OFFERED_PRED, (C,))
+
+
+@pytest.fixture()
+def schema():
+    return Schema(
+        (OFFERED,),
+        (ProcDecl("offer", (C,), Insert("OFFERED", (C,))),),
+    )
+
+
+class TestSchema:
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SpecificationError):
+            Schema((OFFERED, OFFERED), ())
+
+    def test_duplicate_proc_rejected(self):
+        proc = ProcDecl("p", (), Skip())
+        with pytest.raises(SpecificationError):
+            Schema((OFFERED,), (proc, proc))
+
+    def test_lookup(self, schema):
+        assert schema.relation("OFFERED").arity == 1
+        assert schema.proc("offer").params == (C,)
+        with pytest.raises(SpecificationError):
+            schema.relation("NOPE")
+        with pytest.raises(SpecificationError):
+            schema.proc("nope")
+
+    def test_sorts_collected(self, schema):
+        assert schema.sorts == (COURSES,)
+
+
+class TestDesugar:
+    def test_skip_becomes_true_test(self, schema):
+        assert desugar(Skip(), schema) == Test(fm.TRUE)
+
+    def test_if_then_union_shape(self, schema):
+        result = desugar(IfThen(ATOM, Skip()), schema)
+        assert isinstance(result, Union)
+        assert result.left == Seq(Test(ATOM), Test(fm.TRUE))
+        assert result.right == Test(fm.Not(ATOM))
+
+    def test_if_then_else_shape(self, schema):
+        result = desugar(IfThenElse(ATOM, Skip(), Skip()), schema)
+        assert isinstance(result, Union)
+        assert isinstance(result.left, Seq)
+        assert isinstance(result.right, Seq)
+        assert result.right.left == Test(fm.Not(ATOM))
+
+    def test_while_shape(self, schema):
+        result = desugar(While(ATOM, Skip()), schema)
+        assert isinstance(result, Seq)
+        assert isinstance(result.left, Star)
+        assert result.right == Test(fm.Not(ATOM))
+
+    def test_insert_becomes_membership_or_point(self, schema):
+        result = desugar(Insert("OFFERED", (C,)), schema)
+        assert isinstance(result, RelAssign)
+        assert isinstance(result.term.formula, fm.Or)
+
+    def test_delete_becomes_membership_and_not_point(self, schema):
+        result = desugar(Delete("OFFERED", (C,)), schema)
+        assert isinstance(result.term.formula, fm.And)
+
+    def test_insert_wrong_arity_rejected(self, schema):
+        with pytest.raises(SpecificationError):
+            desugar(Insert("OFFERED", (C, C)), schema)
+
+    def test_fresh_variables_avoid_argument_names(self, schema):
+        # Inserting a term whose variable is named like the default
+        # fresh names must not capture.
+        rx1 = Var("rx1", COURSES)
+        result = desugar(Insert("OFFERED", (rx1,)), schema)
+        assert result.term.variables[0] != rx1
+
+    def test_nested_desugar(self, schema):
+        nested = Seq(IfThen(ATOM, Insert("OFFERED", (C,))), Skip())
+        result = desugar(nested, schema)
+        assert isinstance(result, Seq)
+        assert isinstance(result.left, Union)
+
+    def test_star_and_union_pass_through(self, schema):
+        result = desugar(Star(Union(Skip(), Skip())), schema)
+        assert isinstance(result, Star)
+        assert isinstance(result.body, Union)
+
+
+class TestDeterminism:
+    def test_deterministic_constructs(self):
+        assert is_deterministic(Skip())
+        assert is_deterministic(Insert("OFFERED", (C,)))
+        assert is_deterministic(IfThen(ATOM, Delete("OFFERED", (C,))))
+        assert is_deterministic(
+            Seq(Insert("OFFERED", (C,)), Delete("OFFERED", (C,)))
+        )
+        assert is_deterministic(While(ATOM, Delete("OFFERED", (C,))))
+
+    def test_union_and_star_are_nondeterministic(self):
+        assert not is_deterministic(Union(Skip(), Skip()))
+        assert not is_deterministic(Star(Skip()))
+
+    def test_relational_term_str(self):
+        term = RelationalTerm((C,), ATOM)
+        assert str(term) == "{(c) / OFFERED(c)}"

@@ -1,0 +1,96 @@
+"""Tests for the Database convenience engine, replaying the paper's
+registrar scenario end to end."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.logic import formulas as fm
+from repro.rpr.interpreter import Database
+from repro.rpr.parser import parse_schema
+
+DOMAINS = {"Students": ["s1", "s2"], "Courses": ["c1", "c2"]}
+
+
+@pytest.fixture()
+def db(courses_schema):
+    database = Database(courses_schema, DOMAINS)
+    database.call("initiate")
+    return database
+
+
+class TestSession:
+    def test_offer_then_enroll(self, db):
+        db.call("offer", "c1")
+        db.call("enroll", "s1", "c1")
+        assert db.holds_fact("TAKES", "s1", "c1")
+        assert db.rows("OFFERED") == {("c1",)}
+
+    def test_cancel_blocked_while_taken(self, db):
+        db.call("offer", "c1")
+        db.call("enroll", "s1", "c1")
+        db.call("cancel", "c1")
+        assert db.holds_fact("OFFERED", "c1")
+
+    def test_transfer_scenario(self, db):
+        db.call("offer", "c1")
+        db.call("offer", "c2")
+        db.call("enroll", "s1", "c1")
+        db.call("transfer", "s1", "c1", "c2")
+        assert not db.holds_fact("TAKES", "s1", "c1")
+        assert db.holds_fact("TAKES", "s1", "c2")
+
+    def test_history_records_trace(self, db):
+        db.call("offer", "c1")
+        assert db.history == (("initiate", ()), ("offer", ("c1",)))
+
+    def test_reset(self, db):
+        db.call("offer", "c1")
+        db.reset()
+        assert db.rows("OFFERED") == frozenset()
+        assert db.history == ()
+
+    def test_holds_formula(self, db, courses_schema):
+        db.call("offer", "c1")
+        from repro.logic.signature import PredicateSymbol
+        from repro.logic.sorts import Sort
+        from repro.logic.terms import Var
+
+        c = Var("c", Sort("Courses"))
+        offered = PredicateSymbol("OFFERED", (Sort("Courses"),))
+        formula = fm.Exists(c, fm.Atom(offered, (c,)))
+        assert db.holds(formula)
+
+    def test_deterministic_schema(self, db):
+        assert db.is_deterministic_schema()
+
+    def test_possible_states_without_advancing(self, db):
+        states = db.possible_states("offer", "c1")
+        assert len(states) == 1
+        assert not db.holds_fact("OFFERED", "c1")
+
+    def test_nondeterministic_call_rejected(self):
+        schema = parse_schema(
+            """
+schema
+  R(Things);
+  proc maybe(x) = (insert R(x)) | skip
+end-schema
+"""
+        )
+        database = Database(schema, {"Things": ["t1"]})
+        with pytest.raises(ExecutionError, match="nondeterministic"):
+            database.call("maybe", "t1")
+        assert len(database.possible_states("maybe", "t1")) == 2
+
+    def test_blocking_call_rejected(self):
+        schema = parse_schema(
+            """
+schema
+  R(Things);
+  proc need(x) = (R(x)? ; delete R(x))
+end-schema
+"""
+        )
+        database = Database(schema, {"Things": ["t1"]})
+        with pytest.raises(ExecutionError, match="blocks"):
+            database.call("need", "t1")

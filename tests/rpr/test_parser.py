@@ -1,0 +1,234 @@
+"""Tests for the RPR lexer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic import formulas as fm
+from repro.rpr.ast import (
+    Delete,
+    IfThen,
+    IfThenElse,
+    Insert,
+    RelAssign,
+    Seq,
+    Star,
+    Test,
+    Union,
+    ValueLiteral,
+    While,
+)
+from repro.rpr.lexer import tokenize
+from repro.rpr.parser import parse_schema
+
+
+class TestLexer:
+    def test_end_schema_is_one_token(self):
+        tokens = tokenize("end-schema")
+        assert tokens[0].kind == "end-schema"
+
+    def test_assign_operator(self):
+        tokens = tokenize("R := {}")
+        assert [t.text for t in tokens[:-1]] == ["R", ":=", "{", "}"]
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("R -- a comment\n S")
+        assert [t.text for t in tokens[:-1]] == ["R", "S"]
+
+    def test_block_comment_skipped(self):
+        tokens = tokenize("R /* course c is cancelled */ S")
+        assert [t.text for t in tokens[:-1]] == ["R", "S"]
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("R @ S")
+
+
+def parse_proc(
+    body, decls="R(Things); S(Things, Things);", params="x: Things"
+):
+    source = f"""
+schema
+  {decls}
+  proc p({params}) = {body}
+end-schema
+"""
+    schema = parse_schema(source)
+    return schema.proc("p").body
+
+
+class TestDeclarations:
+    def test_relations_and_columns(self, courses_schema):
+        offered = courses_schema.relation("OFFERED")
+        assert [s.name for s in offered.column_sorts] == ["Courses"]
+        takes = courses_schema.relation("TAKES")
+        assert [s.name for s in takes.column_sorts] == [
+            "Students",
+            "Courses",
+        ]
+
+    def test_all_procs_present(self, courses_schema):
+        names = [p.name for p in courses_schema.procs]
+        assert names == [
+            "initiate",
+            "offer",
+            "cancel",
+            "enroll",
+            "transfer",
+        ]
+
+    def test_scalar_declaration(self):
+        schema = parse_schema(
+            """
+schema
+  R(Things);
+  var counter: Things;
+  proc bump(x) = counter := x
+end-schema
+"""
+        )
+        assert schema.scalar("counter").sort.name == "Things"
+
+    def test_const_declaration_and_use(self):
+        schema = parse_schema(
+            """
+schema
+  R(Things);
+  const t0: Things;
+  proc reset() = R := {(x) / x = t0}
+end-schema
+"""
+        )
+        body = schema.proc("reset").body
+        assert isinstance(body, RelAssign)
+        equals = body.term.formula
+        assert isinstance(equals.rhs, ValueLiteral)
+
+    def test_redeclared_relation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_schema("schema R(Things); R(Things); end-schema")
+
+
+class TestParamInference:
+    def test_sorts_inferred_from_relation_use(self, courses_schema):
+        enroll = courses_schema.proc("enroll")
+        assert [v.var_sort.name for v in enroll.params] == [
+            "Students",
+            "Courses",
+        ]
+
+    def test_explicit_annotation_wins(self):
+        schema = parse_schema(
+            """
+schema
+  R(Things);
+  proc p(x: Widgets) = true?
+end-schema
+"""
+        )
+        assert schema.proc("p").params[0].var_sort.name == "Widgets"
+
+    def test_uninferable_param_rejected(self):
+        with pytest.raises(ParseError, match="infer"):
+            parse_schema(
+                """
+schema
+  R(Things);
+  proc p(x) = true?
+end-schema
+"""
+            )
+
+    def test_conflicting_inference_rejected(self):
+        with pytest.raises(ParseError, match="conflicting"):
+            parse_schema(
+                """
+schema
+  R(Things);
+  S(Widgets);
+  proc p(x) = (insert R(x) ; insert S(x))
+end-schema
+"""
+            )
+
+
+class TestStatements:
+    def test_insert_delete(self):
+        body = parse_proc("(insert R(x) ; delete R(x))")
+        assert isinstance(body, Seq)
+        assert isinstance(body.left, Insert)
+        assert isinstance(body.right, Delete)
+
+    def test_if_then(self):
+        body = parse_proc("if R(x) then insert R(x)")
+        assert isinstance(body, IfThen)
+
+    def test_if_then_else(self):
+        body = parse_proc("if R(x) then insert R(x) else delete R(x)")
+        assert isinstance(body, IfThenElse)
+
+    def test_while(self):
+        body = parse_proc("while R(x) do delete R(x)")
+        assert isinstance(body, While)
+
+    def test_union_and_star(self):
+        body = parse_proc("(insert R(x))* | delete R(x)")
+        assert isinstance(body, Union)
+        assert isinstance(body.left, Star)
+
+    def test_test_statement(self):
+        body = parse_proc("R(x)?")
+        assert isinstance(body, Test)
+
+    def test_parenthesized_formula_test(self):
+        body = parse_proc("(R(x) & ~S(x, x))?")
+        assert isinstance(body, Test)
+        assert isinstance(body.formula, fm.And)
+
+    def test_empty_relational_assignment(self):
+        body = parse_proc("R := {}")
+        assert isinstance(body, RelAssign)
+        assert body.term.formula == fm.FALSE
+
+    def test_general_relational_assignment(self):
+        body = parse_proc("S := {(a, b) / R(a) & R(b)}")
+        assert isinstance(body, RelAssign)
+        assert len(body.term.variables) == 2
+
+    def test_relterm_arity_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_proc("S := {(a) / R(a)}")
+
+    def test_assignment_to_undeclared_rejected(self):
+        with pytest.raises(ParseError):
+            parse_proc("T := {}")
+
+    def test_insert_into_undeclared_rejected(self):
+        with pytest.raises(ParseError):
+            parse_proc("insert T(x)")
+
+    def test_insert_arity_checked(self):
+        with pytest.raises(ParseError):
+            parse_proc("insert S(x)")
+
+    def test_quantified_formula(self):
+        body = parse_proc("if ~exists y: Things. S(x, y) then insert R(x)")
+        assert isinstance(body, IfThen)
+        assert isinstance(body.condition, fm.Not)
+        assert isinstance(body.condition.body, fm.Exists)
+
+    def test_unknown_identifier_in_term_rejected(self):
+        with pytest.raises(ParseError, match="mystery"):
+            parse_proc("insert R(mystery)")
+
+    def test_equality_formula(self):
+        body = parse_proc("x = x?")
+        assert isinstance(body, Test)
+        assert isinstance(body.formula, fm.Equals)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_schema("schema R(Things); end-schema extra")
+
+    def test_missing_end_schema_rejected(self):
+        with pytest.raises(ParseError):
+            parse_schema("schema R(Things);")

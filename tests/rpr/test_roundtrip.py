@@ -1,0 +1,77 @@
+"""Round-trip: printing a parsed schema and reparsing it yields an
+equivalent schema (same declarations, same procedure semantics)."""
+
+import pytest
+
+from repro.applications.bank import bank_schema_source
+from repro.applications.courses import courses_schema_source
+from repro.applications.library import library_schema_source
+from repro.applications.projects import projects_schema_source
+from repro.logic.sorts import Sort
+from repro.rpr.parser import parse_schema
+from repro.rpr.semantics import initial_state, run_proc
+
+SOURCES = {
+    "courses": courses_schema_source(),
+    "library": library_schema_source(),
+    "projects": projects_schema_source(),
+    "bank": bank_schema_source(),
+}
+
+DOMAINS = {
+    "courses": {
+        Sort("Students"): ("s1", "s2"),
+        Sort("Courses"): ("c1", "c2"),
+    },
+    "library": {
+        Sort("Members"): ("m1", "m2"),
+        Sort("Books"): ("b1", "b2"),
+    },
+    "projects": {
+        Sort("Employees"): ("e1", "e2"),
+        Sort("Projects"): ("p1", "p2"),
+    },
+    "bank": {
+        Sort("Accounts"): ("a1", "a2"),
+        Sort("Money"): ("m0", "m1", "m2", "m3"),
+    },
+}
+
+WORKLOADS = {
+    "courses": [("offer", ("c1",)), ("enroll", ("s1", "c1")),
+                ("cancel", ("c1",)), ("offer", ("c2",)),
+                ("transfer", ("s1", "c1", "c2"))],
+    "library": [("acquire", ("b1",)), ("checkout", ("m1", "b1")),
+                ("retire", ("b1",)), ("return_book", ("m1", "b1"))],
+    "projects": [("open_project", ("p1",)), ("assign", ("e1", "p1")),
+                 ("dissolve", ("p1",)),
+                 ("reassign", ("e1", "p1", "p2"))],
+    "bank": [("open_account", ("a1",)), ("deposit", ("a1",)),
+             ("withdraw", ("a1",)), ("close_account", ("a1",))],
+}
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_print_parse_roundtrip_preserves_structure(name):
+    original = parse_schema(SOURCES[name])
+    reparsed = parse_schema(str(original))
+    assert [r.name for r in reparsed.relations] == [
+        r.name for r in original.relations
+    ]
+    assert [p.name for p in reparsed.procs] == [
+        p.name for p in original.procs
+    ]
+    assert reparsed.consts == original.consts
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_print_parse_roundtrip_preserves_semantics(name):
+    original = parse_schema(SOURCES[name])
+    reparsed = parse_schema(str(original))
+    domains = DOMAINS[name]
+    state_a = initial_state(original)
+    state_b = initial_state(reparsed)
+    for proc, args in [("initiate", ())] + WORKLOADS[name]:
+        (state_a,) = run_proc(original, proc, args, state_a, domains)
+        (state_b,) = run_proc(reparsed, proc, args, state_b, domains)
+        assert state_a == state_b, f"{name}: diverged after {proc}"

@@ -1,0 +1,51 @@
+"""Tests for the static/transition classification (paper: axioms with
+modalities are transition constraints, the rest static)."""
+
+from repro.logic.parser import parse_formula
+from repro.logic.signature import Signature
+from repro.logic.sorts import Sort
+from repro.temporal.constraints import (
+    STATIC,
+    TRANSITION,
+    classify,
+    split_axioms,
+)
+
+COURSE = Sort("course")
+
+
+def _signature():
+    sig = Signature(sorts=[COURSE])
+    sig.add_predicate("offered", [COURSE], db=True)
+    return sig
+
+
+class TestClassification:
+    def test_static(self):
+        sig = _signature()
+        axiom = parse_formula("forall c:course. offered(c)", sig)
+        assert classify(axiom) is STATIC
+
+    def test_transition(self):
+        sig = _signature()
+        axiom = parse_formula(
+            "forall c:course. [](offered(c) -> []offered(c))",
+            sig,
+            allow_modal=True,
+        )
+        assert classify(axiom) is TRANSITION
+
+    def test_split_preserves_order(self):
+        sig = _signature()
+        static1 = parse_formula("forall c:course. offered(c)", sig)
+        static2 = parse_formula("exists c:course. offered(c)", sig)
+        transition = parse_formula(
+            "<>exists c:course. offered(c)", sig, allow_modal=True
+        )
+        statics, transitions = split_axioms([static1, transition, static2])
+        assert statics == (static1, static2)
+        assert transitions == (transition,)
+
+    def test_kind_str(self):
+        assert str(STATIC) == "static"
+        assert str(TRANSITION) == "transition"

@@ -1,0 +1,95 @@
+"""Tests for Kripke universes."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.logic.signature import Signature
+from repro.logic.sorts import Sort
+from repro.logic.structures import Structure
+from repro.temporal.kripke import (
+    KripkeUniverse,
+    linear_history,
+    transition_pair,
+)
+
+COURSE = Sort("course")
+
+
+def make_states(count=3):
+    signature = Signature(sorts=[COURSE])
+    signature.add_predicate("offered", [COURSE], db=True)
+    carriers = {COURSE: ["c1", "c2", "c3"]}
+    return [
+        Structure(
+            signature,
+            carriers,
+            relations={"offered": {(f"c{j}",) for j in range(1, i + 1)}},
+        )
+        for i in range(count)
+    ]
+
+
+class TestConstruction:
+    def test_needs_a_state(self):
+        with pytest.raises(SpecificationError):
+            KripkeUniverse([])
+
+    def test_deduplicates_states(self):
+        a, b, _ = make_states()
+        universe = KripkeUniverse([a, b, a])
+        assert len(universe) == 2
+
+    def test_common_domain_enforced(self):
+        signature = Signature(sorts=[COURSE])
+        signature.add_predicate("offered", [COURSE], db=True)
+        a = Structure(signature, {COURSE: ["c1"]})
+        b = Structure(signature, {COURSE: ["c1", "c2"]})
+        with pytest.raises(SpecificationError):
+            KripkeUniverse([a, b])
+
+    def test_accessibility_must_stay_inside(self):
+        a, b, c = make_states()
+        with pytest.raises(SpecificationError):
+            KripkeUniverse([a, b], [(a, c)])
+
+
+class TestRelations:
+    def test_successors(self):
+        a, b, c = make_states()
+        universe = KripkeUniverse([a, b, c], [(a, b), (a, c)])
+        assert set(universe.successors(a)) == {b, c}
+        assert list(universe.successors(c)) == []
+
+    def test_accessible(self):
+        a, b, _ = make_states()
+        universe = KripkeUniverse([a, b], [(a, b)])
+        assert universe.accessible(a, b)
+        assert not universe.accessible(b, a)
+
+    def test_transitive_closure(self):
+        a, b, c = make_states()
+        universe = KripkeUniverse([a, b, c], [(a, b), (b, c)])
+        closed = universe.transitive_closure()
+        assert closed.accessible(a, c)
+        assert not universe.accessible(a, c)
+
+    def test_reflexive_closure(self):
+        a, b, _ = make_states()
+        universe = KripkeUniverse([a, b], [(a, b)]).reflexive_closure()
+        assert universe.accessible(a, a)
+        assert universe.accessible(b, b)
+
+
+class TestBuilders:
+    def test_linear_history_is_future_of(self):
+        a, b, c = make_states()
+        universe = linear_history([a, b, c])
+        assert universe.accessible(a, c)
+        assert universe.accessible(b, c)
+        assert not universe.accessible(c, a)
+
+    def test_transition_pair(self):
+        a, b, _ = make_states()
+        universe = transition_pair(a, b)
+        assert len(universe) == 2
+        assert universe.accessibility == frozenset({(a, b)})

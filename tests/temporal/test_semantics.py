@@ -1,0 +1,111 @@
+"""Tests for modal satisfaction (the paper's Section 3.1 semantics)."""
+
+import pytest
+
+from repro.logic import formulas as fm
+from repro.logic.parser import parse_formula
+from repro.logic.signature import Signature
+from repro.logic.sorts import Sort
+from repro.logic.structures import Structure
+from repro.temporal.formulas import Necessarily, Possibly
+from repro.temporal.kripke import KripkeUniverse
+from repro.temporal.semantics import (
+    holds_at_every_state,
+    satisfies_temporal,
+)
+
+COURSE = Sort("course")
+
+
+@pytest.fixture()
+def setting():
+    signature = Signature(sorts=[COURSE])
+    signature.add_predicate("offered", [COURSE], db=True)
+    carriers = {COURSE: ["c1"]}
+    empty = Structure(signature, carriers)
+    full = Structure(
+        signature, carriers, relations={"offered": {("c1",)}}
+    )
+    return signature, empty, full
+
+
+class TestModalRules:
+    def test_possibly_needs_a_witness_successor(self, setting):
+        signature, empty, full = setting
+        offered = parse_formula("exists c:course. offered(c)", signature)
+        universe = KripkeUniverse([empty, full], [(empty, full)])
+        assert satisfies_temporal(universe, empty, Possibly(offered))
+        # full has no successors: <> is false there.
+        assert not satisfies_temporal(universe, full, Possibly(offered))
+
+    def test_necessarily_vacuous_without_successors(self, setting):
+        signature, empty, full = setting
+        offered = parse_formula("exists c:course. offered(c)", signature)
+        universe = KripkeUniverse([empty, full], [(empty, full)])
+        assert satisfies_temporal(universe, full, Necessarily(offered))
+
+    def test_necessarily_all_successors(self, setting):
+        signature, empty, full = setting
+        offered = parse_formula("exists c:course. offered(c)", signature)
+        universe = KripkeUniverse(
+            [empty, full], [(empty, full), (empty, empty)]
+        )
+        assert not satisfies_temporal(
+            universe, empty, Necessarily(offered)
+        )
+
+    def test_first_order_rules_at_current_state(self, setting):
+        signature, empty, full = setting
+        offered = parse_formula("exists c:course. offered(c)", signature)
+        universe = KripkeUniverse([empty, full], [(empty, full)])
+        assert not satisfies_temporal(universe, empty, offered)
+        assert satisfies_temporal(universe, full, offered)
+
+    def test_quantifier_scopes_over_modality(self, setting):
+        # forall c. <>offered(c): the same valuation is carried into
+        # the successor state (constant-domain semantics).
+        signature, empty, full = setting
+        formula = parse_formula(
+            "forall c:course. <>offered(c)", signature, allow_modal=True
+        )
+        universe = KripkeUniverse([empty, full], [(empty, full)])
+        assert satisfies_temporal(universe, empty, formula)
+
+    def test_nested_modalities(self, setting):
+        signature, empty, full = setting
+        offered = parse_formula("exists c:course. offered(c)", signature)
+        universe = KripkeUniverse(
+            [empty, full], [(empty, empty), (empty, full)]
+        )
+        # <> <> offered: empty -> empty -> ... -> full
+        assert satisfies_temporal(
+            universe, empty, Possibly(Possibly(offered))
+        )
+
+    def test_connectives(self, setting):
+        signature, empty, full = setting
+        offered = parse_formula("exists c:course. offered(c)", signature)
+        universe = KripkeUniverse([empty, full], [(empty, full)])
+        assert satisfies_temporal(
+            universe, empty, fm.Implies(offered, fm.FALSE)
+        )
+        assert satisfies_temporal(
+            universe, empty, fm.Or(offered, Possibly(offered))
+        )
+        assert satisfies_temporal(
+            universe, empty, fm.Iff(offered, fm.FALSE)
+        )
+        assert not satisfies_temporal(
+            universe, empty, fm.And(offered, fm.TRUE)
+        )
+
+
+class TestHoldsEverywhere:
+    def test_all_states_checked(self, setting):
+        signature, empty, full = setting
+        offered = parse_formula("exists c:course. offered(c)", signature)
+        universe = KripkeUniverse([empty, full], [(empty, full)])
+        assert not holds_at_every_state(universe, offered)
+        assert holds_at_every_state(
+            universe, fm.Or(offered, fm.Not(offered))
+        )

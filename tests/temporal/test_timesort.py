@@ -1,0 +1,158 @@
+"""Tests for the time-sort encoding, including the property-based
+equivalence theorem: the Kripke semantics and the flattened
+first-order semantics agree on every formula, universe and state."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SpecificationError
+from repro.logic import formulas as fm
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import satisfies
+from repro.logic.signature import Signature
+from repro.logic.sorts import Sort
+from repro.logic.structures import Structure
+from repro.logic.terms import Var
+from repro.temporal.formulas import Necessarily, Possibly
+from repro.temporal.kripke import KripkeUniverse
+from repro.temporal.semantics import satisfies_temporal
+from repro.temporal.timesort import (
+    TIME,
+    structure_of_universe,
+    timestamp_formula,
+    timestamped_signature,
+)
+
+COURSE = Sort("course")
+
+
+def _signature():
+    sig = Signature(sorts=[COURSE])
+    sig.add_predicate("offered", [COURSE], db=True)
+    return sig
+
+
+def _states(signature):
+    carriers = {COURSE: ["c1", "c2"]}
+    extensions = [set(), {("c1",)}, {("c2",)}, {("c1",), ("c2",)}]
+    return [
+        Structure(signature, carriers, relations={"offered": ext})
+        for ext in extensions
+    ]
+
+
+class TestSignatureExtension:
+    def test_adds_time_and_accessible(self):
+        extended = timestamped_signature(_signature())
+        assert extended.has_sort("time")
+        assert extended.predicate("accessible").arg_sorts == (TIME, TIME)
+
+    def test_timestamped_twin(self):
+        extended = timestamped_signature(_signature())
+        twin = extended.predicate("offered_at")
+        assert twin.arg_sorts == (COURSE, TIME)
+        assert twin.db
+
+
+class TestTranslationShape:
+    def test_atom_gets_instant(self):
+        signature = _signature()
+        formula = parse_formula(
+            "exists c:course. offered(c)", signature
+        )
+        translated = timestamp_formula(formula, signature)
+        atoms = [
+            sub
+            for sub in translated.subformulas()
+            if isinstance(sub, fm.Atom)
+        ]
+        assert atoms[0].predicate.name == "offered_at"
+        assert atoms[0].args[-1] == Var("now", TIME)
+
+    def test_diamond_becomes_exists_accessible(self):
+        signature = _signature()
+        formula = Possibly(
+            parse_formula("exists c:course. offered(c)", signature)
+        )
+        translated = timestamp_formula(formula, signature)
+        assert isinstance(translated, fm.Exists)
+        assert translated.var.sort == TIME
+
+    def test_box_becomes_forall(self):
+        signature = _signature()
+        formula = Necessarily(fm.TRUE)
+        translated = timestamp_formula(formula, signature)
+        assert isinstance(translated, fm.Forall)
+
+    def test_time_quantifier_in_source_rejected(self):
+        signature = _signature()
+        bad = fm.Forall(Var("t", TIME), fm.TRUE)
+        with pytest.raises(SpecificationError):
+            timestamp_formula(bad, signature)
+
+
+class TestFlattening:
+    def test_accessible_mirrors_r(self):
+        signature = _signature()
+        states = _states(signature)
+        universe = KripkeUniverse(states, [(states[0], states[1])])
+        structure, instant_of = structure_of_universe(
+            universe, signature
+        )
+        assert structure.relation("accessible") == {(0, 1)}
+        assert instant_of[states[1]] == 1
+
+    def test_rows_tagged_with_instant(self):
+        signature = _signature()
+        states = _states(signature)
+        universe = KripkeUniverse(states[:2], [])
+        structure, _ = structure_of_universe(universe, signature)
+        assert structure.relation("offered_at") == {("c1", 1)}
+
+
+def _formula_strategy(signature):
+    offered = signature.predicate("offered")
+    c = Var("c", COURSE)
+    atom = fm.Atom(offered, (c,))
+    base = st.sampled_from(
+        [fm.Exists(c, atom), fm.Forall(c, atom), fm.TRUE]
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(fm.Not, children),
+            st.builds(fm.And, children, children),
+            st.builds(fm.Implies, children, children),
+            st.builds(Possibly, children),
+            st.builds(Necessarily, children),
+        )
+
+    return st.recursive(base, extend, max_leaves=6)
+
+
+class TestEquivalenceTheorem:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_kripke_and_timesort_agree(self, data):
+        signature = _signature()
+        states = _states(signature)
+        edge_bits = data.draw(st.integers(0, 2 ** 16 - 1))
+        edges = [
+            (states[i], states[j])
+            for i in range(4)
+            for j in range(4)
+            if edge_bits >> (i * 4 + j) & 1
+        ]
+        universe = KripkeUniverse(states, edges)
+        formula = data.draw(_formula_strategy(signature))
+        start = data.draw(st.integers(0, 3))
+
+        translated = timestamp_formula(formula, signature)
+        structure, instant_of = structure_of_universe(
+            universe, signature
+        )
+        kripke = satisfies_temporal(universe, states[start], formula)
+        flattened = satisfies(
+            structure, translated, {Var("now", TIME): start}
+        )
+        assert kripke == flattened

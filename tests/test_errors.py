@@ -1,0 +1,47 @@
+"""Tests for the exception hierarchy: every library error is a
+ReproError, so callers can catch library failures uniformly."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SortError,
+    errors.SignatureError,
+    errors.EvaluationError,
+    errors.ParseError,
+    errors.SpecificationError,
+    errors.RewriteError,
+    errors.NonTerminationError,
+    errors.IncompletenessError,
+    errors.RefinementError,
+    errors.WGrammarError,
+    errors.ExecutionError,
+]
+
+
+@pytest.mark.parametrize("cls", ALL_ERRORS)
+def test_every_error_is_a_repro_error(cls):
+    assert issubclass(cls, errors.ReproError)
+
+
+def test_rewrite_error_specializations():
+    assert issubclass(errors.NonTerminationError, errors.RewriteError)
+    assert issubclass(errors.IncompletenessError, errors.RewriteError)
+
+
+def test_parse_error_carries_position():
+    error = errors.ParseError("bad", position=7)
+    assert error.position == 7
+    assert "bad" in str(error)
+
+
+def test_parse_error_position_optional():
+    assert errors.ParseError("bad").position is None
+
+
+def test_top_level_export():
+    import repro
+
+    assert repro.ReproError is errors.ReproError
