@@ -18,6 +18,7 @@ refinement checks.
 from __future__ import annotations
 
 import itertools
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -26,6 +27,15 @@ from repro.errors import SpecificationError
 from repro.algebraic.rewriting import RewriteEngine, Value
 from repro.algebraic.spec import AlgebraicSpec
 from repro.logic.terms import App, Term
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.partition import chunk_ranges
+from repro.parallel.stats import (
+    StatsSink,
+    VerificationStats,
+    WorkerStats,
+    counter_delta,
+    engine_counters,
+)
 
 __all__ = ["TraceAlgebra", "Snapshot", "StateGraph", "Transition"]
 
@@ -113,6 +123,28 @@ class StateGraph:
 
     def __len__(self) -> int:
         return len(self.states)
+
+
+def _expand_chunk(algebra: "TraceAlgebra", traces: list[Term]):
+    """Worker chunk: snapshot every successor of every trace.
+
+    Returns one expansion list per trace, each entry ``(update,
+    params, successor trace, successor snapshot)`` in
+    ``update_instances`` order — the data the level merger replays.
+    """
+    before = engine_counters(algebra.engine)
+    expansions = []
+    items = 0
+    for trace in traces:
+        expansion = []
+        for update, params, successor in algebra.successor_traces(trace):
+            expansion.append(
+                (update, params, successor, algebra.snapshot(successor))
+            )
+            items += 1
+        expansions.append(expansion)
+    after = engine_counters(algebra.engine)
+    return expansions, counter_delta(before, after, items)
 
 
 class TraceAlgebra:
@@ -265,6 +297,8 @@ class TraceAlgebra:
         self,
         max_states: int = 100_000,
         max_depth: int | None = None,
+        workers: int = 1,
+        stats: StatsSink | None = None,
     ) -> StateGraph:
         """Breadth-first construction of the reachable observational
         state space (the set G of Section 4.4b, modulo observational
@@ -274,14 +308,61 @@ class TraceAlgebra:
             max_states: stop (and mark the graph truncated) after this
                 many distinct snapshots.
             max_depth: optionally bound the number of updates applied.
+            workers: snapshot successor states on this many processes.
+                The BFS is level-synchronous — every level's successor
+                snapshots are computed in parallel, then merged by
+                replaying the serial visit order — so the resulting
+                graph (state order, transition order, witness traces,
+                truncation) is identical for every worker count.
+            stats: optional sink receiving one ``"explore"``
+                :class:`~repro.parallel.stats.VerificationStats`
+                record.
 
         Returns:
             The :class:`StateGraph` with one node per distinct
             snapshot, a witness trace per node, and every update edge
             between explored nodes.
         """
+        started = time.perf_counter()
+        if workers <= 1:
+            before = engine_counters(self.engine)
+            graph, items = self._explore_serial(max_states, max_depth)
+            if stats is not None:
+                after = engine_counters(self.engine)
+                record = WorkerStats(
+                    worker=0,
+                    wall_time=time.perf_counter() - started,
+                    **counter_delta(before, after, items),
+                )
+                stats.add(
+                    VerificationStats.merge(
+                        "explore",
+                        1,
+                        [record],
+                        time.perf_counter() - started,
+                    )
+                )
+            return graph
+        graph, worker_stats = self._explore_parallel(
+            max_states, max_depth, workers
+        )
+        if stats is not None:
+            stats.add(
+                VerificationStats.merge(
+                    "explore",
+                    workers,
+                    worker_stats,
+                    time.perf_counter() - started,
+                )
+            )
+        return graph
+
+    def _explore_serial(
+        self, max_states: int, max_depth: int | None
+    ) -> tuple[StateGraph, int]:
         initial = self.initial_trace()
         initial_snapshot = self.snapshot(initial)
+        items = 1
         states: dict[Snapshot, Term] = {initial_snapshot: initial}
         transitions: list[Transition] = []
         truncated = False
@@ -294,6 +375,7 @@ class TraceAlgebra:
                 continue
             for update, params, successor in self.successor_traces(trace):
                 target_snapshot = self.snapshot(successor)
+                items += 1
                 transitions.append(
                     Transition(
                         source_snapshot, update, params, target_snapshot
@@ -307,4 +389,57 @@ class TraceAlgebra:
                     frontier.append(
                         (target_snapshot, successor, depth + 1)
                     )
-        return StateGraph(initial_snapshot, states, transitions, truncated)
+        graph = StateGraph(initial_snapshot, states, transitions, truncated)
+        return graph, items
+
+    def _explore_parallel(
+        self, max_states: int, max_depth: int | None, workers: int
+    ) -> tuple[StateGraph, list[WorkerStats]]:
+        # The serial BFS is strictly level-ordered (FIFO frontier,
+        # depth grows by one per enqueue), so expanding a whole level
+        # at once and merging in frontier order replays it exactly.
+        initial = self.initial_trace()
+        initial_snapshot = self.snapshot(initial)
+        states: dict[Snapshot, Term] = {initial_snapshot: initial}
+        transitions: list[Transition] = []
+        truncated = False
+        level: list[tuple[Snapshot, Term, int]] = [
+            (initial_snapshot, initial, 0)
+        ]
+        with ParallelExecutor(workers, context=self) as executor:
+            while level:
+                expandable = [
+                    entry
+                    for entry in level
+                    if max_depth is None or entry[2] < max_depth
+                ]
+                if not expandable:
+                    break
+                chunks = [
+                    [expandable[i][1] for i in chunk]
+                    for chunk in chunk_ranges(len(expandable), workers)
+                ]
+                results = executor.map(_expand_chunk, chunks)
+                expansions = [exp for chunk in results for exp in chunk]
+                next_level: list[tuple[Snapshot, Term, int]] = []
+                for (source_snapshot, _, depth), expansion in zip(
+                    expandable, expansions
+                ):
+                    for update, params, successor, target in expansion:
+                        transitions.append(
+                            Transition(
+                                source_snapshot, update, params, target
+                            )
+                        )
+                        if target not in states:
+                            if len(states) >= max_states:
+                                truncated = True
+                                continue
+                            states[target] = successor
+                            next_level.append(
+                                (target, successor, depth + 1)
+                            )
+                level = next_level
+            worker_stats = list(executor.worker_stats)
+        graph = StateGraph(initial_snapshot, states, transitions, truncated)
+        return graph, worker_stats

@@ -83,6 +83,11 @@ class RewriteEngine:
         #: states given by a snapshot rather than a concrete trace.
         self._state_oracle = state_oracle
         self._cache: dict[Term, Value] = {}
+        #: Monotone counters surfaced by the verification statistics:
+        #: memo-cache hits/misses and equation-firing (rewrite) steps.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.rewrite_steps = 0
         # Value constants per sort, prebuilt for quantifier expansion.
         self._domain_terms = {
             sort: tuple(
@@ -178,6 +183,7 @@ class RewriteEngine:
                 if not self._holds(closed, budget):
                     continue
             rewritten = apply_to_term(substitution, equation.rhs)
+            self.rewrite_steps += 1
             if not isinstance(rewritten, App):
                 raise EvaluationError(
                     f"U-equation {equation.describe()} produced a "
@@ -207,7 +213,9 @@ class RewriteEngine:
         if self._memoize:
             cached = self._cache.get(term, self._MISSING)
             if cached is not self._MISSING:
+                self.cache_hits += 1
                 return cached
+            self.cache_misses += 1
         result = self._eval_uncached(term, budget)
         if self._memoize:
             self._cache[term] = result
@@ -302,6 +310,7 @@ class RewriteEngine:
                 if not self._holds(closed, budget):
                     continue
             rhs = apply_to_term(substitution, equation.rhs)
+            self.rewrite_steps += 1
             return self._eval(rhs, budget)
         raise IncompletenessError(
             f"no equation applies to {term} (query "

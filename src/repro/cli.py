@@ -4,7 +4,8 @@ Usage::
 
     python -m repro list
     python -m repro verify courses [--depth 2] [--quiet]
-    python -m repro verify all
+    python -m repro verify all --workers 4
+    python -m repro verify courses --stats --stats-json stats.json
     python -m repro schema courses        # print the RPR schema
     python -m repro axioms courses        # print the level-1 theory
 """
@@ -72,7 +73,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         list(APPLICATIONS) if args.application == "all"
         else [args.application]
     )
+    collect_stats = args.stats or args.stats_json is not None
     failures = 0
+    stats_bundles = []
     for name in names:
         factory = APPLICATIONS.get(name)
         if factory is None:
@@ -82,7 +85,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         framework = factory()
         started = time.perf_counter()
         report = framework.verify(
-            completeness_depth=args.depth, congruence_depth=args.depth
+            completeness_depth=args.depth,
+            congruence_depth=args.depth,
+            workers=args.workers,
+            collect_stats=collect_stats,
         )
         elapsed = time.perf_counter() - started
         verdict = "OK" if report.ok else "FAILED"
@@ -90,8 +96,28 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         if not args.quiet or not report.ok:
             print(report)
             print()
+        if report.stats is not None:
+            if args.stats:
+                for part in report.stats.parts:
+                    print(f"  {part}")
+                print(f"  {report.stats}")
+            stats_bundles.append(
+                {"application": name, **report.stats.to_dict()}
+            )
         if not report.ok:
             failures += 1
+    if args.stats_json is not None and stats_bundles:
+        import json
+
+        payload = (
+            stats_bundles[0] if len(stats_bundles) == 1 else stats_bundles
+        )
+        if args.stats_json == "-":
+            print(json.dumps(payload, indent=2))
+        else:
+            with open(args.stats_json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
     return 1 if failures else 0
 
 
@@ -145,6 +171,24 @@ def main(argv: list[str] | None = None) -> int:
     verify.add_argument(
         "--quiet", action="store_true",
         help="print only the verdict line unless a check fails",
+    )
+    verify.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help=(
+            "fan the bounded sweeps out over N worker processes "
+            "(default 1 = serial; reports are identical either way)"
+        ),
+    )
+    verify.add_argument(
+        "--stats", action="store_true",
+        help="print per-check verification statistics",
+    )
+    verify.add_argument(
+        "--stats-json", metavar="PATH", default=None,
+        help=(
+            "write the aggregated VerificationStats record as JSON to "
+            "PATH ('-' for stdout)"
+        ),
     )
     verify.set_defaults(handler=_cmd_verify)
 

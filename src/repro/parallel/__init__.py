@@ -1,0 +1,41 @@
+"""Parallel verification engine.
+
+Every "result" of the paper is a bounded exhaustive sweep over
+finitely generated state terms — sufficient completeness (Section
+4.4a), static/transition consistency (Sections 4.4b/d), update
+repertoire completeness (Section 4.4c), and the two refinement checks
+(Sections 4.3 and 5.4).  All of them are embarrassingly parallel: the
+term/state space partitions into independent chunks whose verdicts
+merge deterministically.
+
+This package provides the three pieces the verification layers share:
+
+* :mod:`repro.parallel.partition` — deterministic contiguous chunking
+  of an index space across workers;
+* :mod:`repro.parallel.executor` — a fork-based process executor (with
+  a transparent in-process fallback) that runs a chunk function over
+  every chunk and collects per-worker counters;
+* :mod:`repro.parallel.stats` — the :class:`VerificationStats` record
+  (states checked, rewrite-cache hits/misses, rewrite steps, wall
+  time, per-worker breakdown) that the merger aggregates and
+  :meth:`repro.core.framework.DesignFramework.verify` surfaces.
+
+The contract every parallelized check honors: ``workers=1`` runs the
+original serial code path, and ``workers=N`` produces a report equal
+to the serial one — partitioning and merging never change a verdict,
+a witness, or their order.
+"""
+
+from repro.parallel.executor import ParallelExecutor, run_chunked
+from repro.parallel.partition import chunk_ranges, chunk_sizes
+from repro.parallel.stats import StatsSink, VerificationStats, WorkerStats
+
+__all__ = [
+    "ParallelExecutor",
+    "run_chunked",
+    "chunk_ranges",
+    "chunk_sizes",
+    "StatsSink",
+    "VerificationStats",
+    "WorkerStats",
+]

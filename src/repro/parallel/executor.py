@@ -1,0 +1,160 @@
+"""Process-backed chunk executor with a deterministic merge order.
+
+The executor runs a *chunk function* over a list of chunk arguments
+and returns the per-chunk results **in argument order**, so callers
+can merge by concatenation and reproduce their serial iteration
+exactly.
+
+Worker processes are created with the ``fork`` start method: the
+parent stashes the (arbitrarily large, possibly unpicklable) shared
+*context* — specs, algebras, state graphs — in a module-level slot
+right before forking, and children inherit it by copy-on-write.  Only
+the chunk arguments (index ranges, small term lists) and the chunk
+results travel through pickling.  Each forked child therefore carries
+its own :class:`~repro.algebraic.rewriting.RewriteEngine` memo cache,
+pre-warmed with whatever the parent had evaluated before the fork.
+
+Where ``fork`` is unavailable (non-POSIX platforms) or process
+creation fails, the executor degrades to an in-process loop over the
+same chunks — identical results, no parallelism — so ``workers=N`` is
+always safe to request.
+
+Chunk functions must be module-level (they are sent to workers by
+reference) and have the signature::
+
+    def _my_chunk(context, arg) -> tuple[result, dict]:
+        ...
+        return result, {"items": n, "cache_hits": h,
+                        "cache_misses": m, "rewrite_steps": r}
+
+The counter dict may omit keys; missing counters default to zero.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Any, Callable, Sequence
+
+from repro.parallel.stats import WorkerStats
+
+__all__ = ["ParallelExecutor", "run_chunked"]
+
+#: The shared context slot worker processes inherit through fork.
+_CONTEXT: Any = None
+
+
+def _get_context() -> Any:
+    return _CONTEXT
+
+
+def _run_chunk(payload):
+    """Worker-side trampoline: time the chunk and shape its stats."""
+    fn, index, arg = payload
+    started = time.perf_counter()
+    result, counters = fn(_CONTEXT, arg)
+    elapsed = time.perf_counter() - started
+    stats = WorkerStats(
+        worker=index,
+        items=counters.get("items", 0),
+        cache_hits=counters.get("cache_hits", 0),
+        cache_misses=counters.get("cache_misses", 0),
+        rewrite_steps=counters.get("rewrite_steps", 0),
+        wall_time=elapsed,
+    )
+    return result, stats
+
+
+class ParallelExecutor:
+    """A pool of workers sharing one forked context.
+
+    Args:
+        workers: requested degree of parallelism; ``1`` (or less)
+            means in-process execution with no pool.
+        context: the shared read-only context chunk functions receive
+            as their first argument.  Inherited by workers through
+            fork — it is never pickled.
+
+    Use as a context manager::
+
+        with ParallelExecutor(workers, context=algebra) as executor:
+            results = executor.map(_snapshot_chunk, chunk_args)
+        stats = executor.worker_stats
+
+    :meth:`map` may be called repeatedly (e.g. once per BFS level);
+    the pool and the workers' warm caches persist across calls.
+    """
+
+    def __init__(self, workers: int = 1, context: Any = None):
+        self.workers = max(1, int(workers))
+        self.context = context
+        #: Per-chunk :class:`WorkerStats`, in submission order across
+        #: all :meth:`map` calls.
+        self.worker_stats: list[WorkerStats] = []
+        self._pool = None
+        self._saved_context: Any = None
+        self._entered = False
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ParallelExecutor":
+        global _CONTEXT
+        self._saved_context = _CONTEXT
+        _CONTEXT = self.context
+        self._entered = True
+        if self.workers > 1:
+            try:
+                mp_context = multiprocessing.get_context("fork")
+                self._pool = mp_context.Pool(processes=self.workers)
+            except (ValueError, OSError):
+                # No fork on this platform / process creation failed:
+                # fall back to the in-process loop.
+                self._pool = None
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _CONTEXT
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        _CONTEXT = self._saved_context
+        self._saved_context = None
+        self._entered = False
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable, args: Sequence[Any]) -> list[Any]:
+        """Run ``fn(context, arg)`` for every chunk argument.
+
+        Returns the chunk results in ``args`` order (the property the
+        deterministic mergers rely on) and appends one
+        :class:`WorkerStats` per chunk to :attr:`worker_stats`.
+        """
+        if not self._entered:
+            raise RuntimeError(
+                "ParallelExecutor.map used outside its context manager"
+            )
+        payloads = [(fn, index, arg) for index, arg in enumerate(args)]
+        if self._pool is None:
+            outcomes = [_run_chunk(payload) for payload in payloads]
+        else:
+            outcomes = self._pool.map(_run_chunk, payloads)
+        results = []
+        for result, stats in outcomes:
+            self.worker_stats.append(stats)
+            results.append(result)
+        return results
+
+
+def run_chunked(
+    fn: Callable,
+    context: Any,
+    args: Sequence[Any],
+    workers: int,
+) -> tuple[list[Any], list[WorkerStats]]:
+    """One-shot convenience: execute ``fn`` over ``args`` chunks.
+
+    Returns ``(results in args order, per-chunk WorkerStats)``.
+    """
+    with ParallelExecutor(workers, context=context) as executor:
+        results = executor.map(fn, args)
+    return results, executor.worker_stats

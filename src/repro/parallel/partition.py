@@ -1,0 +1,46 @@
+"""Deterministic work partitioning.
+
+The verification sweeps iterate a *flat index space* (structures of V,
+successor traces of a BFS level, trace/observation products, equation
+x state pairs).  Partitioning that space into contiguous chunks — one
+per worker, sized as evenly as possible, earlier chunks never smaller
+than later ones — keeps the merged results independent of the worker
+count: concatenating per-chunk results in chunk order reproduces the
+serial iteration order exactly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["chunk_sizes", "chunk_ranges"]
+
+
+def chunk_sizes(total: int, chunks: int) -> list[int]:
+    """Sizes of ``chunks`` contiguous chunks covering ``total`` items.
+
+    The first ``total % chunks`` chunks get one extra item, so sizes
+    differ by at most one and the partition is fully determined by
+    ``(total, chunks)``.  Empty chunks are dropped, so fewer than
+    ``chunks`` sizes may be returned when ``total < chunks``.
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if chunks < 1:
+        raise ValueError(f"chunks must be positive, got {chunks}")
+    base, extra = divmod(total, chunks)
+    sizes = [base + (1 if index < extra else 0) for index in range(chunks)]
+    return [size for size in sizes if size > 0]
+
+
+def chunk_ranges(total: int, chunks: int) -> list[range]:
+    """Contiguous index ranges partitioning ``range(total)``.
+
+    ``chunk_ranges(10, 3) == [range(0, 4), range(4, 7), range(7, 10)]``.
+    Concatenated in order, the ranges enumerate ``range(total)``
+    exactly once — the property the deterministic mergers rely on.
+    """
+    ranges: list[range] = []
+    start = 0
+    for size in chunk_sizes(total, chunks):
+        ranges.append(range(start, start + size))
+        start += size
+    return ranges

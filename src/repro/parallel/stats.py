@@ -1,0 +1,213 @@
+"""Verification statistics: per-worker counters and their merger.
+
+The parallel engine gives each worker its own
+:class:`~repro.algebraic.rewriting.RewriteEngine` (a forked copy of
+the parent's, so the memo cache starts warm), and every chunk reports
+the counters it accumulated: work items processed, rewrite-cache hits
+and misses, rewrite (equation-firing) steps, and wall time.  The
+merger folds them into one :class:`VerificationStats` record per
+check; :meth:`repro.core.framework.DesignFramework.verify` combines
+the per-check records into a single machine-readable bundle that the
+benchmarks emit as JSON — the observable perf trajectory of the
+verifier.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "WorkerStats",
+    "VerificationStats",
+    "StatsSink",
+    "engine_counters",
+    "counter_delta",
+]
+
+#: The counter keys every chunk function reports.
+COUNTER_KEYS = ("items", "cache_hits", "cache_misses", "rewrite_steps")
+
+
+def engine_counters(*engines) -> dict[str, int]:
+    """Snapshot the cache/rewrite counters of rewrite-engine-like
+    objects (anything exposing ``cache_hits``/``cache_misses``/
+    ``rewrite_steps``), summed.  ``None`` entries are skipped."""
+    out = {"cache_hits": 0, "cache_misses": 0, "rewrite_steps": 0}
+    for engine in engines:
+        if engine is None:
+            continue
+        out["cache_hits"] += getattr(engine, "cache_hits", 0)
+        out["cache_misses"] += getattr(engine, "cache_misses", 0)
+        out["rewrite_steps"] += getattr(engine, "rewrite_steps", 0)
+    return out
+
+
+def counter_delta(
+    before: dict[str, int], after: dict[str, int], items: int = 0
+) -> dict[str, int]:
+    """The per-chunk counter report: ``after - before`` plus the item
+    count."""
+    delta = {
+        key: after.get(key, 0) - before.get(key, 0)
+        for key in ("cache_hits", "cache_misses", "rewrite_steps")
+    }
+    delta["items"] = items
+    return delta
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """Counters one worker accumulated over one chunk.
+
+    Attributes:
+        worker: chunk/worker index (0-based, in partition order).
+        items: work items the chunk processed (states, traces,
+            structures, equation instances — whatever the check
+            partitions).
+        cache_hits: rewrite-engine memo hits inside the chunk.
+        cache_misses: rewrite-engine memo misses inside the chunk.
+        rewrite_steps: conditional-equation firings inside the chunk.
+        wall_time: seconds the chunk took, measured in the worker.
+    """
+
+    worker: int
+    items: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rewrite_steps: int = 0
+    wall_time: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "worker": self.worker,
+            "items": self.items,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "rewrite_steps": self.rewrite_steps,
+            "wall_time": self.wall_time,
+        }
+
+
+@dataclass(frozen=True)
+class VerificationStats:
+    """Aggregated statistics of one verification pass.
+
+    Attributes:
+        label: which check the record describes (e.g. ``"explore"``,
+            ``"coverage"``, ``"second-third"``, or the combined
+            ``"verify"``).
+        workers: worker count the pass was requested with.
+        states_checked: total work items examined (the merger's sum of
+            per-worker ``items``, or the serial loop's count).
+        cache_hits: total rewrite-cache hits.
+        cache_misses: total rewrite-cache misses.
+        rewrite_steps: total conditional-equation firings.
+        wall_time: elapsed seconds of the whole pass (not the sum of
+            worker times — workers overlap).
+        per_worker: the unmerged per-worker records.
+        parts: sub-records when this record combines several passes
+            (the framework-level bundle keeps one part per check).
+    """
+
+    label: str
+    workers: int = 1
+    states_checked: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rewrite_steps: int = 0
+    wall_time: float = 0.0
+    per_worker: tuple[WorkerStats, ...] = ()
+    parts: tuple["VerificationStats", ...] = ()
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits / (hits + misses), 0.0 when the cache was untouched."""
+        touched = self.cache_hits + self.cache_misses
+        return self.cache_hits / touched if touched else 0.0
+
+    @classmethod
+    def merge(
+        cls,
+        label: str,
+        workers: int,
+        per_worker: list[WorkerStats],
+        wall_time: float,
+    ) -> "VerificationStats":
+        """Fold per-worker chunk records into one pass record."""
+        return cls(
+            label=label,
+            workers=workers,
+            states_checked=sum(w.items for w in per_worker),
+            cache_hits=sum(w.cache_hits for w in per_worker),
+            cache_misses=sum(w.cache_misses for w in per_worker),
+            rewrite_steps=sum(w.rewrite_steps for w in per_worker),
+            wall_time=wall_time,
+            per_worker=tuple(per_worker),
+        )
+
+    @classmethod
+    def combine(
+        cls, label: str, parts: list["VerificationStats"]
+    ) -> "VerificationStats":
+        """Combine several pass records (e.g. every check of a full
+        framework verification) into one bundle."""
+        return cls(
+            label=label,
+            workers=max((p.workers for p in parts), default=1),
+            states_checked=sum(p.states_checked for p in parts),
+            cache_hits=sum(p.cache_hits for p in parts),
+            cache_misses=sum(p.cache_misses for p in parts),
+            rewrite_steps=sum(p.rewrite_steps for p in parts),
+            wall_time=sum(p.wall_time for p in parts),
+            parts=tuple(parts),
+        )
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable view (the machine-readable emission)."""
+        out = {
+            "label": self.label,
+            "workers": self.workers,
+            "states_checked": self.states_checked,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 6),
+            "rewrite_steps": self.rewrite_steps,
+            "wall_time": self.wall_time,
+        }
+        if self.per_worker:
+            out["per_worker"] = [w.to_dict() for w in self.per_worker]
+        if self.parts:
+            out["parts"] = [p.to_dict() for p in self.parts]
+        return out
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.label}] workers={self.workers} "
+            f"states={self.states_checked} "
+            f"cache={self.cache_hits}h/{self.cache_misses}m "
+            f"({self.cache_hit_rate:.1%}) "
+            f"rewrites={self.rewrite_steps} "
+            f"wall={self.wall_time:.3f}s"
+        )
+
+
+@dataclass
+class StatsSink:
+    """Mutable collector the verification layers append records to.
+
+    Passing a sink into a check is always optional and never changes
+    the check's report; the sink only observes.
+    """
+
+    records: list[VerificationStats] = field(default_factory=list)
+
+    def add(self, record: VerificationStats) -> None:
+        self.records.append(record)
+
+    def combined(self, label: str = "verify") -> VerificationStats:
+        """One bundle record over everything collected so far."""
+        return VerificationStats.combine(label, list(self.records))

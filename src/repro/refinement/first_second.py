@@ -21,6 +21,7 @@ reachability predicate F.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.algebraic.algebra import StateGraph, TraceAlgebra, Transition
@@ -39,6 +40,15 @@ from repro.logic.signature import PredicateSymbol
 from repro.logic.sorts import STATE, Sort
 from repro.logic.substitution import Substitution
 from repro.logic.terms import Term, Var
+from repro.parallel.executor import run_chunked
+from repro.parallel.partition import chunk_ranges
+from repro.parallel.stats import (
+    StatsSink,
+    VerificationStats,
+    WorkerStats,
+    counter_delta,
+    engine_counters,
+)
 from repro.refinement.interpretation import Interpretation
 from repro.refinement.reachability import (
     InclusionReport,
@@ -97,25 +107,85 @@ class StaticConsistencyReport:
         return "\n".join(lines)
 
 
+def _static_chunk(context, index_range):
+    """Worker chunk: violated-axiom strings per state of the range."""
+    information, carriers, algebra, interpretation, traces = context
+    before = engine_counters(algebra.engine)
+    per_state: list[list[str]] = []
+    for index in index_range:
+        structure = interpretation.structure_of_trace(
+            information, carriers, algebra, traces[index]
+        )
+        report = check_state(information, structure)
+        per_state.append(
+            [str(axiom) for axiom, _ in report.violations]
+        )
+    after = engine_counters(algebra.engine)
+    return per_state, counter_delta(before, after, len(per_state))
+
+
 def check_static_consistency(
     information: InformationSpec,
     carriers: dict[Sort, list[str]],
     algebra: TraceAlgebra,
     interpretation: Interpretation,
     graph: StateGraph | None = None,
+    workers: int = 1,
+    stats: StatsSink | None = None,
 ) -> StaticConsistencyReport:
     """Check G ⊆ V: every reachable state satisfies every static
-    constraint (Section 4.4b)."""
+    constraint (Section 4.4b).
+
+    Args:
+        workers: check states on this many processes; the merge
+            replays the state order, so the report is identical for
+            every worker count.
+        stats: optional sink receiving one ``"static"`` record.
+    """
+    started = time.perf_counter()
     if graph is None:
-        graph = algebra.explore()
+        graph = algebra.explore(workers=workers, stats=stats)
+    traces = list(graph.states.values())
     violations: list[tuple[Term, str]] = []
-    for snapshot, trace in graph.states.items():
-        structure = interpretation.structure_of_trace(
-            information, carriers, algebra, trace
+    if workers <= 1:
+        before = engine_counters(algebra.engine)
+        for trace in traces:
+            structure = interpretation.structure_of_trace(
+                information, carriers, algebra, trace
+            )
+            report = check_state(information, structure)
+            for axiom, _ in report.violations:
+                violations.append((trace, str(axiom)))
+        per_worker = [
+            WorkerStats(
+                worker=0,
+                wall_time=time.perf_counter() - started,
+                **counter_delta(
+                    before, engine_counters(algebra.engine), len(traces)
+                ),
+            )
+        ]
+    else:
+        context = (information, carriers, algebra, interpretation, traces)
+        chunked, per_worker = run_chunked(
+            _static_chunk,
+            context,
+            chunk_ranges(len(traces), workers),
+            workers,
         )
-        report = check_state(information, structure)
-        for axiom, _ in report.violations:
-            violations.append((trace, str(axiom)))
+        per_state = [entry for chunk in chunked for entry in chunk]
+        for trace, axioms in zip(traces, per_state):
+            for axiom in axioms:
+                violations.append((trace, axiom))
+    if stats is not None:
+        stats.add(
+            VerificationStats.merge(
+                "static",
+                max(1, workers),
+                per_worker,
+                time.perf_counter() - started,
+            )
+        )
     return StaticConsistencyReport(
         ok=not violations,
         states_checked=len(graph.states),
@@ -210,17 +280,77 @@ class TransitionConsistencyReport:
         return "\n".join(lines)
 
 
+def _edge_violations(
+    information, carriers, algebra, interpretation, graph, structures,
+    transition,
+) -> list[str]:
+    """Violated-axiom strings of one update edge."""
+    before = structures[transition.source]
+    after = structures.get(transition.target)
+    if after is None:
+        # Target beyond the truncation horizon; realize it directly.
+        witness = graph.states[transition.source]
+        after = interpretation.structure_of_trace(
+            information,
+            carriers,
+            algebra,
+            algebra.apply(
+                transition.update, *transition.params, trace=witness
+            ),
+        )
+    report = check_transition(information, before, after)
+    return [str(axiom) for axiom, _ in report.violations]
+
+
+def _transition_chunk(context, index_range):
+    """Worker chunk: violated-axiom strings per edge of the range."""
+    (
+        information,
+        carriers,
+        algebra,
+        interpretation,
+        graph,
+        structures,
+    ) = context
+    before = engine_counters(algebra.engine)
+    per_edge = [
+        _edge_violations(
+            information,
+            carriers,
+            algebra,
+            interpretation,
+            graph,
+            structures,
+            graph.transitions[index],
+        )
+        for index in index_range
+    ]
+    after = engine_counters(algebra.engine)
+    return per_edge, counter_delta(before, after, len(per_edge))
+
+
 def check_transition_consistency(
     information: InformationSpec,
     carriers: dict[Sort, list[str]],
     algebra: TraceAlgebra,
     interpretation: Interpretation,
     graph: StateGraph | None = None,
+    workers: int = 1,
+    stats: StatsSink | None = None,
 ) -> TransitionConsistencyReport:
     """Check (d): every update edge of the reachable state graph is an
-    acceptable transition of the information-level theory."""
+    acceptable transition of the information-level theory.
+
+    Args:
+        workers: check edges on this many processes; the merge replays
+            the edge order, so the report is identical for every
+            worker count.
+        stats: optional sink receiving one ``"transitions"`` record.
+    """
+    started = time.perf_counter()
     if graph is None:
-        graph = algebra.explore()
+        graph = algebra.explore(workers=workers, stats=stats)
+    counters_before = engine_counters(algebra.engine)
     structures = {
         snapshot: interpretation.structure_of_trace(
             information, carriers, algebra, trace
@@ -228,23 +358,57 @@ def check_transition_consistency(
         for snapshot, trace in graph.states.items()
     }
     violations: list[tuple[Transition, str]] = []
-    for transition in graph.transitions:
-        before = structures[transition.source]
-        after = structures.get(transition.target)
-        if after is None:
-            # Target beyond the truncation horizon; realize it directly.
-            witness = graph.states[transition.source]
-            after = interpretation.structure_of_trace(
+    if workers <= 1:
+        for transition in graph.transitions:
+            for axiom in _edge_violations(
                 information,
                 carriers,
                 algebra,
-                algebra.apply(
-                    transition.update, *transition.params, trace=witness
+                interpretation,
+                graph,
+                structures,
+                transition,
+            ):
+                violations.append((transition, axiom))
+        per_worker = [
+            WorkerStats(
+                worker=0,
+                wall_time=time.perf_counter() - started,
+                **counter_delta(
+                    counters_before,
+                    engine_counters(algebra.engine),
+                    len(graph.transitions),
                 ),
             )
-        report = check_transition(information, before, after)
-        for axiom, _ in report.violations:
-            violations.append((transition, str(axiom)))
+        ]
+    else:
+        context = (
+            information,
+            carriers,
+            algebra,
+            interpretation,
+            graph,
+            structures,
+        )
+        chunked, per_worker = run_chunked(
+            _transition_chunk,
+            context,
+            chunk_ranges(len(graph.transitions), workers),
+            workers,
+        )
+        per_edge = [entry for chunk in chunked for entry in chunk]
+        for transition, axioms in zip(graph.transitions, per_edge):
+            for axiom in axioms:
+                violations.append((transition, axiom))
+    if stats is not None:
+        stats.add(
+            VerificationStats.merge(
+                "transitions",
+                max(1, workers),
+                per_worker,
+                time.perf_counter() - started,
+            )
+        )
     return TransitionConsistencyReport(
         ok=not violations,
         transitions_checked=len(graph.transitions),
@@ -313,6 +477,8 @@ def check_refinement(
     interpretation: Interpretation | None = None,
     completeness_depth: int = 2,
     max_states: int = 100_000,
+    workers: int = 1,
+    stats: StatsSink | None = None,
 ) -> FirstToSecondReport:
     """Run the entire Section 4.4 proof plan mechanically.
 
@@ -325,23 +491,49 @@ def check_refinement(
         completeness_depth: trace depth for the coverage half of the
             sufficient-completeness check.
         max_states: exploration bound for the state graph.
+        workers: fan every bounded sweep (exploration, coverage,
+            state/edge checks, validity enumeration) out over this
+            many processes.  The report is identical for every worker
+            count; the sub-checks run in sequence, each using the full
+            worker pool.
+        stats: optional sink receiving one record per sub-check.
     """
     if interpretation is None:
         interpretation = Interpretation.homonym(
             information, algebra.signature
         )
-    graph = algebra.explore(max_states=max_states)
+    graph = algebra.explore(
+        max_states=max_states, workers=workers, stats=stats
+    )
     completeness = check_sufficient_completeness(
-        algebra.spec, depth=completeness_depth
+        algebra.spec, depth=completeness_depth, workers=workers, stats=stats
     )
     static = check_static_consistency(
-        information, carriers, algebra, interpretation, graph
+        information,
+        carriers,
+        algebra,
+        interpretation,
+        graph,
+        workers=workers,
+        stats=stats,
     )
     inclusion = compare_valid_reachable(
-        information, carriers, algebra, interpretation, graph
+        information,
+        carriers,
+        algebra,
+        interpretation,
+        graph,
+        workers=workers,
+        stats=stats,
     )
     transitions = check_transition_consistency(
-        information, carriers, algebra, interpretation, graph
+        information,
+        carriers,
+        algebra,
+        interpretation,
+        graph,
+        workers=workers,
+        stats=stats,
     )
     return FirstToSecondReport(completeness, static, inclusion, transitions)
 

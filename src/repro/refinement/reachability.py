@@ -20,6 +20,7 @@ and reports witnesses for any failure.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -29,6 +30,15 @@ from repro.information.spec import InformationSpec
 from repro.logic.sorts import Sort
 from repro.logic.structures import Structure
 from repro.logic.terms import Term
+from repro.parallel.executor import run_chunked
+from repro.parallel.partition import chunk_ranges
+from repro.parallel.stats import (
+    StatsSink,
+    VerificationStats,
+    WorkerStats,
+    counter_delta,
+    engine_counters,
+)
 from repro.refinement.interpretation import Interpretation
 
 __all__ = [
@@ -40,27 +50,40 @@ __all__ = [
 ]
 
 
+def _subset_spaces(
+    information: InformationSpec, carriers: dict[Sort, list[str]]
+) -> list[list[frozenset]]:
+    """One subset space (all possible extensions) per db predicate."""
+    subset_spaces = []
+    for predicate in information.db_predicates:
+        domains = [carriers[sort] for sort in predicate.arg_sorts]
+        rows = list(itertools.product(*domains))
+        subset_spaces.append(list(_all_subsets(rows)))
+    return subset_spaces
+
+
+def _structure_from_extensions(
+    information: InformationSpec,
+    carriers: dict[Sort, list[str]],
+    extensions: tuple[frozenset, ...],
+) -> Structure:
+    relations = {
+        predicate.name: extension
+        for predicate, extension in zip(
+            information.db_predicates, extensions
+        )
+    }
+    return Structure(information.signature, carriers, relations=relations)
+
+
 def enumerate_all_structures(
     information: InformationSpec, carriers: dict[Sort, list[str]]
 ) -> Iterator[Structure]:
     """Yield every structure over the carriers (all combinations of
     db-predicate extensions).  Exponential; bounded-domain use only."""
-    predicates = information.db_predicates
-    per_predicate_rows = []
-    for predicate in predicates:
-        domains = [carriers[sort] for sort in predicate.arg_sorts]
-        per_predicate_rows.append(list(itertools.product(*domains)))
-    subset_spaces = [
-        list(_all_subsets(rows)) for rows in per_predicate_rows
-    ]
+    subset_spaces = _subset_spaces(information, carriers)
     for extensions in itertools.product(*subset_spaces):
-        relations = {
-            predicate.name: extension
-            for predicate, extension in zip(predicates, extensions)
-        }
-        yield Structure(
-            information.signature, carriers, relations=relations
-        )
+        yield _structure_from_extensions(information, carriers, extensions)
 
 
 def _all_subsets(rows: list[tuple]) -> Iterator[frozenset]:
@@ -79,27 +102,104 @@ def enumerate_valid_structures(
             yield structure
 
 
+def _reachable_chunk(context, index_range):
+    """Worker chunk: realize the witness traces of an index range of
+    the state graph as level-1 structures (in state order)."""
+    information, carriers, algebra, interpretation, traces = context
+    before = engine_counters(algebra.engine)
+    structures = [
+        interpretation.structure_of_trace(
+            information, carriers, algebra, traces[index]
+        )
+        for index in index_range
+    ]
+    after = engine_counters(algebra.engine)
+    return structures, counter_delta(before, after, len(structures))
+
+
+def _valid_chunk(context, index_range):
+    """Worker chunk: filter an index range of the full structure
+    enumeration down to the consistent (valid) ones, in order."""
+    information, carriers = context
+    subset_spaces = _subset_spaces(information, carriers)
+    sliced = itertools.islice(
+        itertools.product(*subset_spaces),
+        index_range.start,
+        index_range.stop,
+    )
+    structures = []
+    for extensions in sliced:
+        structure = _structure_from_extensions(
+            information, carriers, extensions
+        )
+        if is_consistent_state(information, structure):
+            structures.append(structure)
+    return structures, {"items": len(index_range)}
+
+
 def reachable_structures(
     information: InformationSpec,
     carriers: dict[Sort, list[str]],
     algebra: TraceAlgebra,
     interpretation: Interpretation,
     graph: StateGraph | None = None,
+    workers: int = 1,
+    stats: StatsSink | None = None,
 ) -> dict[Structure, Term]:
     """The set G as level-1 structures, each with a witness trace.
 
     Args:
         graph: a previously computed state graph; explored fresh when
             omitted.
+        workers: realize witness traces on this many processes.  The
+            graph's state order is replayed during the merge, so the
+            result is identical for every worker count.
+        stats: optional sink receiving one ``"reachable"`` record.
     """
+    started = time.perf_counter()
     if graph is None:
-        graph = algebra.explore()
-    out: dict[Structure, Term] = {}
-    for snapshot, trace in graph.states.items():
-        structure = interpretation.structure_of_trace(
-            information, carriers, algebra, trace
+        graph = algebra.explore(workers=workers, stats=stats)
+    traces = list(graph.states.values())
+    if workers <= 1:
+        before = engine_counters(algebra.engine)
+        structures = [
+            interpretation.structure_of_trace(
+                information, carriers, algebra, trace
+            )
+            for trace in traces
+        ]
+        per_worker = [
+            WorkerStats(
+                worker=0,
+                wall_time=time.perf_counter() - started,
+                **counter_delta(
+                    before,
+                    engine_counters(algebra.engine),
+                    len(structures),
+                ),
+            )
+        ]
+    else:
+        context = (information, carriers, algebra, interpretation, traces)
+        chunked, per_worker = run_chunked(
+            _reachable_chunk,
+            context,
+            chunk_ranges(len(traces), workers),
+            workers,
         )
+        structures = [s for chunk in chunked for s in chunk]
+    out: dict[Structure, Term] = {}
+    for structure, trace in zip(structures, traces):
         out.setdefault(structure, trace)
+    if stats is not None:
+        stats.add(
+            VerificationStats.merge(
+                "reachable",
+                max(1, workers),
+                per_worker,
+                time.perf_counter() - started,
+            )
+        )
     return out
 
 
@@ -183,20 +283,85 @@ class InclusionReport:
         return "\n".join(lines)
 
 
+def _valid_structure_list(
+    information: InformationSpec,
+    carriers: dict[Sort, list[str]],
+    workers: int,
+    stats: StatsSink | None,
+) -> list[Structure]:
+    """The set V in enumeration order, chunked across workers.
+
+    Chunks partition the extension product by index; concatenating
+    the per-chunk survivors in chunk order reproduces the serial
+    enumeration order exactly.
+    """
+    started = time.perf_counter()
+    if workers <= 1:
+        structures = list(enumerate_valid_structures(information, carriers))
+        total = 1
+        for space in _subset_spaces(information, carriers):
+            total *= len(space)
+        per_worker = [
+            WorkerStats(
+                worker=0,
+                items=total,
+                wall_time=time.perf_counter() - started,
+            )
+        ]
+    else:
+        total = 1
+        for space in _subset_spaces(information, carriers):
+            total *= len(space)
+        chunked, per_worker = run_chunked(
+            _valid_chunk,
+            (information, carriers),
+            chunk_ranges(total, workers),
+            workers,
+        )
+        structures = [s for chunk in chunked for s in chunk]
+    if stats is not None:
+        stats.add(
+            VerificationStats.merge(
+                "valid-enumeration",
+                max(1, workers),
+                per_worker,
+                time.perf_counter() - started,
+            )
+        )
+    return structures
+
+
 def compare_valid_reachable(
     information: InformationSpec,
     carriers: dict[Sort, list[str]],
     algebra: TraceAlgebra,
     interpretation: Interpretation,
     graph: StateGraph | None = None,
+    workers: int = 1,
+    stats: StatsSink | None = None,
 ) -> InclusionReport:
-    """Decide both inclusions of Sections 4.4b and 4.4c exhaustively."""
+    """Decide both inclusions of Sections 4.4b and 4.4c exhaustively.
+
+    Args:
+        workers: fan the exploration, trace realization, and validity
+            enumeration out over this many processes; the report is
+            identical for every worker count.
+        stats: optional sink receiving one record per phase.
+    """
     if graph is None:
-        graph = algebra.explore()
+        graph = algebra.explore(workers=workers, stats=stats)
     reachable = reachable_structures(
-        information, carriers, algebra, interpretation, graph
+        information,
+        carriers,
+        algebra,
+        interpretation,
+        graph,
+        workers=workers,
+        stats=stats,
     )
-    valid = set(enumerate_valid_structures(information, carriers))
+    valid = set(
+        _valid_structure_list(information, carriers, workers, stats)
+    )
 
     invalid_reachable = tuple(
         (structure, trace)

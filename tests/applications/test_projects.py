@@ -82,6 +82,7 @@ class TestDissolve:
 
 
 class TestStateSpace:
+    @pytest.mark.slow
     def test_reachable_count_matches_hand_count(self, algebra):
         # Sum over active subsets A of (assignments per employee)^2
         # where each employee picks <= 2 projects from A:
@@ -90,6 +91,7 @@ class TestStateSpace:
 
 
 class TestFullVerification:
+    @pytest.mark.slow
     def test_framework_verifies_small(self):
         # 2 employees x 2 projects to keep the integration test fast;
         # the default 3-project domain is exercised above.

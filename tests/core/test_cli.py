@@ -14,6 +14,7 @@ class TestList:
 
 
 class TestVerify:
+    @pytest.mark.slow
     def test_verify_courses_quiet(self, capsys):
         assert main(["verify", "courses", "--quiet"]) == 0
         out = capsys.readouterr().out

@@ -47,6 +47,7 @@ class TestVerify:
 
 
 class TestWithoutSource:
+    @pytest.mark.slow
     def test_grammar_check_skipped(self):
         framework = DesignFramework(
             information=courses.courses_information(),
@@ -64,6 +65,7 @@ class TestWithoutSource:
 
 
 class TestFailurePropagation:
+    @pytest.mark.slow
     def test_broken_schema_fails_bundle(self):
         broken = courses.courses_schema_source().replace(
             "if ~exists s: Students. TAKES(s, c)\n    then delete OFFERED(c)",

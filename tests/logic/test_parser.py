@@ -165,6 +165,7 @@ def formula_strategy(signature):
 
 class TestRoundTrip:
     @given(st.data())
+    @pytest.mark.slow
     def test_parse_of_print_is_identity(self, data):
         sig = Signature(sorts=[STUDENT, COURSE])
         sig.add_predicate("takes", [STUDENT, COURSE], db=True)

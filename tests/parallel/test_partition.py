@@ -1,0 +1,39 @@
+"""Unit tests for the work partitioner."""
+
+from repro.parallel import chunk_ranges, chunk_sizes
+
+
+class TestChunkSizes:
+    def test_even_split(self):
+        assert chunk_sizes(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_goes_to_leading_chunks(self):
+        assert chunk_sizes(14, 4) == [4, 4, 3, 3]
+
+    def test_more_chunks_than_items(self):
+        assert chunk_sizes(2, 5) == [1, 1]
+
+    def test_empty(self):
+        assert chunk_sizes(0, 4) == []
+
+    def test_sizes_sum_to_total(self):
+        for total in range(0, 40):
+            for chunks in range(1, 9):
+                sizes = chunk_sizes(total, chunks)
+                assert sum(sizes) == total
+                assert all(size > 0 for size in sizes)
+                # Balanced: no two chunks differ by more than one.
+                if sizes:
+                    assert max(sizes) - min(sizes) <= 1
+
+
+class TestChunkRanges:
+    def test_contiguous_cover(self):
+        for total in range(0, 40):
+            for chunks in range(1, 9):
+                ranges = chunk_ranges(total, chunks)
+                flat = [i for r in ranges for i in r]
+                assert flat == list(range(total))
+
+    def test_single_chunk_is_whole_range(self):
+        assert chunk_ranges(7, 1) == [range(0, 7)]

@@ -1,0 +1,105 @@
+"""Unit tests for the verification-statistics records and their
+merger."""
+
+import json
+
+from repro.parallel import StatsSink, VerificationStats, WorkerStats
+from repro.parallel.stats import counter_delta, engine_counters
+
+
+class _FakeEngine:
+    def __init__(self, hits, misses, steps):
+        self.cache_hits = hits
+        self.cache_misses = misses
+        self.rewrite_steps = steps
+
+
+class TestCounters:
+    def test_engine_counters_sums_and_skips_none(self):
+        counters = engine_counters(
+            _FakeEngine(3, 1, 7), None, _FakeEngine(2, 2, 0)
+        )
+        assert counters == {
+            "cache_hits": 5,
+            "cache_misses": 3,
+            "rewrite_steps": 7,
+        }
+
+    def test_counter_delta(self):
+        before = engine_counters(_FakeEngine(3, 1, 7))
+        after = engine_counters(_FakeEngine(10, 4, 9))
+        delta = counter_delta(before, after, items=6)
+        assert delta == {
+            "cache_hits": 7,
+            "cache_misses": 3,
+            "rewrite_steps": 2,
+            "items": 6,
+        }
+
+
+class TestMerge:
+    def test_merge_sums_per_worker_counters(self):
+        per_worker = [
+            WorkerStats(0, items=5, cache_hits=10, cache_misses=2,
+                        rewrite_steps=30, wall_time=0.5),
+            WorkerStats(1, items=4, cache_hits=6, cache_misses=4,
+                        rewrite_steps=20, wall_time=0.4),
+        ]
+        merged = VerificationStats.merge(
+            "explore", 2, per_worker, wall_time=0.6
+        )
+        assert merged.states_checked == 9
+        assert merged.cache_hits == 16
+        assert merged.cache_misses == 6
+        assert merged.rewrite_steps == 50
+        # Wall time is the pass's elapsed time, not the worker sum.
+        assert merged.wall_time == 0.6
+        assert merged.per_worker == tuple(per_worker)
+        assert merged.cache_hit_rate == 16 / 22
+
+    def test_combine_keeps_parts(self):
+        a = VerificationStats("explore", workers=4, states_checked=125,
+                              cache_hits=10, wall_time=1.0)
+        b = VerificationStats("coverage", workers=1, states_checked=50,
+                              cache_misses=5, wall_time=0.5)
+        bundle = VerificationStats.combine("verify", [a, b])
+        assert bundle.workers == 4
+        assert bundle.states_checked == 175
+        assert bundle.cache_hits == 10
+        assert bundle.cache_misses == 5
+        assert bundle.wall_time == 1.5
+        assert [p.label for p in bundle.parts] == ["explore", "coverage"]
+
+    def test_hit_rate_zero_when_untouched(self):
+        assert VerificationStats("x").cache_hit_rate == 0.0
+
+
+class TestSerialization:
+    def test_to_dict_round_trips_through_json(self):
+        record = VerificationStats.merge(
+            "reachable", 2,
+            [WorkerStats(0, items=3, wall_time=0.1)],
+            wall_time=0.2,
+        )
+        loaded = json.loads(record.to_json())
+        assert loaded["label"] == "reachable"
+        assert loaded["states_checked"] == 3
+        assert loaded["per_worker"][0]["worker"] == 0
+
+    def test_str_is_informative(self):
+        text = str(VerificationStats("explore", workers=4,
+                                     states_checked=125))
+        assert "explore" in text
+        assert "workers=4" in text
+        assert "125" in text
+
+
+class TestSink:
+    def test_combined_bundles_everything_added(self):
+        sink = StatsSink()
+        sink.add(VerificationStats("a", states_checked=1))
+        sink.add(VerificationStats("b", states_checked=2))
+        bundle = sink.combined("verify")
+        assert bundle.label == "verify"
+        assert bundle.states_checked == 3
+        assert len(bundle.parts) == 2

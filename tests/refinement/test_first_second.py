@@ -112,6 +112,7 @@ class TestStaticViolation:
         assert not report.ok
         assert report.violations
 
+    @pytest.mark.slow
     def test_broken_cancel_full_check(self, info, carriers):
         algebra = TraceAlgebra(broken_cancel_spec())
         report = check_refinement(info, carriers, algebra)

@@ -142,6 +142,7 @@ class TestRefinementCheck:
         report = check_agreement(TraceAlgebra(spec), schema, depth=2)
         assert report.ok
 
+    @pytest.mark.slow
     def test_agreement_catches_broken_schema(self, spec):
         from repro.algebraic.algebra import TraceAlgebra
 
