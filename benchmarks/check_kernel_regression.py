@@ -1,0 +1,127 @@
+"""Guard the term-kernel benchmarks against performance regressions.
+
+Usage::
+
+    python benchmarks/check_kernel_regression.py BENCH_kernel.json \
+        [--baseline benchmarks/kernel_baseline.json] [--factor 2.0]
+
+Compares a pytest-benchmark JSON emission against the committed
+baseline and exits non-zero if any benchmark's mean is more than
+``factor`` times its baseline mean.  The factor leaves headroom for
+machine-speed differences between the baseline host and CI runners;
+what it catches is the kernel losing an asymptotic property (interning
+degrading to construction, memo probes degrading to deep hashing),
+which shows up as far more than 2x.
+
+Benchmarks present in only one of the two files are reported but do
+not fail the check, so adding a benchmark does not require
+regenerating the baseline in the same commit.
+
+Regenerate the baseline (after an intentional perf change) with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_terms.py \
+        benchmarks/bench_rewriting.py -q --benchmark-json=run.json
+    python benchmarks/check_kernel_regression.py run.json --write-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "kernel_baseline.json"
+
+
+def _means(payload: dict) -> dict[str, float]:
+    """Map benchmark name -> mean seconds from a pytest-benchmark
+    JSON document (or from an already-reduced baseline file)."""
+    if "benchmarks" in payload:
+        return {
+            bench["name"]: bench["stats"]["mean"]
+            for bench in payload["benchmarks"]
+        }
+    return {name: float(mean) for name, mean in payload["means"].items()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("run", help="pytest-benchmark JSON of the run")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="baseline file (default: benchmarks/kernel_baseline.json)",
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="fail when run mean > factor * baseline mean (default 2.0)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the run's means to the baseline file and exit",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.run, encoding="utf-8") as handle:
+        run_means = _means(json.load(handle))
+    if not run_means:
+        print("no benchmarks in the run file", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        payload = {
+            "note": (
+                "mean seconds per kernel benchmark; regenerate with "
+                "check_kernel_regression.py --write-baseline"
+            ),
+            "means": {
+                name: round(mean, 9)
+                for name, mean in sorted(run_means.items())
+            },
+        }
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {len(run_means)} baseline means to {args.baseline}")
+        return 0
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        base_means = _means(json.load(handle))
+
+    failures = []
+    for name in sorted(run_means):
+        mean = run_means[name]
+        base = base_means.get(name)
+        if base is None:
+            print(f"  [new]  {name}: {mean * 1e6:.1f}us (no baseline)")
+            continue
+        ratio = mean / base if base else float("inf")
+        verdict = "FAIL" if ratio > args.factor else "ok"
+        print(
+            f"  [{verdict:>4}] {name}: {mean * 1e6:.1f}us "
+            f"vs baseline {base * 1e6:.1f}us ({ratio:.2f}x)"
+        )
+        if ratio > args.factor:
+            failures.append((name, ratio))
+    for name in sorted(set(base_means) - set(run_means)):
+        print(f"  [gone] {name}: in baseline but not in this run")
+
+    if failures:
+        print(
+            f"{len(failures)} benchmark(s) regressed beyond "
+            f"{args.factor}x:",
+            file=sys.stderr,
+        )
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"all {len(run_means)} benchmarks within {args.factor}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

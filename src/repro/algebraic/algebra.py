@@ -22,6 +22,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator
+from weakref import WeakValueDictionary
 
 from repro.errors import SpecificationError
 from repro.algebraic.rewriting import RewriteEngine, Value
@@ -40,32 +41,113 @@ from repro.parallel.stats import (
 __all__ = ["TraceAlgebra", "Snapshot", "StateGraph", "Transition"]
 
 
-@dataclass(frozen=True, order=True)
+_EMPTY_RELATION: frozenset = frozenset()
+
+#: Live interned snapshots, keyed by their entry tuples.  Exploration
+#: revisits the same abstract state once per incoming edge; interning
+#: makes the revisit a dictionary hit on a precomputed hash and makes
+#: snapshot equality (the hottest comparison of every refinement
+#: check) an identity test.
+_SNAPSHOT_INTERN: WeakValueDictionary = WeakValueDictionary()
+
+
 class Snapshot:
     """The observational content of a state: the value of every simple
     observation.
+
+    Snapshots are immutable, hash-consed (structurally equal live
+    snapshots are the same object, with the hash precomputed at
+    construction) and carry lazily built lookup indices, so
+    :meth:`value` and :meth:`relation` are dictionary reads instead of
+    linear scans over the entries.
 
     Attributes:
         entries: sorted tuple of ``((query_name, params), value)``
             pairs, one per simple observation.
     """
 
-    entries: tuple[tuple[tuple[str, tuple[str, ...]], Value], ...]
+    __slots__ = ("entries", "_hash", "_lookup", "_relations", "__weakref__")
+
+    def __new__(
+        cls,
+        entries: tuple[tuple[tuple[str, tuple[str, ...]], Value], ...],
+    ) -> "Snapshot":
+        entries = tuple(entries)
+        cached = _SNAPSHOT_INTERN.get(entries)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "entries", entries)
+        object.__setattr__(self, "_hash", hash(entries))
+        object.__setattr__(self, "_lookup", None)
+        object.__setattr__(self, "_relations", None)
+        _SNAPSHOT_INTERN[entries] = self
+        return self
+
+    def __setattr__(self, attr: str, value) -> None:
+        raise AttributeError("Snapshot is immutable")
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError("Snapshot is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        # Interning makes identity decide for live snapshots; the
+        # structural branch only runs on hash collisions.
+        return self is other or (
+            type(other) is Snapshot and self.entries == other.entries
+        )
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __lt__(self, other) -> bool:
+        if type(other) is not Snapshot:
+            return NotImplemented
+        return self.entries < other.entries
+
+    def __le__(self, other) -> bool:
+        if type(other) is not Snapshot:
+            return NotImplemented
+        return self.entries <= other.entries
+
+    def __gt__(self, other) -> bool:
+        if type(other) is not Snapshot:
+            return NotImplemented
+        return self.entries > other.entries
+
+    def __ge__(self, other) -> bool:
+        if type(other) is not Snapshot:
+            return NotImplemented
+        return self.entries >= other.entries
+
+    def __reduce__(self):
+        # Re-intern on unpickling (e.g. crossing worker processes).
+        return (Snapshot, (self.entries,))
 
     def value(self, query: str, params: tuple[str, ...]) -> Value:
         """The recorded value of observation ``query(params)``."""
-        for (name, args), value in self.entries:
-            if name == query and args == params:
-                return value
-        raise KeyError((query, params))
+        lookup = self._lookup
+        if lookup is None:
+            lookup = dict(self.entries)
+            object.__setattr__(self, "_lookup", lookup)
+        return lookup[(query, params)]
 
     def relation(self, query: str) -> frozenset[tuple[str, ...]]:
         """The parameter tuples on which a Boolean query is True."""
-        return frozenset(
-            args
-            for (name, args), value in self.entries
-            if name == query and value is True
-        )
+        relations = self._relations
+        if relations is None:
+            grouped: dict[str, list[tuple[str, ...]]] = {}
+            for (name, args), value in self.entries:
+                if value is True:
+                    grouped.setdefault(name, []).append(args)
+            relations = {
+                name: frozenset(args) for name, args in grouped.items()
+            }
+            object.__setattr__(self, "_relations", relations)
+        return relations.get(query, _EMPTY_RELATION)
 
     def as_dict(self) -> dict[tuple[str, tuple[str, ...]], Value]:
         """The snapshot as a mutable dictionary."""
@@ -78,6 +160,9 @@ class Snapshot:
             if value is not False
         ]
         return "{" + ", ".join(positives) + "}"
+
+    def __repr__(self) -> str:
+        return f"Snapshot(entries={self.entries!r})"
 
 
 @dataclass(frozen=True)
@@ -114,12 +199,35 @@ class StateGraph:
     states: dict[Snapshot, Term]
     transitions: list[Transition] = field(default_factory=list)
     truncated: bool = False
+    #: Source-indexed adjacency map, built lazily on the first
+    #: :meth:`successors` call and rebuilt if transitions were added
+    #: since (detected by length, sufficient for the append-only use).
+    _adjacency: dict[Snapshot, list[Transition]] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _adjacency_size: int = field(default=-1, repr=False, compare=False)
 
     def successors(self, snapshot: Snapshot) -> Iterator[Transition]:
-        """Yield the outgoing transitions of ``snapshot``."""
-        for transition in self.transitions:
-            if transition.source == snapshot:
-                yield transition
+        """Yield the outgoing transitions of ``snapshot``.
+
+        Uses a precomputed adjacency index instead of scanning the
+        full transition list; within a source, transitions keep their
+        order in :attr:`transitions` (for the breadth-first graphs
+        built by :meth:`TraceAlgebra.explore` the outgoing edges of a
+        state are contiguous there, so iterating states in discovery
+        order and chaining their successors replays the transition
+        list exactly).
+        """
+        if (
+            self._adjacency is None
+            or self._adjacency_size != len(self.transitions)
+        ):
+            index: dict[Snapshot, list[Transition]] = {}
+            for transition in self.transitions:
+                index.setdefault(transition.source, []).append(transition)
+            self._adjacency = index
+            self._adjacency_size = len(self.transitions)
+        return iter(self._adjacency.get(snapshot, ()))
 
     def __len__(self) -> int:
         return len(self.states)

@@ -19,6 +19,20 @@ Boolean sort by structural recursion on the trace:
   (query, constructor); the first equation whose condition holds fires
   and its instantiated rhs is evaluated.
 
+Evaluation is driven by a **compiled dispatch table**: the first time
+a function symbol is evaluated the engine classifies it once
+(connective, equality test, interpreted function, parameter name,
+query) and stores a specialized closure; subsequent evaluations of the
+same symbol go straight to the closure instead of re-walking the
+classification chain.  Q-equations are likewise compiled, per
+(query, constructor) pair, into positional matchers that bind each
+pattern variable by direct argument indexing — the generic recursive
+:func:`~repro.logic.substitution.match` only remains as a fallback for
+non-canonical equation shapes.  Terms are hash-consed
+(:mod:`repro.logic.terms`), so the memo cache is effectively keyed by
+object identity: hashes are precomputed and key comparison is an
+identity check.
+
 Conditions may quantify over parameter sorts; quantifiers range over
 the declared parameter names.  Evaluation is guarded by a *fuel*
 budget: a circular equation system (violating sufficient completeness,
@@ -29,17 +43,22 @@ than looping, and a ground query term no equation covers raises
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Callable, Hashable
 
 from repro.errors import (
     EvaluationError,
     IncompletenessError,
     NonTerminationError,
 )
+from repro.algebraic.equations import ConditionalEquation
 from repro.algebraic.spec import AlgebraicSpec
 from repro.logic import formulas as fm
 from repro.logic.sorts import BOOLEAN, STATE
-from repro.logic.substitution import Substitution, apply_to_term, match
+from repro.logic.substitution import (
+    apply_to_formula,
+    apply_to_term,
+    match,
+)
 from repro.logic.terms import App, Term, Var
 
 __all__ = ["RewriteEngine", "Value"]
@@ -49,6 +68,90 @@ Value = Hashable
 
 #: Default fuel: number of query evaluations allowed per top-level call.
 DEFAULT_FUEL = 100_000
+
+
+def _compile_matcher(
+    equation: ConditionalEquation,
+) -> Callable[[App], dict[Var, Term] | None]:
+    """Compile an equation's lhs into a positional matcher.
+
+    The canonical Q-equation shape ``q(a1,...,ak, u(b1,...,bm))`` with
+    each ``ai``/``bj`` a variable or a constant admits matching by
+    direct indexing: variables bind the argument at their position,
+    constants require identity (terms are interned), and a repeated
+    variable requires its positions to carry the same term.  The
+    matcher assumes the target already agrees with the pattern on the
+    query and constructor symbols — the dispatch index guarantees it.
+
+    Returns ``None`` for non-canonical shapes (nested applications in
+    parameter positions, a non-variable inner state, ...); the caller
+    falls back to the generic recursive matcher.
+    """
+    lhs = equation.lhs
+    if not isinstance(lhs, App):
+        return None
+    state_pat = lhs.args[-1] if lhs.args else None
+    if not isinstance(state_pat, App):
+        return None
+
+    binds: list[tuple[bool, int, Var]] = []
+    consts: list[tuple[bool, int, Term]] = []
+    same: list[tuple[bool, int, bool, int]] = []
+    seen: dict[Var, tuple[bool, int]] = {}
+
+    def visit(pattern: Term, in_state: bool, index: int) -> bool:
+        if isinstance(pattern, Var):
+            # Sorts need no runtime check: the dispatch key fixes both
+            # symbols, and symbol arities sort every position.
+            if pattern in seen:
+                prev = seen[pattern]
+                same.append((prev[0], prev[1], in_state, index))
+            else:
+                seen[pattern] = (in_state, index)
+                binds.append((in_state, index, pattern))
+            return True
+        if isinstance(pattern, App) and not pattern.args:
+            consts.append((in_state, index, pattern))
+            return True
+        return False
+
+    for i, arg in enumerate(lhs.args[:-1]):
+        if not visit(arg, False, i):
+            return None
+    for j, arg in enumerate(state_pat.args):
+        if not visit(arg, True, j):
+            return None
+
+    def matcher(term: App) -> dict[Var, Term] | None:
+        args = term.args
+        state_args = args[-1].args
+        for in_state, index, expected in consts:
+            actual = state_args[index] if in_state else args[index]
+            if actual is not expected and actual != expected:
+                return None
+        for a_state, a_index, b_state, b_index in same:
+            first = state_args[a_index] if a_state else args[a_index]
+            second = state_args[b_index] if b_state else args[b_index]
+            if first is not second and first != second:
+                return None
+        return {
+            var: (state_args[index] if in_state else args[index])
+            for in_state, index, var in binds
+        }
+
+    return matcher
+
+
+def _generic_matcher(
+    equation: ConditionalEquation,
+) -> Callable[[App], dict[Var, Term] | None]:
+    """Fallback: full recursive first-order matching against the lhs."""
+    lhs = equation.lhs
+
+    def matcher(term: App):
+        return match(lhs, term)
+
+    return matcher
 
 
 class RewriteEngine:
@@ -63,7 +166,9 @@ class RewriteEngine:
         memoize: cache evaluation results keyed by ground term.  The
             cache is sound because evaluation is pure; it makes
             repeated observation of overlapping traces (the common
-            case in reachability analysis) close to linear.
+            case in reachability analysis) close to linear.  Terms are
+            interned, so cache probes are identity probes with a
+            precomputed hash.
     """
 
     def __init__(
@@ -84,10 +189,26 @@ class RewriteEngine:
         self._state_oracle = state_oracle
         self._cache: dict[Term, Value] = {}
         #: Monotone counters surfaced by the verification statistics:
-        #: memo-cache hits/misses and equation-firing (rewrite) steps.
+        #: memo-cache hits/misses, equation-firing (rewrite) steps, and
+        #: reuses of a compiled dispatch entry.
         self.cache_hits = 0
         self.cache_misses = 0
         self.rewrite_steps = 0
+        self.dispatch_hits = 0
+        #: Compiled per-symbol evaluation closures, built on first use.
+        self._dispatch: dict[str, Callable[[App, list[int]], Value]] = {}
+        #: Compiled equation lists per (query, constructor) pair.
+        self._equation_tables: dict[
+            tuple[str, str],
+            tuple[
+                tuple[
+                    Callable[[App], dict[Var, Term] | None],
+                    fm.Formula | None,
+                    Term,
+                ],
+                ...,
+            ],
+        ] = {}
         # Value constants per sort, prebuilt for quantifier expansion.
         self._domain_terms = {
             sort: tuple(
@@ -196,13 +317,25 @@ class RewriteEngine:
         return current
 
     def clear_cache(self) -> None:
-        """Drop all memoized results."""
+        """Drop all memoized results.
+
+        The compiled dispatch tables survive (they depend only on the
+        specification); dropping the memo also releases the engine's
+        strong references to cached ground terms, allowing retired
+        terms to leave the intern table.
+        """
         self._cache.clear()
 
     @property
     def cache_size(self) -> int:
         """Number of memoized ground-term results."""
         return len(self._cache)
+
+    @property
+    def dispatch_size(self) -> int:
+        """Number of compiled dispatch entries (symbol closures plus
+        per-(query, constructor) equation tables)."""
+        return len(self._dispatch) + len(self._equation_tables)
 
     # ------------------------------------------------------------------
     # evaluation core
@@ -226,55 +359,113 @@ class RewriteEngine:
             raise EvaluationError(f"unbound variable {term} in evaluation")
         if not isinstance(term, App):
             raise TypeError(f"not a term: {term!r}")
-        symbol = term.symbol
-        sig = self.signature
+        handler = self._dispatch.get(term.symbol.name)
+        if handler is None:
+            handler = self._build_handler(term.symbol)
+            self._dispatch[term.symbol.name] = handler
+        else:
+            self.dispatch_hits += 1
+        return handler(term, budget)
 
-        if symbol.name == "True" and symbol.result_sort == BOOLEAN:
-            return True
-        if symbol.name == "False" and symbol.result_sort == BOOLEAN:
-            return False
+    def _build_handler(
+        self, symbol
+    ) -> Callable[[App, list[int]], Value]:
+        """Classify ``symbol`` once and return its evaluation closure.
+
+        The classification order mirrors the paper's evaluation rules
+        (and the engine's original dispatch chain): Boolean constants,
+        connectives, equality tests, interpreted functions, parameter
+        names, queries.
+        """
+        sig = self.signature
+        name = symbol.name
+        if symbol.result_sort == BOOLEAN and name in ("True", "False"):
+            constant = name == "True"
+            return lambda term, budget: constant
 
         if sig.is_connective(symbol):
-            return self._eval_connective(term, budget)
+            return self._connective_handler(name)
 
         if sig.is_equality_test(symbol):
-            return self._eval(term.args[0], budget) == self._eval(
-                term.args[1], budget
-            )
+            def equality(term: App, budget: list[int]) -> bool:
+                return self._eval(term.args[0], budget) == self._eval(
+                    term.args[1], budget
+                )
 
-        interp = sig.interpretation(symbol.name)
+            return equality
+
+        interp = sig.interpretation(name)
         if interp is not None:
-            values = [self._eval(arg, budget) for arg in term.args]
-            return interp(*values)
+            def interpreted(term: App, budget: list[int]) -> Value:
+                return interp(
+                    *[self._eval(arg, budget) for arg in term.args]
+                )
+
+            return interpreted
 
         if symbol.is_constant and symbol.result_sort != STATE:
             # A parameter name evaluates to itself.
-            return symbol.name
+            return lambda term, budget: name
 
         if sig.is_query(symbol):
-            return self._eval_query(term, budget)
+            return self._eval_query
 
-        raise EvaluationError(
-            f"cannot evaluate {term}: {symbol.name} is neither a "
-            "connective, equality test, interpreted function, parameter "
-            "name, nor query"
-        )
+        def unsupported(term: App, budget: list[int]) -> Value:
+            raise EvaluationError(
+                f"cannot evaluate {term}: {term.symbol.name} is neither "
+                "a connective, equality test, interpreted function, "
+                "parameter name, nor query"
+            )
 
-    def _eval_connective(self, term: App, budget: list[int]) -> bool:
-        name = term.symbol.name
+        return unsupported
+
+    def _connective_handler(
+        self, name: str
+    ) -> Callable[[App, list[int]], bool]:
+        eval_ = self._eval
         if name == "not":
-            return not self._eval(term.args[0], budget)
-        lhs = self._eval(term.args[0], budget)
+            return lambda term, budget: not eval_(term.args[0], budget)
         # Short-circuit where the truth table allows it.
         if name == "and":
-            return bool(lhs) and bool(self._eval(term.args[1], budget))
+            return lambda term, budget: bool(
+                eval_(term.args[0], budget)
+            ) and bool(eval_(term.args[1], budget))
         if name == "or":
-            return bool(lhs) or bool(self._eval(term.args[1], budget))
+            return lambda term, budget: bool(
+                eval_(term.args[0], budget)
+            ) or bool(eval_(term.args[1], budget))
         if name == "implies":
-            return (not lhs) or bool(self._eval(term.args[1], budget))
+            return lambda term, budget: (
+                not eval_(term.args[0], budget)
+            ) or bool(eval_(term.args[1], budget))
         if name == "iff":
-            return bool(lhs) == bool(self._eval(term.args[1], budget))
-        raise EvaluationError(f"unknown connective {name!r}")
+            return lambda term, budget: bool(
+                eval_(term.args[0], budget)
+            ) == bool(eval_(term.args[1], budget))
+
+        def unknown(term: App, budget: list[int]) -> bool:
+            raise EvaluationError(f"unknown connective {name!r}")
+
+        return unknown
+
+    def _compiled_equations(self, query: str, constructor: str):
+        """The compiled matcher table for a (query, constructor) pair."""
+        key = (query, constructor)
+        table = self._equation_tables.get(key)
+        if table is None:
+            compiled = []
+            for equation in self.spec.equations_for(query, constructor):
+                matcher = _compile_matcher(equation)
+                if matcher is None:
+                    matcher = _generic_matcher(equation)
+                compiled.append(
+                    (matcher, equation.condition, equation.rhs)
+                )
+            table = tuple(compiled)
+            self._equation_tables[key] = table
+        else:
+            self.dispatch_hits += 1
+        return table
 
     def _eval_query(self, term: App, budget: list[int]) -> Value:
         budget[0] -= 1
@@ -298,20 +489,18 @@ class RewriteEngine:
                 f"query {term} applied to a non-ground state"
             )
         constructor = state_arg.symbol.name
-        candidates = self.spec.equations_for(
-            term.symbol.name, constructor
-        )
-        for equation in candidates:
-            substitution = match(equation.lhs, term)
-            if substitution is None:
+        table = self._compiled_equations(term.symbol.name, constructor)
+        for matcher, condition, rhs in table:
+            bindings = matcher(term)
+            if bindings is None:
                 continue
-            if equation.condition is not None:
-                closed = substitution.apply_formula(equation.condition)
+            if condition is not None:
+                closed = apply_to_formula(bindings, condition)
                 if not self._holds(closed, budget):
                     continue
-            rhs = apply_to_term(substitution, equation.rhs)
+            instantiated = apply_to_term(bindings, rhs)
             self.rewrite_steps += 1
-            return self._eval(rhs, budget)
+            return self._eval(instantiated, budget)
         raise IncompletenessError(
             f"no equation applies to {term} (query "
             f"{term.symbol.name!r} on constructor {constructor!r}): the "
@@ -359,7 +548,7 @@ class RewriteEngine:
                 ) from None
             results = (
                 self._holds(
-                    Substitution({var: value}).apply_formula(formula.body),
+                    apply_to_formula({var: value}, formula.body),
                     budget,
                 )
                 for value in instances

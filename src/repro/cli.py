@@ -18,6 +18,7 @@ import time
 from typing import Callable
 
 from repro.core.framework import DesignFramework
+from repro.logic.terms import intern_stats, intern_table_size
 
 __all__ = ["main", "APPLICATIONS"]
 
@@ -101,6 +102,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 for part in report.stats.parts:
                     print(f"  {part}")
                 print(f"  {report.stats}")
+                kernel = intern_stats()
+                print(
+                    f"  [kernel] intern_table={intern_table_size()} "
+                    f"(vars={kernel['vars']} apps={kernel['apps']}) "
+                    f"dispatch_hits={report.stats.dispatch_hits} "
+                    f"interned_during_run={report.stats.interned_terms}"
+                )
             stats_bundles.append(
                 {"application": name, **report.stats.to_dict()}
             )

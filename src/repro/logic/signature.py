@@ -39,6 +39,21 @@ class FunctionSymbol:
         if not self.name:
             raise SignatureError("function symbol needs a non-empty name")
 
+    def __hash__(self) -> int:
+        # Symbols head every (hash-consed) term, so their hash is on
+        # the term-construction fast path; compute it once per symbol.
+        try:
+            return self._cached_hash
+        except AttributeError:
+            value = hash((self.name, self.arg_sorts, self.result_sort))
+            object.__setattr__(self, "_cached_hash", value)
+            return value
+
+    def __reduce__(self):
+        # Rebuild from the fields so the cached hash is recomputed in
+        # the receiving process rather than shipped.
+        return (FunctionSymbol, (self.name, self.arg_sorts, self.result_sort))
+
     @property
     def arity(self) -> int:
         """Number of arguments the symbol takes."""

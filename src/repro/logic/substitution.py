@@ -93,6 +93,11 @@ class Substitution(Mapping):
 def apply_to_term(sub: Mapping[Var, Term], term: Term) -> Term:
     """Apply a variable-to-term mapping to ``term``.
 
+    Returns ``term`` itself (no allocation, no recursion) whenever no
+    substituted variable occurs in it — in particular for every ground
+    term, the common case when instantiated equation right-hand sides
+    are applied to ground traces during rewriting.
+
     Leaf term kinds other than variables (value literals, scalar
     references, abstract states, ...) contain no variables and pass
     through unchanged.
@@ -100,6 +105,9 @@ def apply_to_term(sub: Mapping[Var, Term], term: Term) -> Term:
     if isinstance(term, Var):
         return sub.get(term, term)
     if isinstance(term, App):
+        free = term.free_vars()
+        if not free or free.isdisjoint(sub):
+            return term
         new_args = tuple(apply_to_term(sub, a) for a in term.args)
         if new_args == term.args:
             return term

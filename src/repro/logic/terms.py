@@ -1,22 +1,65 @@
 """Terms of many-sorted first-order languages.
 
-Terms are immutable and hashable, so they can be used as dictionary
-keys — the algebraic level (Section 4) identifies database states with
-ground terms of sort ``state`` ("traces"), and memoising on them is
-central to the reachability engine.
+Terms are immutable, hashable and **hash-consed** (interned): building
+a term structurally equal to one that is still alive returns the very
+same object.  The algebraic level (Section 4) identifies database
+states with ground terms of sort ``state`` ("traces") and memoises
+query evaluation on them, so term identity, equality and hashing are
+the innermost operations of every verification procedure.  Interning
+makes them O(1):
+
+* the hash of a term is computed once, at construction, from the
+  (already cached) hashes of its parts;
+* ``==`` is an identity check first — two live structurally equal
+  interned terms are the same object, so the structural fallback only
+  runs on hash collisions or for terms that bypassed interning;
+* the many-sorted formation checks run once per *unique* application,
+  not once per construction;
+* pickling re-interns on load (``__reduce__`` routes through the
+  constructor), so terms shipped between
+  :class:`repro.parallel.executor.ParallelExecutor` workers land in
+  the receiving process's intern table.
+
+The intern tables hold weak references: a term only stays interned
+while something else (a trace, a memo cache, an equation) keeps it
+alive, so long verification campaigns do not leak retired terms.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import cached_property
 from typing import Iterator
+from weakref import WeakValueDictionary
 
 from repro.errors import SortError
 from repro.logic.signature import FunctionSymbol
 from repro.logic.sorts import Sort
 
-__all__ = ["Term", "Var", "App", "const"]
+__all__ = [
+    "Term",
+    "Var",
+    "App",
+    "const",
+    "intern_stats",
+    "intern_table_size",
+]
+
+_EMPTY_FROZENSET: frozenset = frozenset()
+
+#: Live interned variables, keyed by (name, sort).
+_VAR_INTERN: WeakValueDictionary = WeakValueDictionary()
+
+#: Live interned applications, keyed by (symbol, args).
+_APP_INTERN: WeakValueDictionary = WeakValueDictionary()
+
+
+def intern_stats() -> dict[str, int]:
+    """Sizes of the live intern tables (one entry per unique term)."""
+    return {"vars": len(_VAR_INTERN), "apps": len(_APP_INTERN)}
+
+
+def intern_table_size() -> int:
+    """Total number of live interned terms (variables + applications)."""
+    return len(_VAR_INTERN) + len(_APP_INTERN)
 
 
 class Term:
@@ -26,6 +69,8 @@ class Term:
     :class:`App` (application of a function symbol; constants are
     0-ary applications).
     """
+
+    __slots__ = ()
 
     @property
     def sort(self) -> Sort:
@@ -54,24 +99,61 @@ class Term:
         raise NotImplementedError
 
 
-@dataclass(frozen=True)
 class Var(Term):
-    """A sorted variable.
+    """A sorted variable (interned).
 
     Attributes:
         name: the variable's identifier.
         var_sort: the variable's sort.
     """
 
-    name: str
-    var_sort: Sort
+    __slots__ = ("name", "var_sort", "_hash", "_free", "__weakref__")
+
+    def __new__(cls, name: str, var_sort: Sort) -> "Var":
+        key = (name, var_sort)
+        cached = _VAR_INTERN.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "var_sort", var_sort)
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_free", frozenset((self,)))
+        _VAR_INTERN[key] = self
+        return self
+
+    def __setattr__(self, attr: str, value) -> None:
+        raise AttributeError("Var is immutable")
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError("Var is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        # Interning guarantees that live structurally equal variables
+        # are identical; the structural branch only decides hash
+        # collisions (and terms revived through exotic paths).
+        return self is other or (
+            type(other) is Var
+            and self.name == other.name
+            and self.var_sort == other.var_sort
+        )
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __reduce__(self):
+        # Re-intern on unpickling (e.g. in a forked worker's process).
+        return (Var, (self.name, self.var_sort))
 
     @property
     def sort(self) -> Sort:
         return self.var_sort
 
     def free_vars(self) -> frozenset["Var"]:
-        return frozenset({self})
+        return self._free
 
     def subterms(self) -> Iterator[Term]:
         yield self
@@ -85,50 +167,86 @@ class Var(Term):
     def __str__(self) -> str:
         return self.name
 
+    def __repr__(self) -> str:
+        return f"Var(name={self.name!r}, var_sort={self.var_sort!r})"
 
-@dataclass(frozen=True)
+
 class App(Term):
-    """Application ``f(t1,...,tn)`` of a function symbol to arguments.
+    """Application ``f(t1,...,tn)`` of a function symbol to arguments
+    (interned).
 
     The constructor checks that the argument sorts match the symbol's
-    declared domain sorts, enforcing the many-sorted formation rules.
+    declared domain sorts, enforcing the many-sorted formation rules;
+    hash-consing means the check runs once per unique application.
 
     Attributes:
         symbol: the applied function symbol.
         args: the argument terms.
     """
 
-    symbol: FunctionSymbol
-    args: tuple[Term, ...] = ()
+    __slots__ = ("symbol", "args", "_hash", "_free", "__weakref__")
 
-    def __post_init__(self) -> None:
-        if len(self.args) != self.symbol.arity:
+    def __new__(
+        cls, symbol: FunctionSymbol, args: tuple[Term, ...] = ()
+    ) -> "App":
+        args = tuple(args)
+        key = (symbol, args)
+        cached = _APP_INTERN.get(key)
+        if cached is not None:
+            return cached
+        if len(args) != symbol.arity:
             raise SortError(
-                f"{self.symbol.name} expects {self.symbol.arity} "
-                f"argument(s), got {len(self.args)}"
+                f"{symbol.name} expects {symbol.arity} "
+                f"argument(s), got {len(args)}"
             )
-        for i, (arg, expected) in enumerate(
-            zip(self.args, self.symbol.arg_sorts)
-        ):
+        free = _EMPTY_FROZENSET
+        for i, (arg, expected) in enumerate(zip(args, symbol.arg_sorts)):
             if arg.sort != expected:
                 raise SortError(
-                    f"argument {i + 1} of {self.symbol.name}: expected "
+                    f"argument {i + 1} of {symbol.name}: expected "
                     f"sort {expected}, got {arg.sort} (term {arg})"
                 )
+            arg_free = arg.free_vars()
+            if arg_free:
+                free = free | arg_free if free else arg_free
+        self = object.__new__(cls)
+        object.__setattr__(self, "symbol", symbol)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_free", free)
+        _APP_INTERN[key] = self
+        return self
+
+    def __setattr__(self, attr: str, value) -> None:
+        raise AttributeError("App is immutable")
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError("App is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        # Identity decides for interned terms; see Var.__eq__.
+        return self is other or (
+            type(other) is App
+            and self.symbol == other.symbol
+            and self.args == other.args
+        )
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __reduce__(self):
+        # Re-intern on unpickling (e.g. in a forked worker's process).
+        return (App, (self.symbol, self.args))
 
     @property
     def sort(self) -> Sort:
         return self.symbol.result_sort
 
-    @cached_property
-    def _free_vars(self) -> frozenset[Var]:
-        out: frozenset[Var] = frozenset()
-        for arg in self.args:
-            out |= arg.free_vars()
-        return out
-
     def free_vars(self) -> frozenset[Var]:
-        return self._free_vars
+        return self._free
 
     def subterms(self) -> Iterator[Term]:
         yield self
@@ -148,6 +266,9 @@ class App(Term):
             return self.symbol.name
         inner = ", ".join(str(a) for a in self.args)
         return f"{self.symbol.name}({inner})"
+
+    def __repr__(self) -> str:
+        return f"App(symbol={self.symbol!r}, args={self.args!r})"
 
 
 def const(symbol: FunctionSymbol) -> App:

@@ -60,6 +60,8 @@ def _run_chunk(payload):
         cache_hits=counters.get("cache_hits", 0),
         cache_misses=counters.get("cache_misses", 0),
         rewrite_steps=counters.get("rewrite_steps", 0),
+        dispatch_hits=counters.get("dispatch_hits", 0),
+        interned_terms=counters.get("interned_terms", 0),
         wall_time=elapsed,
     )
     return result, stats

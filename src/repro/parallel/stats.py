@@ -17,6 +17,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from repro.logic.terms import intern_table_size
+
 __all__ = [
     "WorkerStats",
     "VerificationStats",
@@ -26,20 +28,38 @@ __all__ = [
 ]
 
 #: The counter keys every chunk function reports.
-COUNTER_KEYS = ("items", "cache_hits", "cache_misses", "rewrite_steps")
+COUNTER_KEYS = (
+    "items",
+    "cache_hits",
+    "cache_misses",
+    "rewrite_steps",
+    "dispatch_hits",
+    "interned_terms",
+)
 
 
 def engine_counters(*engines) -> dict[str, int]:
     """Snapshot the cache/rewrite counters of rewrite-engine-like
     objects (anything exposing ``cache_hits``/``cache_misses``/
-    ``rewrite_steps``), summed.  ``None`` entries are skipped."""
-    out = {"cache_hits": 0, "cache_misses": 0, "rewrite_steps": 0}
+    ``rewrite_steps``/``dispatch_hits``), summed.  ``None`` entries are
+    skipped.  ``interned_terms`` is the size of the process-wide term
+    intern table (a gauge, recorded once per snapshot, not per
+    engine); :func:`counter_delta` turns a pair of snapshots into the
+    table's growth over a chunk."""
+    out = {
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "rewrite_steps": 0,
+        "dispatch_hits": 0,
+        "interned_terms": intern_table_size(),
+    }
     for engine in engines:
         if engine is None:
             continue
         out["cache_hits"] += getattr(engine, "cache_hits", 0)
         out["cache_misses"] += getattr(engine, "cache_misses", 0)
         out["rewrite_steps"] += getattr(engine, "rewrite_steps", 0)
+        out["dispatch_hits"] += getattr(engine, "dispatch_hits", 0)
     return out
 
 
@@ -47,11 +67,16 @@ def counter_delta(
     before: dict[str, int], after: dict[str, int], items: int = 0
 ) -> dict[str, int]:
     """The per-chunk counter report: ``after - before`` plus the item
-    count."""
+    count.  For the ``interned_terms`` gauge the delta is the number of
+    terms interned during the chunk (clamped at zero: weakly referenced
+    terms may have been collected in the meantime)."""
     delta = {
         key: after.get(key, 0) - before.get(key, 0)
-        for key in ("cache_hits", "cache_misses", "rewrite_steps")
+        for key in ("cache_hits", "cache_misses", "rewrite_steps", "dispatch_hits")
     }
+    delta["interned_terms"] = max(
+        0, after.get("interned_terms", 0) - before.get("interned_terms", 0)
+    )
     delta["items"] = items
     return delta
 
@@ -68,6 +93,10 @@ class WorkerStats:
         cache_hits: rewrite-engine memo hits inside the chunk.
         cache_misses: rewrite-engine memo misses inside the chunk.
         rewrite_steps: conditional-equation firings inside the chunk.
+        dispatch_hits: reuses of a compiled dispatch-table entry
+            (symbol classification or equation matcher) in the chunk.
+        interned_terms: growth of the worker's term intern table over
+            the chunk (new unique terms hash-consed).
         wall_time: seconds the chunk took, measured in the worker.
     """
 
@@ -76,6 +105,8 @@ class WorkerStats:
     cache_hits: int = 0
     cache_misses: int = 0
     rewrite_steps: int = 0
+    dispatch_hits: int = 0
+    interned_terms: int = 0
     wall_time: float = 0.0
 
     def to_dict(self) -> dict:
@@ -85,6 +116,8 @@ class WorkerStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "rewrite_steps": self.rewrite_steps,
+            "dispatch_hits": self.dispatch_hits,
+            "interned_terms": self.interned_terms,
             "wall_time": self.wall_time,
         }
 
@@ -103,6 +136,9 @@ class VerificationStats:
         cache_hits: total rewrite-cache hits.
         cache_misses: total rewrite-cache misses.
         rewrite_steps: total conditional-equation firings.
+        dispatch_hits: total compiled-dispatch-table reuses.
+        interned_terms: total intern-table growth (unique terms
+            hash-consed during the pass, summed over workers).
         wall_time: elapsed seconds of the whole pass (not the sum of
             worker times — workers overlap).
         per_worker: the unmerged per-worker records.
@@ -116,6 +152,8 @@ class VerificationStats:
     cache_hits: int = 0
     cache_misses: int = 0
     rewrite_steps: int = 0
+    dispatch_hits: int = 0
+    interned_terms: int = 0
     wall_time: float = 0.0
     per_worker: tuple[WorkerStats, ...] = ()
     parts: tuple["VerificationStats", ...] = ()
@@ -142,6 +180,8 @@ class VerificationStats:
             cache_hits=sum(w.cache_hits for w in per_worker),
             cache_misses=sum(w.cache_misses for w in per_worker),
             rewrite_steps=sum(w.rewrite_steps for w in per_worker),
+            dispatch_hits=sum(w.dispatch_hits for w in per_worker),
+            interned_terms=sum(w.interned_terms for w in per_worker),
             wall_time=wall_time,
             per_worker=tuple(per_worker),
         )
@@ -159,6 +199,8 @@ class VerificationStats:
             cache_hits=sum(p.cache_hits for p in parts),
             cache_misses=sum(p.cache_misses for p in parts),
             rewrite_steps=sum(p.rewrite_steps for p in parts),
+            dispatch_hits=sum(p.dispatch_hits for p in parts),
+            interned_terms=sum(p.interned_terms for p in parts),
             wall_time=sum(p.wall_time for p in parts),
             parts=tuple(parts),
         )
@@ -173,6 +215,8 @@ class VerificationStats:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 6),
             "rewrite_steps": self.rewrite_steps,
+            "dispatch_hits": self.dispatch_hits,
+            "interned_terms": self.interned_terms,
             "wall_time": self.wall_time,
         }
         if self.per_worker:
@@ -191,6 +235,8 @@ class VerificationStats:
             f"cache={self.cache_hits}h/{self.cache_misses}m "
             f"({self.cache_hit_rate:.1%}) "
             f"rewrites={self.rewrite_steps} "
+            f"dispatch={self.dispatch_hits} "
+            f"interned={self.interned_terms} "
             f"wall={self.wall_time:.3f}s"
         )
 

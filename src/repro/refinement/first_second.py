@@ -359,17 +359,22 @@ def check_transition_consistency(
     }
     violations: list[tuple[Transition, str]] = []
     if workers <= 1:
-        for transition in graph.transitions:
-            for axiom in _edge_violations(
-                information,
-                carriers,
-                algebra,
-                interpretation,
-                graph,
-                structures,
-                transition,
-            ):
-                violations.append((transition, axiom))
+        # Walk states in discovery order and chain their outgoing
+        # edges via the adjacency index; for breadth-first graphs this
+        # replays graph.transitions exactly (edges of a state are
+        # contiguous there), so reports are unchanged.
+        for snapshot in graph.states:
+            for transition in graph.successors(snapshot):
+                for axiom in _edge_violations(
+                    information,
+                    carriers,
+                    algebra,
+                    interpretation,
+                    graph,
+                    structures,
+                    transition,
+                ):
+                    violations.append((transition, axiom))
         per_worker = [
             WorkerStats(
                 worker=0,

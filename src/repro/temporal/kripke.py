@@ -60,6 +60,11 @@ class KripkeUniverse:
                     "accessibility relates states outside the universe"
                 )
             self._accessibility.add((before, after))
+        # Source-indexed view of R, built lazily by successors(); the
+        # relation is fixed after construction, so it never goes stale.
+        self._successor_index: dict[Structure, tuple[Structure, ...]] | None = (
+            None
+        )
 
     @property
     def states(self) -> tuple[Structure, ...]:
@@ -72,10 +77,21 @@ class KripkeUniverse:
         return frozenset(self._accessibility)
 
     def successors(self, state: Structure) -> Iterator[Structure]:
-        """Yield the states B with R(state, B)."""
-        for before, after in self._accessibility:
-            if before == state:
-                yield after
+        """Yield the states B with R(state, B).
+
+        Reads a source-indexed adjacency map instead of scanning the
+        whole relation; the first call builds the index (grouping the
+        pairs in relation-iteration order, so the yielded sequence is
+        unchanged).
+        """
+        index = self._successor_index
+        if index is None:
+            grouped: dict[Structure, list[Structure]] = {}
+            for before, after in self._accessibility:
+                grouped.setdefault(before, []).append(after)
+            index = {src: tuple(dsts) for src, dsts in grouped.items()}
+            self._successor_index = index
+        return iter(index.get(state, ()))
 
     def accessible(self, before: Structure, after: Structure) -> bool:
         """True iff R(before, after)."""

@@ -8,33 +8,47 @@ from repro.parallel.stats import counter_delta, engine_counters
 
 
 class _FakeEngine:
-    def __init__(self, hits, misses, steps):
+    def __init__(self, hits, misses, steps, dispatch=0):
         self.cache_hits = hits
         self.cache_misses = misses
         self.rewrite_steps = steps
+        self.dispatch_hits = dispatch
 
 
 class TestCounters:
     def test_engine_counters_sums_and_skips_none(self):
         counters = engine_counters(
-            _FakeEngine(3, 1, 7), None, _FakeEngine(2, 2, 0)
+            _FakeEngine(3, 1, 7, dispatch=4), None, _FakeEngine(2, 2, 0)
         )
+        # interned_terms is a process-wide gauge, not a per-engine sum.
+        assert counters.pop("interned_terms") >= 0
         assert counters == {
             "cache_hits": 5,
             "cache_misses": 3,
             "rewrite_steps": 7,
+            "dispatch_hits": 4,
         }
 
     def test_counter_delta(self):
-        before = engine_counters(_FakeEngine(3, 1, 7))
-        after = engine_counters(_FakeEngine(10, 4, 9))
+        before = engine_counters(_FakeEngine(3, 1, 7, dispatch=2))
+        after = engine_counters(_FakeEngine(10, 4, 9, dispatch=5))
         delta = counter_delta(before, after, items=6)
+        # No terms were built between the two snapshots.
+        assert delta.pop("interned_terms") == 0
         assert delta == {
             "cache_hits": 7,
             "cache_misses": 3,
             "rewrite_steps": 2,
+            "dispatch_hits": 3,
             "items": 6,
         }
+
+    def test_counter_delta_clamps_interned_shrinkage(self):
+        # A garbage collection between snapshots can shrink the intern
+        # table; the reported growth never goes negative.
+        before = {"interned_terms": 10}
+        after = {"interned_terms": 4}
+        assert counter_delta(before, after)["interned_terms"] == 0
 
 
 class TestMerge:
