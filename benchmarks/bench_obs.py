@@ -1,0 +1,140 @@
+"""E14 — observability overhead: spans off, spans on, and export cost.
+
+The tracer's contract is that *disabled* instrumentation is free: every
+hot-path call is one ``OBS_STATE.enabled`` load and branch, and
+:func:`repro.obs.tracer.span` returns a shared no-op handle.  The
+benchmark pair ``bench_snapshot_plain`` / ``bench_snapshot_noop_spans``
+runs the same snapshot workload with and without a layer of disabled
+span/count calls; ``benchmarks/check_obs_overhead.py`` gates their
+ratio at 1.05 (<= 5% overhead).  The ``traced`` variants quantify the
+cost of tracing *on* (informational, not gated — enabling tracing is
+an explicit opt-in).
+
+Expected shape: plain ~= noop_spans (the gate); traced costs a few
+percent more (span allocation per coarse unit); Chrome export is
+linear in span count and far from any hot path.
+"""
+
+from repro.algebraic.algebra import TraceAlgebra
+from repro.algebraic.rewriting import RewriteEngine
+from repro.applications.courses import courses_algebraic
+from repro.logic.terms import App
+from repro.obs.export import to_chrome_json
+from repro.obs.tracer import Tracer, activate, count, disable, span
+
+
+def _snapshot_setup():
+    """The courses spec, a 30-update churn trace, and the observation
+    terms of a full snapshot (evaluated on a fresh engine per round,
+    so every round does the full rewrite work)."""
+    spec = courses_algebraic()
+    algebra = TraceAlgebra(spec)
+    steps = [
+        ("offer", "c1"),
+        ("enroll", "s1", "c1"),
+        ("offer", "c2"),
+        ("transfer", "s1", "c1", "c2"),
+        ("cancel", "c1"),
+        ("enroll", "s2", "c2"),
+        ("offer", "c1"),
+    ]
+    trace = algebra.initial_trace()
+    for index in range(30):
+        name, *params = steps[index % len(steps)]
+        trace = algebra.apply(name, *params, trace=trace)
+    signature = spec.signature
+    terms = []
+    for name, params in algebra.observations:
+        symbol = signature.query(name)
+        args = [
+            signature.value(sort, value)
+            for sort, value in zip(symbol.arg_sorts[:-1], params)
+        ]
+        terms.append(App(symbol, (*args, trace)))
+    return spec, terms
+
+
+def bench_snapshot_plain(benchmark):
+    """Baseline: the full snapshot workload, tracing disabled."""
+    spec, terms = _snapshot_setup()
+    disable()
+
+    def run():
+        engine = RewriteEngine(spec)
+        return [engine.evaluate(term) for term in terms]
+
+    benchmark(run)
+
+
+def bench_snapshot_noop_spans(benchmark):
+    """The identical workload under the layer of *disabled* span and
+    counter calls the engine instrumentation adds per coarse unit —
+    the gated <= 5% comparison against plain."""
+    spec, terms = _snapshot_setup()
+    disable()
+
+    def run():
+        with span("bench.snapshot", length=30):
+            engine = RewriteEngine(spec)
+            values = []
+            for term in terms:
+                count("bench.observations")
+                values.append(engine.evaluate(term))
+            return values
+
+    benchmark(run)
+
+
+def bench_snapshot_traced(benchmark):
+    """The workload with tracing ON and a fresh tracer per call
+    (informational: the opt-in cost of recording)."""
+    spec, terms = _snapshot_setup()
+
+    def run():
+        with activate():
+            with span("bench.snapshot", length=30):
+                engine = RewriteEngine(spec)
+                values = []
+                for term in terms:
+                    count("bench.observations")
+                    values.append(engine.evaluate(term))
+                return values
+
+    try:
+        benchmark(run)
+    finally:
+        disable()
+
+
+def bench_explore_off(benchmark):
+    """Full state-space exploration, tracing disabled."""
+    spec = courses_algebraic()
+    disable()
+    benchmark(lambda: TraceAlgebra(spec).explore())
+
+
+def bench_explore_traced(benchmark):
+    """Full exploration with tracing ON (spans per BFS level plus the
+    per-evaluate counters)."""
+    spec = courses_algebraic()
+
+    def run():
+        with activate():
+            return TraceAlgebra(spec).explore()
+
+    try:
+        benchmark(run)
+    finally:
+        disable()
+
+
+def bench_export_chrome(benchmark):
+    """Chrome-JSON export of a 1000-span tree (cold-path cost)."""
+    tracer = Tracer()
+    with tracer.span("root"):
+        for outer in range(100):
+            with tracer.span("check", index=outer):
+                for _ in range(9):
+                    with tracer.span("unit") as unit:
+                        unit.count("items", 3)
+    benchmark(to_chrome_json, tracer)

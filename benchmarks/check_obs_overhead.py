@@ -1,0 +1,90 @@
+"""Gate the disabled-tracing overhead at <= 5%.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs.py -q \
+        --benchmark-json=BENCH_obs.json
+    python benchmarks/check_obs_overhead.py BENCH_obs.json [--factor 1.05]
+
+Reads a pytest-benchmark JSON emission of ``bench_obs.py`` and fails
+(exit 1) when the no-op-span variant of the snapshot workload is more
+than ``factor`` times the plain variant.  Both variants run on the
+same machine in the same session, so the comparison is
+machine-independent — unlike the absolute kernel baseline, no
+cross-host headroom is needed and the factor is the contract itself:
+disabled instrumentation costs <= 5%.
+
+The tracing-ON ratios (``bench_snapshot_traced``,
+``bench_explore_traced``) are reported for context but never gated —
+recording is an explicit opt-in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: The gated pair: (baseline benchmark, instrumented benchmark).
+GATED_PAIR = ("bench_snapshot_plain", "bench_snapshot_noop_spans")
+
+#: Informational pairs: (baseline, variant, description).
+REPORTED_PAIRS = (
+    ("bench_snapshot_plain", "bench_snapshot_traced", "tracing on"),
+    ("bench_explore_off", "bench_explore_traced", "tracing on"),
+)
+
+
+def _means(payload: dict) -> dict[str, float]:
+    """Map benchmark name -> mean seconds."""
+    return {
+        bench["name"]: bench["stats"]["mean"]
+        for bench in payload["benchmarks"]
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("run", help="pytest-benchmark JSON of bench_obs")
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=1.05,
+        help=(
+            "fail when noop-span mean > factor * plain mean "
+            "(default 1.05 = the 5%% disabled-overhead contract)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.run, encoding="utf-8") as handle:
+        means = _means(json.load(handle))
+
+    base_name, noop_name = GATED_PAIR
+    try:
+        base, noop = means[base_name], means[noop_name]
+    except KeyError as missing:
+        print(f"benchmark {missing} missing from the run",
+              file=sys.stderr)
+        return 2
+
+    ratio = noop / base
+    verdict = "OK" if ratio <= args.factor else "FAIL"
+    print(
+        f"[{verdict}] disabled-span overhead: {base_name} "
+        f"{base * 1e3:.3f}ms vs {noop_name} {noop * 1e3:.3f}ms "
+        f"-> x{ratio:.4f} (gate x{args.factor})"
+    )
+
+    for base_name, variant, label in REPORTED_PAIRS:
+        if base_name in means and variant in means:
+            print(
+                f"[info] {label}: {variant} is "
+                f"x{means[variant] / means[base_name]:.4f} of {base_name}"
+            )
+
+    return 0 if ratio <= args.factor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

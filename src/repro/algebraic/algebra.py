@@ -27,6 +27,7 @@ from weakref import WeakValueDictionary
 from repro.errors import SpecificationError
 from repro.algebraic.rewriting import RewriteEngine, Value
 from repro.algebraic.spec import AlgebraicSpec
+from repro.obs.tracer import OBS_STATE as _OBS, span as _span
 from repro.logic.terms import App, Term
 from repro.parallel.executor import ParallelExecutor
 from repro.parallel.partition import chunk_ranges
@@ -385,6 +386,8 @@ class TraceAlgebra:
         By the observability condition, the snapshot identifies the
         abstract state the trace denotes.
         """
+        if _OBS.enabled:
+            _OBS.tracer.count("algebra.snapshots")
         entries = tuple(
             sorted(
                 ((name, params), self.query(name, *params, trace=trace))
@@ -432,38 +435,47 @@ class TraceAlgebra:
             between explored nodes.
         """
         started = time.perf_counter()
-        if workers <= 1:
-            before = engine_counters(self.engine)
-            graph, items = self._explore_serial(max_states, max_depth)
-            if stats is not None:
+        with _span("explore", workers=workers) as obs_span:
+            if workers <= 1:
+                before = engine_counters(self.engine)
+                graph, items = self._explore_serial(max_states, max_depth)
                 after = engine_counters(self.engine)
-                record = WorkerStats(
-                    worker=0,
-                    wall_time=time.perf_counter() - started,
-                    **counter_delta(before, after, items),
+                delta = counter_delta(before, after, items)
+                obs_span.record(delta)
+                obs_span.count("explore.states", len(graph.states))
+                obs_span.count(
+                    "explore.transitions", len(graph.transitions)
                 )
+                if stats is not None:
+                    record = WorkerStats(
+                        worker=0,
+                        wall_time=time.perf_counter() - started,
+                        **delta,
+                    )
+                    stats.add(
+                        VerificationStats.merge(
+                            "explore",
+                            1,
+                            [record],
+                            time.perf_counter() - started,
+                        )
+                    )
+                return graph
+            graph, worker_stats = self._explore_parallel(
+                max_states, max_depth, workers
+            )
+            obs_span.count("explore.states", len(graph.states))
+            obs_span.count("explore.transitions", len(graph.transitions))
+            if stats is not None:
                 stats.add(
                     VerificationStats.merge(
                         "explore",
-                        1,
-                        [record],
+                        workers,
+                        worker_stats,
                         time.perf_counter() - started,
                     )
                 )
             return graph
-        graph, worker_stats = self._explore_parallel(
-            max_states, max_depth, workers
-        )
-        if stats is not None:
-            stats.add(
-                VerificationStats.merge(
-                    "explore",
-                    workers,
-                    worker_stats,
-                    time.perf_counter() - started,
-                )
-            )
-        return graph
 
     def _explore_serial(
         self, max_states: int, max_depth: int | None
@@ -514,6 +526,7 @@ class TraceAlgebra:
         level: list[tuple[Snapshot, Term, int]] = [
             (initial_snapshot, initial, 0)
         ]
+        depth_level = 0
         with ParallelExecutor(workers, context=self) as executor:
             while level:
                 expandable = [
@@ -527,7 +540,13 @@ class TraceAlgebra:
                     [expandable[i][1] for i in chunk]
                     for chunk in chunk_ranges(len(expandable), workers)
                 ]
-                results = executor.map(_expand_chunk, chunks)
+                with _span(
+                    "explore.level",
+                    depth=depth_level,
+                    frontier=len(expandable),
+                ):
+                    results = executor.map(_expand_chunk, chunks)
+                depth_level += 1
                 expansions = [exp for chunk in results for exp in chunk]
                 next_level: list[tuple[Snapshot, Term, int]] = []
                 for (source_snapshot, _, depth), expansion in zip(

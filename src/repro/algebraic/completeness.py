@@ -45,6 +45,7 @@ from repro.algebraic.algebra import TraceAlgebra
 from repro.algebraic.equations import ConditionalEquation
 from repro.algebraic.spec import AlgebraicSpec
 from repro.logic.terms import App, Term, Var
+from repro.obs.tracer import span as _span
 from repro.parallel.executor import run_chunked
 from repro.parallel.partition import chunk_ranges
 from repro.parallel.stats import (
@@ -412,17 +413,23 @@ def check_sufficient_completeness(
             is a cheap graph computation and stays serial).
         stats: optional sink receiving the coverage record.
     """
-    termination = check_termination(spec)
-    try:
-        coverage = check_coverage(
-            spec,
-            depth=depth,
-            max_traces=max_traces,
-            workers=workers,
-            stats=stats,
-        )
-    except ReproError as exc:  # pragma: no cover - defensive
-        coverage = CoverageReport(
-            ok=False, uncovered=(str(exc),), traces_checked=0
+    with _span("completeness", workers=workers) as obs_span:
+        with _span("completeness.termination"):
+            termination = check_termination(spec)
+        try:
+            with _span("completeness.coverage", depth=depth):
+                coverage = check_coverage(
+                    spec,
+                    depth=depth,
+                    max_traces=max_traces,
+                    workers=workers,
+                    stats=stats,
+                )
+        except ReproError as exc:  # pragma: no cover - defensive
+            coverage = CoverageReport(
+                ok=False, uncovered=(str(exc),), traces_checked=0
+            )
+        obs_span.count(
+            "completeness.traces_checked", coverage.traces_checked
         )
     return CompletenessReport(termination=termination, coverage=coverage)

@@ -59,18 +59,23 @@ class AbstractState(Term):
 
     @property
     def sort(self):
+        """The sort of the term."""
         return STATE
 
     def free_vars(self) -> frozenset[Var]:
+        """The set of variables occurring in the term."""
         return frozenset()
 
     def subterms(self) -> Iterator[Term]:
+        """Yield the term itself and every subterm, pre-order."""
         yield self
 
     def depth(self) -> int:
+        """Height of the term tree."""
         return 1
 
     def size(self) -> int:
+        """Total number of nodes in the term tree."""
         return 1
 
     def __str__(self) -> str:

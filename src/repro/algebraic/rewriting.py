@@ -50,6 +50,7 @@ from repro.errors import (
     IncompletenessError,
     NonTerminationError,
 )
+from repro.obs.tracer import OBS_STATE as _OBS
 from repro.algebraic.equations import ConditionalEquation
 from repro.algebraic.spec import AlgebraicSpec
 from repro.logic import formulas as fm
@@ -231,6 +232,8 @@ class RewriteEngine:
                 application encountered.
             NonTerminationError: if the fuel budget is exhausted.
         """
+        if _OBS.enabled:
+            _OBS.tracer.count("rewrite.evaluate.calls")
         if term.sort == STATE:
             raise EvaluationError(
                 "terms of sort state are symbolic traces; only query/"
@@ -279,6 +282,8 @@ class RewriteEngine:
             )
         if not self.spec.u_equations:
             return term
+        if _OBS.enabled:
+            _OBS.tracer.count("rewrite.normalize.calls")
         budget = [self._fuel_limit]
         return self._normalize(term, budget)
 

@@ -6,6 +6,9 @@ Usage::
     python -m repro verify courses [--depth 2] [--quiet]
     python -m repro verify all --workers 4
     python -m repro verify courses --stats --stats-json stats.json
+    python -m repro verify courses --trace trace.json   # Chrome trace
+    python -m repro verify courses --trace-summary      # span tree
+    python -m repro verify courses --metrics-json metrics.json
     python -m repro schema courses        # print the RPR schema
     python -m repro axioms courses        # print the level-1 theory
 """
@@ -74,9 +77,22 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         list(APPLICATIONS) if args.application == "all"
         else [args.application]
     )
-    collect_stats = args.stats or args.stats_json is not None
+    collect_stats = (
+        args.stats
+        or args.stats_json is not None
+        or args.metrics_json is not None
+    )
+    want_trace = bool(
+        args.trace or args.trace_jsonl or args.trace_summary
+    )
+    tracer = None
+    if want_trace or args.metrics_json is not None:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
     failures = 0
     stats_bundles = []
+    verified_stats = []
     for name in names:
         factory = APPLICATIONS.get(name)
         if factory is None:
@@ -90,6 +106,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             congruence_depth=args.depth,
             workers=args.workers,
             collect_stats=collect_stats,
+            tracer=tracer,
         )
         elapsed = time.perf_counter() - started
         verdict = "OK" if report.ok else "FAILED"
@@ -112,6 +129,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             stats_bundles.append(
                 {"application": name, **report.stats.to_dict()}
             )
+            verified_stats.append(report.stats)
         if not report.ok:
             failures += 1
     if args.stats_json is not None and stats_bundles:
@@ -126,7 +144,46 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             with open(args.stats_json, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, indent=2)
                 handle.write("\n")
+    _write_observability(args, tracer, verified_stats)
     return 1 if failures else 0
+
+
+def _write_observability(
+    args: argparse.Namespace, tracer, verified_stats
+) -> None:
+    """Export the trace/metrics artifacts the verify flags requested."""
+    if tracer is None:
+        return
+    from repro.obs.export import (
+        format_tree,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from repro.obs.metrics import MetricsRegistry
+
+    if args.trace is not None:
+        write_chrome_trace(tracer, args.trace)
+        print(f"trace written to {args.trace} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+    if args.trace_jsonl is not None:
+        write_jsonl(tracer, args.trace_jsonl)
+        print(f"flat span log written to {args.trace_jsonl}")
+    if args.trace_summary:
+        print(format_tree(tracer))
+    if args.metrics_json is not None:
+        registry = MetricsRegistry()
+        for stats in verified_stats:
+            registry.record_verification(stats)
+        registry.merge_tracer(tracer)
+        registry.record_kernel()
+        if args.metrics_json == "-":
+            print(registry.to_json())
+        else:
+            with open(
+                args.metrics_json, "w", encoding="utf-8"
+            ) as handle:
+                handle.write(registry.to_json())
+                handle.write("\n")
 
 
 def _cmd_schema(args: argparse.Namespace) -> int:
@@ -196,6 +253,29 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "write the aggregated VerificationStats record as JSON to "
             "PATH ('-' for stdout)"
+        ),
+    )
+    verify.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help=(
+            "record a span trace of the run and write it as a Chrome "
+            "Trace Event JSON file (open in chrome://tracing or "
+            "ui.perfetto.dev)"
+        ),
+    )
+    verify.add_argument(
+        "--trace-jsonl", metavar="FILE", default=None,
+        help="write the span trace as a flat JSONL event log",
+    )
+    verify.add_argument(
+        "--trace-summary", action="store_true",
+        help="print the span tree with durations and counters",
+    )
+    verify.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help=(
+            "write the aggregated metrics registry (named counters "
+            "and gauges) as JSON to PATH ('-' for stdout)"
         ),
     )
     verify.set_defaults(handler=_cmd_verify)

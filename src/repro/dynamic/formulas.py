@@ -59,6 +59,7 @@ class Box(fm.Formula):
     body: fm.Formula
 
     def free_vars(self) -> frozenset[Var]:
+        """The set of free variables of the formula."""
         out = self.body.free_vars()
         if isinstance(self.program, ProcCall):
             for arg in self.program.args:
@@ -66,6 +67,7 @@ class Box(fm.Formula):
         return out
 
     def subformulas(self) -> Iterator[fm.Formula]:
+        """Yield the formula itself and every subformula, pre-order."""
         yield self
         yield from self.body.subformulas()
 
@@ -84,6 +86,7 @@ class Diamond(fm.Formula):
     body: fm.Formula
 
     def free_vars(self) -> frozenset[Var]:
+        """The set of free variables of the formula."""
         out = self.body.free_vars()
         if isinstance(self.program, ProcCall):
             for arg in self.program.args:
@@ -91,6 +94,7 @@ class Diamond(fm.Formula):
         return out
 
     def subformulas(self) -> Iterator[fm.Formula]:
+        """Yield the formula itself and every subformula, pre-order."""
         yield self
         yield from self.body.subformulas()
 

@@ -77,9 +77,11 @@ class TrueF(Formula):
     """The propositional constant *true*."""
 
     def free_vars(self) -> frozenset[Var]:
+        """The set of free variables of the formula."""
         return frozenset()
 
     def subformulas(self) -> Iterator[Formula]:
+        """Yield the formula itself and every subformula, pre-order."""
         yield self
 
     def __str__(self) -> str:
@@ -91,9 +93,11 @@ class FalseF(Formula):
     """The propositional constant *false*."""
 
     def free_vars(self) -> frozenset[Var]:
+        """The set of free variables of the formula."""
         return frozenset()
 
     def subformulas(self) -> Iterator[Formula]:
+        """Yield the formula itself and every subformula, pre-order."""
         yield self
 
     def __str__(self) -> str:
@@ -139,9 +143,11 @@ class Atom(Formula):
         return out
 
     def free_vars(self) -> frozenset[Var]:
+        """The set of free variables of the formula."""
         return self._free_vars
 
     def subformulas(self) -> Iterator[Formula]:
+        """Yield the formula itself and every subformula, pre-order."""
         yield self
 
     def __str__(self) -> str:
@@ -166,9 +172,11 @@ class Equals(Formula):
             )
 
     def free_vars(self) -> frozenset[Var]:
+        """The set of free variables of the formula."""
         return self.lhs.free_vars() | self.rhs.free_vars()
 
     def subformulas(self) -> Iterator[Formula]:
+        """Yield the formula itself and every subformula, pre-order."""
         yield self
 
     def __str__(self) -> str:
@@ -182,9 +190,11 @@ class Not(Formula):
     body: Formula
 
     def free_vars(self) -> frozenset[Var]:
+        """The set of free variables of the formula."""
         return self.body.free_vars()
 
     def subformulas(self) -> Iterator[Formula]:
+        """Yield the formula itself and every subformula, pre-order."""
         yield self
         yield from self.body.subformulas()
 

@@ -150,18 +150,23 @@ class Var(Term):
 
     @property
     def sort(self) -> Sort:
+        """The sort of the term."""
         return self.var_sort
 
     def free_vars(self) -> frozenset["Var"]:
+        """The set of variables occurring in the term."""
         return self._free
 
     def subterms(self) -> Iterator[Term]:
+        """Yield the term itself and every subterm, pre-order."""
         yield self
 
     def depth(self) -> int:
+        """Height of the term tree."""
         return 1
 
     def size(self) -> int:
+        """Total number of nodes in the term tree."""
         return 1
 
     def __str__(self) -> str:
@@ -243,22 +248,27 @@ class App(Term):
 
     @property
     def sort(self) -> Sort:
+        """The sort of the term."""
         return self.symbol.result_sort
 
     def free_vars(self) -> frozenset[Var]:
+        """The set of variables occurring in the term."""
         return self._free
 
     def subterms(self) -> Iterator[Term]:
+        """Yield the term itself and every subterm, pre-order."""
         yield self
         for arg in self.args:
             yield from arg.subterms()
 
     def depth(self) -> int:
+        """Height of the term tree."""
         if not self.args:
             return 1
         return 1 + max(arg.depth() for arg in self.args)
 
     def size(self) -> int:
+        """Total number of nodes in the term tree."""
         return 1 + sum(arg.size() for arg in self.args)
 
     def __str__(self) -> str:

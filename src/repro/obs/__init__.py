@@ -1,0 +1,70 @@
+"""Span-based observability for the verification engine.
+
+``repro.obs`` is the instrumentation seam of the system: a
+zero-dependency span tracer (:mod:`repro.obs.tracer`), a named
+counter/gauge registry (:mod:`repro.obs.metrics`), and trace
+exporters (:mod:`repro.obs.export`) — Chrome ``chrome://tracing``
+JSON, a flat JSONL event log, and a human summary tree.
+
+Tracing is off by default and costs one branch per instrumentation
+point when off.  Turn it on around a block::
+
+    from repro import obs
+
+    tracer = obs.Tracer()
+    with obs.activate(tracer):
+        report = framework.verify()
+    print(obs.format_tree(tracer))
+    obs.write_chrome_trace(tracer, "trace.json")
+
+or from the CLI: ``python -m repro verify courses --trace trace.json``.
+
+Worker processes forked by :mod:`repro.parallel` inherit the enabled
+flag; their per-chunk span buffers are merged back **in deterministic
+chunk order**, so traces are structurally identical for every worker
+count.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    format_tree,
+    iter_flat_events,
+    to_chrome_json,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import (
+    OBS_STATE,
+    Span,
+    Tracer,
+    activate,
+    capture,
+    count,
+    current_tracer,
+    disable,
+    enable,
+    is_enabled,
+    span,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "OBS_STATE",
+    "span",
+    "count",
+    "enable",
+    "disable",
+    "is_enabled",
+    "current_tracer",
+    "activate",
+    "capture",
+    "MetricsRegistry",
+    "chrome_trace_events",
+    "to_chrome_json",
+    "write_chrome_trace",
+    "iter_flat_events",
+    "write_jsonl",
+    "format_tree",
+]

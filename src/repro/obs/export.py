@@ -1,0 +1,200 @@
+"""Trace exporters: Chrome tracing JSON, flat JSONL, summary tree.
+
+Three views of one span tree, for three audiences:
+
+* :func:`write_chrome_trace` — the Trace Event Format consumed by
+  ``chrome://tracing`` / Perfetto: one complete (``"ph": "X"``) event
+  per span, microsecond timestamps normalized to the earliest span,
+  worker chunks on their own ``tid`` rows so per-worker rewrite
+  activity lines up visually against the parent's checks.
+* :func:`write_jsonl` — one JSON object per line per span, preorder,
+  with the materialized ``path`` from the root; greppable and
+  streamable into any log pipeline.
+* :func:`format_tree` — the human ``--stats``-style summary: an
+  indented tree of span names, durations, attributes and counters.
+
+All exporters accept either a :class:`~repro.obs.tracer.Tracer` or a
+list of root :class:`~repro.obs.tracer.Span` objects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator
+
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "to_chrome_json",
+    "write_chrome_trace",
+    "iter_flat_events",
+    "write_jsonl",
+    "format_tree",
+]
+
+
+def _roots(trace: Tracer | Iterable[Span]) -> list[Span]:
+    """Normalize a tracer-or-spans argument to a list of root spans."""
+    if isinstance(trace, Tracer):
+        return list(trace.roots)
+    return list(trace)
+
+
+def _earliest_start(roots: list[Span]) -> float:
+    """The minimum start time over the whole forest (0.0 if empty)."""
+    starts = [root.start for root in roots]
+    return min(starts) if starts else 0.0
+
+
+def chrome_trace_events(trace: Tracer | Iterable[Span]) -> list[dict]:
+    """The span forest as Trace Event Format complete events.
+
+    Timestamps are microseconds relative to the earliest span, so the
+    viewer's timeline starts at zero.  Each event carries the span's
+    attributes and counters under ``args``.  A span with a ``worker``
+    attribute (chunk spans) is emitted on ``tid = worker + 1``; all
+    other spans share ``tid = 0`` — Chrome renders nesting per ``tid``
+    from the timestamps alone, so rows stay readable.
+    """
+    roots = _roots(trace)
+    epoch = _earliest_start(roots)
+    events: list[dict] = []
+
+    def emit(current: Span, tid: int) -> None:
+        own_tid = tid
+        worker = current.attrs.get("worker")
+        if isinstance(worker, int):
+            own_tid = worker + 1
+        end = current.end if current.end is not None else current.start
+        args: dict = {}
+        if current.attrs:
+            args.update(current.attrs)
+        if current.counters:
+            args["counters"] = dict(current.counters)
+        events.append(
+            {
+                "name": current.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": round((current.start - epoch) * 1e6, 3),
+                "dur": round((end - current.start) * 1e6, 3),
+                "pid": 0,
+                "tid": own_tid,
+                "args": args,
+            }
+        )
+        for child in current.children:
+            emit(child, own_tid)
+
+    for root in roots:
+        emit(root, 0)
+    return events
+
+
+def to_chrome_json(trace: Tracer | Iterable[Span]) -> dict:
+    """The full ``chrome://tracing``-loadable document."""
+    return {
+        "traceEvents": chrome_trace_events(trace),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(
+    trace: Tracer | Iterable[Span], target: str | IO[str]
+) -> None:
+    """Write the Chrome tracing JSON document to a path or stream."""
+    document = to_chrome_json(trace)
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+            handle.write("\n")
+    else:
+        json.dump(document, target)
+        target.write("\n")
+
+
+def iter_flat_events(
+    trace: Tracer | Iterable[Span],
+) -> Iterator[dict]:
+    """Yield one flat dict per span, preorder.
+
+    Each event carries ``name``, the ``/``-joined ``path`` from its
+    root, ``depth``, start/end/duration in seconds (relative to the
+    earliest span), and the span's attributes and counters.
+    """
+    roots = _roots(trace)
+    epoch = _earliest_start(roots)
+
+    def emit(current: Span, path: str, depth: int) -> Iterator[dict]:
+        end = current.end if current.end is not None else current.start
+        yield {
+            "name": current.name,
+            "path": path,
+            "depth": depth,
+            "start": round(current.start - epoch, 9),
+            "end": round(end - epoch, 9),
+            "duration": round(end - current.start, 9),
+            "attrs": current.attrs,
+            "counters": current.counters,
+        }
+        for child in current.children:
+            yield from emit(child, f"{path}/{child.name}", depth + 1)
+
+    for root in roots:
+        yield from emit(root, root.name, 0)
+
+
+def write_jsonl(
+    trace: Tracer | Iterable[Span], target: str | IO[str]
+) -> None:
+    """Write the flat event log, one JSON object per line."""
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            for event in iter_flat_events(trace):
+                handle.write(json.dumps(event))
+                handle.write("\n")
+    else:
+        for event in iter_flat_events(trace):
+            target.write(json.dumps(event))
+            target.write("\n")
+
+
+def format_tree(
+    trace: Tracer | Iterable[Span],
+    max_counters: int = 6,
+) -> str:
+    """The human-readable summary tree (the ``--trace-summary`` view).
+
+    One line per span: indented name, duration in milliseconds,
+    attributes, and up to ``max_counters`` counters (the rest
+    summarized as ``+N more``).
+    """
+    lines: list[str] = []
+
+    def emit(current: Span, depth: int) -> None:
+        indent = "  " * depth
+        parts = [f"{indent}{current.name}"]
+        parts.append(f"{current.duration * 1e3:.2f}ms")
+        if current.attrs:
+            rendered = " ".join(
+                f"{key}={value}"
+                for key, value in current.attrs.items()
+            )
+            parts.append(rendered)
+        if current.counters:
+            shown = sorted(current.counters.items())
+            rendered = " ".join(
+                f"{name}={value}" for name, value in shown[:max_counters]
+            )
+            if len(shown) > max_counters:
+                rendered += f" +{len(shown) - max_counters} more"
+            parts.append(f"[{rendered}]")
+        lines.append("  ".join(parts))
+        for child in current.children:
+            emit(child, depth + 1)
+
+    for root in _roots(trace):
+        emit(root, 0)
+    return "\n".join(lines)

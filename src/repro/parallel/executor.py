@@ -36,6 +36,7 @@ import multiprocessing
 import time
 from typing import Any, Callable, Sequence
 
+from repro.obs.tracer import OBS_STATE, Span, capture
 from repro.parallel.stats import WorkerStats
 
 __all__ = ["ParallelExecutor", "run_chunked"]
@@ -49,10 +50,28 @@ def _get_context() -> Any:
 
 
 def _run_chunk(payload):
-    """Worker-side trampoline: time the chunk and shape its stats."""
+    """Worker-side trampoline: time the chunk and shape its stats.
+
+    When tracing is enabled (the flag is inherited through fork) the
+    chunk runs under its own span buffer rooted at a ``chunk`` span
+    carrying the chunk index as the ``worker`` attribute; the buffer
+    travels back serialized on :attr:`WorkerStats.spans` and the
+    chunk's counters are recorded on the chunk span, so per-worker
+    rewrite activity is visible in the exported trace.
+    """
     fn, index, arg = payload
     started = time.perf_counter()
-    result, counters = fn(_CONTEXT, arg)
+    spans: tuple = ()
+    if OBS_STATE.enabled:
+        with capture("chunk", worker=index) as chunk_tracer:
+            result, counters = fn(_CONTEXT, arg)
+        for root in chunk_tracer.roots:
+            root.record(
+                {k: v for k, v in counters.items() if isinstance(v, int)}
+            )
+        spans = tuple(root.to_dict() for root in chunk_tracer.roots)
+    else:
+        result, counters = fn(_CONTEXT, arg)
     elapsed = time.perf_counter() - started
     stats = WorkerStats(
         worker=index,
@@ -63,6 +82,7 @@ def _run_chunk(payload):
         dispatch_hits=counters.get("dispatch_hits", 0),
         interned_terms=counters.get("interned_terms", 0),
         wall_time=elapsed,
+        spans=spans,
     )
     return result, stats
 
@@ -141,9 +161,19 @@ class ParallelExecutor:
         else:
             outcomes = self._pool.map(_run_chunk, payloads)
         results = []
+        graft = (
+            OBS_STATE.tracer.graft
+            if OBS_STATE.enabled and OBS_STATE.tracer is not None
+            else None
+        )
         for result, stats in outcomes:
             self.worker_stats.append(stats)
             results.append(result)
+            if graft is not None:
+                # Outcomes arrive in submission (chunk) order, so the
+                # grafted trace is deterministic for any worker count.
+                for span_dict in stats.spans:
+                    graft(Span.from_dict(span_dict))
         return results
 
 

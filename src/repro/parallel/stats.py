@@ -98,6 +98,10 @@ class WorkerStats:
         interned_terms: growth of the worker's term intern table over
             the chunk (new unique terms hash-consed).
         wall_time: seconds the chunk took, measured in the worker.
+        spans: serialized :class:`repro.obs.tracer.Span` trees the
+            chunk recorded (empty unless tracing was enabled); the
+            executor grafts them back into the parent's trace in
+            chunk submission order.
     """
 
     worker: int
@@ -108,8 +112,11 @@ class WorkerStats:
     dispatch_hits: int = 0
     interned_terms: int = 0
     wall_time: float = 0.0
+    spans: tuple = ()
 
     def to_dict(self) -> dict:
+        """A JSON-serializable view of the chunk record (span buffers
+        are part of the trace, not the stats, and are omitted)."""
         return {
             "worker": self.worker,
             "items": self.items,
@@ -226,6 +233,7 @@ class VerificationStats:
         return out
 
     def to_json(self, indent: int | None = None) -> str:
+        """The record as a JSON document (:meth:`to_dict` serialized)."""
         return json.dumps(self.to_dict(), indent=indent)
 
     def __str__(self) -> str:
@@ -252,6 +260,7 @@ class StatsSink:
     records: list[VerificationStats] = field(default_factory=list)
 
     def add(self, record: VerificationStats) -> None:
+        """Append one per-check record to the sink."""
         self.records.append(record)
 
     def combined(self, label: str = "verify") -> VerificationStats:

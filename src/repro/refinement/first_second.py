@@ -40,6 +40,7 @@ from repro.logic.signature import PredicateSymbol
 from repro.logic.sorts import STATE, Sort
 from repro.logic.substitution import Substitution
 from repro.logic.terms import Term, Var
+from repro.obs.tracer import span as _span
 from repro.parallel.executor import run_chunked
 from repro.parallel.partition import chunk_ranges
 from repro.parallel.stats import (
@@ -147,36 +148,42 @@ def check_static_consistency(
         graph = algebra.explore(workers=workers, stats=stats)
     traces = list(graph.states.values())
     violations: list[tuple[Term, str]] = []
-    if workers <= 1:
-        before = engine_counters(algebra.engine)
-        for trace in traces:
-            structure = interpretation.structure_of_trace(
-                information, carriers, algebra, trace
+    with _span("static", workers=workers) as obs_span:
+        if workers <= 1:
+            before = engine_counters(algebra.engine)
+            for trace in traces:
+                structure = interpretation.structure_of_trace(
+                    information, carriers, algebra, trace
+                )
+                report = check_state(information, structure)
+                for axiom, _ in report.violations:
+                    violations.append((trace, str(axiom)))
+            delta = counter_delta(
+                before, engine_counters(algebra.engine), len(traces)
             )
-            report = check_state(information, structure)
-            for axiom, _ in report.violations:
-                violations.append((trace, str(axiom)))
-        per_worker = [
-            WorkerStats(
-                worker=0,
-                wall_time=time.perf_counter() - started,
-                **counter_delta(
-                    before, engine_counters(algebra.engine), len(traces)
-                ),
+            obs_span.record(delta)
+            per_worker = [
+                WorkerStats(
+                    worker=0,
+                    wall_time=time.perf_counter() - started,
+                    **delta,
+                )
+            ]
+        else:
+            context = (
+                information, carriers, algebra, interpretation, traces
             )
-        ]
-    else:
-        context = (information, carriers, algebra, interpretation, traces)
-        chunked, per_worker = run_chunked(
-            _static_chunk,
-            context,
-            chunk_ranges(len(traces), workers),
-            workers,
-        )
-        per_state = [entry for chunk in chunked for entry in chunk]
-        for trace, axioms in zip(traces, per_state):
-            for axiom in axioms:
-                violations.append((trace, axiom))
+            chunked, per_worker = run_chunked(
+                _static_chunk,
+                context,
+                chunk_ranges(len(traces), workers),
+                workers,
+            )
+            per_state = [entry for chunk in chunked for entry in chunk]
+            for trace, axioms in zip(traces, per_state):
+                for axiom in axioms:
+                    violations.append((trace, axiom))
+        obs_span.count("static.violations", len(violations))
     if stats is not None:
         stats.add(
             VerificationStats.merge(
@@ -350,61 +357,66 @@ def check_transition_consistency(
     started = time.perf_counter()
     if graph is None:
         graph = algebra.explore(workers=workers, stats=stats)
-    counters_before = engine_counters(algebra.engine)
-    structures = {
-        snapshot: interpretation.structure_of_trace(
-            information, carriers, algebra, trace
-        )
-        for snapshot, trace in graph.states.items()
-    }
-    violations: list[tuple[Transition, str]] = []
-    if workers <= 1:
-        # Walk states in discovery order and chain their outgoing
-        # edges via the adjacency index; for breadth-first graphs this
-        # replays graph.transitions exactly (edges of a state are
-        # contiguous there), so reports are unchanged.
-        for snapshot in graph.states:
-            for transition in graph.successors(snapshot):
-                for axiom in _edge_violations(
-                    information,
-                    carriers,
-                    algebra,
-                    interpretation,
-                    graph,
-                    structures,
-                    transition,
-                ):
-                    violations.append((transition, axiom))
-        per_worker = [
-            WorkerStats(
-                worker=0,
-                wall_time=time.perf_counter() - started,
-                **counter_delta(
-                    counters_before,
-                    engine_counters(algebra.engine),
-                    len(graph.transitions),
-                ),
+    with _span("transitions", workers=workers) as obs_span:
+        counters_before = engine_counters(algebra.engine)
+        structures = {
+            snapshot: interpretation.structure_of_trace(
+                information, carriers, algebra, trace
             )
-        ]
-    else:
-        context = (
-            information,
-            carriers,
-            algebra,
-            interpretation,
-            graph,
-            structures,
-        )
-        chunked, per_worker = run_chunked(
-            _transition_chunk,
-            context,
-            chunk_ranges(len(graph.transitions), workers),
-            workers,
-        )
-        per_edge = [entry for chunk in chunked for entry in chunk]
-        for transition, axioms in zip(graph.transitions, per_edge):
-            for axiom in axioms:
-                violations.append((transition, axiom))
+            for snapshot, trace in graph.states.items()
+        }
+        violations: list[tuple[Transition, str]] = []
+        if workers <= 1:
+            # Walk states in discovery order and chain their outgoing
+            # edges via the adjacency index; for breadth-first graphs
+            # this replays graph.transitions exactly (edges of a state
+            # are contiguous there), so reports are unchanged.
+            for snapshot in graph.states:
+                for transition in graph.successors(snapshot):
+                    for axiom in _edge_violations(
+                        information,
+                        carriers,
+                        algebra,
+                        interpretation,
+                        graph,
+                        structures,
+                        transition,
+                    ):
+                        violations.append((transition, axiom))
+            delta = counter_delta(
+                counters_before,
+                engine_counters(algebra.engine),
+                len(graph.transitions),
+            )
+            obs_span.record(delta)
+            per_worker = [
+                WorkerStats(
+                    worker=0,
+                    wall_time=time.perf_counter() - started,
+                    **delta,
+                )
+            ]
+        else:
+            context = (
+                information,
+                carriers,
+                algebra,
+                interpretation,
+                graph,
+                structures,
+            )
+            chunked, per_worker = run_chunked(
+                _transition_chunk,
+                context,
+                chunk_ranges(len(graph.transitions), workers),
+                workers,
+            )
+            per_edge = [entry for chunk in chunked for entry in chunk]
+            for transition, axioms in zip(graph.transitions, per_edge):
+                for axiom in axioms:
+                    violations.append((transition, axiom))
+        obs_span.count("transitions.edges", len(graph.transitions))
+        obs_span.count("transitions.violations", len(violations))
     if stats is not None:
         stats.add(
             VerificationStats.merge(

@@ -30,6 +30,7 @@ from repro.information.spec import InformationSpec
 from repro.logic.sorts import Sort
 from repro.logic.structures import Structure
 from repro.logic.terms import Term
+from repro.obs.tracer import span as _span
 from repro.parallel.executor import run_chunked
 from repro.parallel.partition import chunk_ranges
 from repro.parallel.stats import (
@@ -350,33 +351,42 @@ def compare_valid_reachable(
     """
     if graph is None:
         graph = algebra.explore(workers=workers, stats=stats)
-    reachable = reachable_structures(
-        information,
-        carriers,
-        algebra,
-        interpretation,
-        graph,
-        workers=workers,
-        stats=stats,
-    )
-    valid = set(
-        _valid_structure_list(information, carriers, workers, stats)
-    )
+    with _span("inclusion", workers=workers) as obs_span:
+        with _span("inclusion.reachable"):
+            reachable = reachable_structures(
+                information,
+                carriers,
+                algebra,
+                interpretation,
+                graph,
+                workers=workers,
+                stats=stats,
+            )
+        with _span("inclusion.valid-enumeration"):
+            valid = set(
+                _valid_structure_list(
+                    information, carriers, workers, stats
+                )
+            )
+        obs_span.count("inclusion.reachable_states", len(reachable))
+        obs_span.count("inclusion.valid_states", len(valid))
 
-    invalid_reachable = tuple(
-        (structure, trace)
-        for structure, trace in reachable.items()
-        if structure not in valid
-    )
-    unreachable_valid = tuple(
-        structure for structure in valid if structure not in reachable
-    )
-    return InclusionReport(
-        reachable_subset_valid=not invalid_reachable,
-        valid_subset_reachable=not unreachable_valid,
-        valid_count=len(valid),
-        reachable_count=len(reachable),
-        invalid_reachable=invalid_reachable,
-        unreachable_valid=unreachable_valid,
-        truncated=graph.truncated,
-    )
+        invalid_reachable = tuple(
+            (structure, trace)
+            for structure, trace in reachable.items()
+            if structure not in valid
+        )
+        unreachable_valid = tuple(
+            structure
+            for structure in valid
+            if structure not in reachable
+        )
+        return InclusionReport(
+            reachable_subset_valid=not invalid_reachable,
+            valid_subset_reachable=not unreachable_valid,
+            valid_count=len(valid),
+            reachable_count=len(reachable),
+            invalid_reachable=invalid_reachable,
+            unreachable_valid=unreachable_valid,
+            truncated=graph.truncated,
+        )

@@ -35,6 +35,7 @@ from repro.algebraic.spec import AlgebraicSpec
 from repro.logic import formulas as fm
 from repro.logic.sorts import BOOLEAN, STATE, Sort
 from repro.logic.terms import App, Term, Var
+from repro.obs.tracer import span as _span
 from repro.parallel.executor import run_chunked
 from repro.parallel.partition import chunk_ranges
 from repro.parallel.stats import (
@@ -716,7 +717,9 @@ def check_refinement(
     if rep_map is None:
         rep_map = RepresentationMap.homonym(spec.signature, schema)
     induced = InducedStructure(spec.signature, schema, rep_map)
-    states = induced.reachable_states(max_states=max_states)
+    with _span("second-third.reachable", max_states=max_states) as rs:
+        states = induced.reachable_states(max_states=max_states)
+        rs.count("second_third.db_states", len(states))
 
     if workers <= 1:
         failures: list[EquationFailure] = []
@@ -795,12 +798,15 @@ def check_refinement(
         return report
 
     total_pairs = len(spec.equations) * len(states)
-    chunked, per_worker = run_chunked(
-        _pairs_chunk,
-        (spec, induced, states),
-        chunk_ranges(total_pairs, workers),
-        workers,
-    )
+    with _span(
+        "second-third.pairs", workers=workers, pairs=total_pairs
+    ):
+        chunked, per_worker = run_chunked(
+            _pairs_chunk,
+            (spec, induced, states),
+            chunk_ranges(total_pairs, workers),
+            workers,
+        )
     failures = []
     instances = 0
     report = None

@@ -68,18 +68,23 @@ class ValueLiteral(Term):
 
     @property
     def sort(self) -> Sort:
+        """The sort of the term."""
         return self.literal_sort
 
     def free_vars(self) -> frozenset[Var]:
+        """The set of variables occurring in the term."""
         return frozenset()
 
     def subterms(self) -> Iterator[Term]:
+        """Yield the term itself and every subterm, pre-order."""
         yield self
 
     def depth(self) -> int:
+        """Height of the term tree."""
         return 1
 
     def size(self) -> int:
+        """Total number of nodes in the term tree."""
         return 1
 
     def __str__(self) -> str:
@@ -99,18 +104,23 @@ class ScalarRef(Term):
 
     @property
     def sort(self) -> Sort:
+        """The sort of the term."""
         return self.scalar_sort
 
     def free_vars(self) -> frozenset[Var]:
+        """The set of variables occurring in the term."""
         return frozenset()
 
     def subterms(self) -> Iterator[Term]:
+        """Yield the term itself and every subterm, pre-order."""
         yield self
 
     def depth(self) -> int:
+        """Height of the term tree."""
         return 1
 
     def size(self) -> int:
+        """Total number of nodes in the term tree."""
         return 1
 
     def __str__(self) -> str:
@@ -191,6 +201,7 @@ class Union(Statement):
     right: Statement
 
     def substatements(self) -> Iterator[Statement]:
+        """Yield the statement and all nested statements, pre-order."""
         yield self
         yield from self.left.substatements()
         yield from self.right.substatements()
@@ -207,6 +218,7 @@ class Seq(Statement):
     right: Statement
 
     def substatements(self) -> Iterator[Statement]:
+        """Yield the statement and all nested statements, pre-order."""
         yield self
         yield from self.left.substatements()
         yield from self.right.substatements()
@@ -222,6 +234,7 @@ class Star(Statement):
     body: Statement
 
     def substatements(self) -> Iterator[Statement]:
+        """Yield the statement and all nested statements, pre-order."""
         yield self
         yield from self.body.substatements()
 
@@ -250,6 +263,7 @@ class IfThen(Statement):
     then: Statement
 
     def substatements(self) -> Iterator[Statement]:
+        """Yield the statement and all nested statements, pre-order."""
         yield self
         yield from self.then.substatements()
 
@@ -266,6 +280,7 @@ class IfThenElse(Statement):
     orelse: Statement
 
     def substatements(self) -> Iterator[Statement]:
+        """Yield the statement and all nested statements, pre-order."""
         yield self
         yield from self.then.substatements()
         yield from self.orelse.substatements()
@@ -284,6 +299,7 @@ class While(Statement):
     body: Statement
 
     def substatements(self) -> Iterator[Statement]:
+        """Yield the statement and all nested statements, pre-order."""
         yield self
         yield from self.body.substatements()
 

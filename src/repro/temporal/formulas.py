@@ -33,9 +33,11 @@ class Possibly(fm.Formula):
     body: fm.Formula
 
     def free_vars(self) -> frozenset[Var]:
+        """The set of free variables of the formula."""
         return self.body.free_vars()
 
     def subformulas(self) -> Iterator[fm.Formula]:
+        """Yield the formula itself and every subformula, pre-order."""
         yield self
         yield from self.body.subformulas()
 
@@ -51,9 +53,11 @@ class Necessarily(fm.Formula):
     body: fm.Formula
 
     def free_vars(self) -> frozenset[Var]:
+        """The set of free variables of the formula."""
         return self.body.free_vars()
 
     def subformulas(self) -> Iterator[fm.Formula]:
+        """Yield the formula itself and every subformula, pre-order."""
         yield self
         yield from self.body.subformulas()
 

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
 from repro.errors import WGrammarError
+from repro.obs.tracer import OBS_STATE as _OBS
 
 __all__ = [
     "Mark",
@@ -387,7 +388,13 @@ class WGrammar:
                 undecidable in general, so a budget is mandatory.
         """
         recognizer = _Recognizer(self, tuple(tokens), max_steps)
-        return len(tokens) in recognizer.parse(self.start, 0)
+        accepted = len(tokens) in recognizer.parse(self.start, 0)
+        if _OBS.enabled:
+            _OBS.tracer.count("wgrammar.steps", recognizer.steps_used)
+            _OBS.tracer.count(
+                "wgrammar.memo_entries", len(recognizer._memo)
+            )
+        return accepted
 
     def derive_prefix(
         self, tokens: list[str], max_steps: int = 2_000_000
@@ -583,9 +590,15 @@ class _Recognizer:
     def __init__(self, grammar: WGrammar, tokens: Notion, max_steps: int):
         self._grammar = grammar
         self._tokens = tokens
+        self._max_steps = max_steps
         self._budget = max_steps
         self._memo: dict[tuple[Notion, int], set[int]] = {}
         self._active: set[tuple[Notion, int]] = set()
+
+    @property
+    def steps_used(self) -> int:
+        """Rule expansions consumed so far out of the initial budget."""
+        return self._max_steps - self._budget
 
     def parse(self, notion: Notion, pos: int) -> set[int]:
         key = (notion, pos)

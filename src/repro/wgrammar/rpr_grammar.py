@@ -40,6 +40,7 @@ neither); :func:`check_schema_source` reports them as unsupported.
 from __future__ import annotations
 
 from repro.errors import WGrammarError
+from repro.obs.tracer import span as _span
 from repro.rpr.lexer import tokenize
 from repro.wgrammar.grammar import (
     Call,
@@ -687,4 +688,7 @@ def check_schema_source(
             "the RPR W-grammar does not cover scalar/constant "
             "declarations"
         )
-    return rpr_wgrammar().recognize(marks, max_steps=max_steps)
+    with _span(
+        "wgrammar.recognize", tokens=len(marks), budget=max_steps
+    ):
+        return rpr_wgrammar().recognize(marks, max_steps=max_steps)

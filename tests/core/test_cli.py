@@ -30,6 +30,121 @@ class TestVerify:
         assert "Section 4.4" in out
 
 
+class TestObservabilityFlags:
+    def test_trace_writes_chrome_loadable_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(
+            ["verify", "courses", "--quiet", "--trace", str(path)]
+        ) == 0
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert events, "trace should contain spans"
+        assert all(event["ph"] == "X" for event in events)
+        names = {event["name"] for event in events}
+        # The span tree covers exploration, each 4.4/5.4 check, and
+        # the W-grammar recognizer.
+        for required in (
+            "verify",
+            "first-second",
+            "explore",
+            "completeness",
+            "static",
+            "inclusion",
+            "transitions",
+            "congruence",
+            "wgrammar.recognize",
+            "second-third",
+            "agreement",
+        ):
+            assert required in names, required
+        assert str(path) in capsys.readouterr().out
+
+    def test_trace_covers_per_worker_activity(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(
+            [
+                "verify", "courses", "--quiet",
+                "--workers", "2", "--trace", str(path),
+            ]
+        ) == 0
+        events = json.loads(path.read_text())["traceEvents"]
+        chunk_tids = {
+            event["tid"]
+            for event in events
+            if event["name"] == "chunk"
+        }
+        assert chunk_tids == {1, 2}
+
+    def test_trace_jsonl_and_summary(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            [
+                "verify", "library", "--quiet",
+                "--trace-jsonl", str(path), "--trace-summary",
+            ]
+        ) == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert first["name"] == "verify"
+        assert first["depth"] == 0
+        out = capsys.readouterr().out
+        assert "verify" in out and "first-second" in out
+
+    def test_metrics_json_subsumes_the_adhoc_counters(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(
+            [
+                "verify", "courses", "--quiet",
+                "--metrics-json", str(path),
+            ]
+        ) == 0
+        payload = json.loads(path.read_text())
+        counters, gauges = payload["counters"], payload["gauges"]
+        for name in (
+            "verify.items",
+            "rewrite.cache.hits",
+            "rewrite.cache.misses",
+            "rewrite.dispatch.hits",
+            "kernel.interned_terms",
+            "rewrite.evaluate.calls",
+            "wgrammar.steps",
+        ):
+            assert name in counters, name
+        for name in (
+            "verify.wall_time",
+            "kernel.intern_table.size",
+        ):
+            assert name in gauges, name
+
+    def test_metrics_json_to_stdout(self, capsys):
+        import json
+
+        assert main(
+            ["verify", "library", "--quiet", "--metrics-json", "-"]
+        ) == 0
+        out = capsys.readouterr().out
+        start = out.index("{")
+        payload = json.loads(out[start:])
+        assert "counters" in payload
+
+    def test_verify_without_flags_leaves_tracing_off(self):
+        from repro.obs.tracer import OBS_STATE
+
+        assert main(["verify", "library", "--quiet"]) == 0
+        assert OBS_STATE.enabled is False
+
+
 class TestSchemaAndAxioms:
     def test_schema_prints_rpr_source(self, capsys):
         assert main(["schema", "courses"]) == 0

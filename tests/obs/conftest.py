@@ -1,0 +1,14 @@
+"""Observability test fixtures: never leak tracing state."""
+
+import pytest
+
+from repro.obs.tracer import OBS_STATE, disable
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Guarantee tracing is off before and after every obs test."""
+    disable()
+    yield
+    disable()
+    assert OBS_STATE.enabled is False

@@ -1,0 +1,168 @@
+"""Tests for the trace exporters: Chrome Trace Event schema validity,
+the flat JSONL log, and the summary tree."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace_events,
+    format_tree,
+    iter_flat_events,
+    to_chrome_json,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import Span, Tracer
+
+
+@pytest.fixture()
+def small_trace():
+    """verify > (explore, chunk(worker=1)) with counters."""
+    tracer = Tracer()
+    with tracer.span("verify", application="courses") as verify:
+        with tracer.span("explore", workers=2) as explore:
+            explore.count("explore.states", 25)
+        chunk = Span("chunk", {"worker": 1})
+        chunk.count("items", 10)
+        chunk.end = chunk.start + 0.002
+        tracer.graft(chunk)
+    return tracer, verify, explore, chunk
+
+
+class TestChromeTrace:
+    def test_events_follow_the_trace_event_schema(self, small_trace):
+        tracer, *_ = small_trace
+        events = chrome_trace_events(tracer)
+        assert len(events) == 3
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert isinstance(event["name"], str)
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["pid"] == 0
+            assert isinstance(event["tid"], int)
+            assert isinstance(event["args"], dict)
+
+    def test_timestamps_are_normalized_microseconds(self, small_trace):
+        tracer, verify, explore, _ = small_trace
+        events = {e["name"]: e for e in chrome_trace_events(tracer)}
+        assert events["verify"]["ts"] == 0.0
+        expected = (explore.start - verify.start) * 1e6
+        assert events["explore"]["ts"] == pytest.approx(
+            expected, abs=0.01
+        )
+
+    def test_worker_spans_get_their_own_tid(self, small_trace):
+        tracer, *_ = small_trace
+        events = {e["name"]: e for e in chrome_trace_events(tracer)}
+        assert events["verify"]["tid"] == 0
+        assert events["explore"]["tid"] == 0
+        assert events["chunk"]["tid"] == 2  # worker 1 -> tid 2
+
+    def test_attrs_and_counters_land_in_args(self, small_trace):
+        tracer, *_ = small_trace
+        events = {e["name"]: e for e in chrome_trace_events(tracer)}
+        assert events["verify"]["args"]["application"] == "courses"
+        assert events["explore"]["args"]["counters"] == {
+            "explore.states": 25
+        }
+
+    def test_child_event_is_inside_parent_interval(self, small_trace):
+        tracer, *_ = small_trace
+        events = {e["name"]: e for e in chrome_trace_events(tracer)}
+        parent, child = events["verify"], events["explore"]
+        assert parent["ts"] <= child["ts"]
+        assert (
+            child["ts"] + child["dur"]
+            <= parent["ts"] + parent["dur"] + 0.01
+        )
+
+    def test_document_shape_and_file_roundtrip(
+        self, small_trace, tmp_path
+    ):
+        tracer, *_ = small_trace
+        document = to_chrome_json(tracer)
+        assert set(document) == {
+            "traceEvents", "displayTimeUnit", "otherData",
+        }
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(document))
+
+    def test_write_accepts_a_stream(self, small_trace):
+        tracer, *_ = small_trace
+        buffer = io.StringIO()
+        write_chrome_trace(tracer, buffer)
+        assert json.loads(buffer.getvalue())["otherData"] == {
+            "producer": "repro.obs"
+        }
+
+    def test_open_span_exports_zero_duration(self):
+        tracer = Tracer()
+        handle = tracer.span("open")
+        handle.__enter__()
+        (event,) = chrome_trace_events(tracer)
+        assert event["dur"] == 0.0
+
+
+class TestFlatLog:
+    def test_events_are_preorder_with_paths(self, small_trace):
+        tracer, *_ = small_trace
+        events = list(iter_flat_events(tracer))
+        assert [e["name"] for e in events] == [
+            "verify", "explore", "chunk",
+        ]
+        assert [e["path"] for e in events] == [
+            "verify", "verify/explore", "verify/chunk",
+        ]
+        assert [e["depth"] for e in events] == [0, 1, 1]
+
+    def test_durations_are_relative_seconds(self, small_trace):
+        tracer, verify, *_ = small_trace
+        first = next(iter_flat_events(tracer))
+        assert first["start"] == 0.0
+        assert first["duration"] == pytest.approx(
+            verify.duration, abs=1e-6
+        )
+
+    def test_jsonl_lines_parse_back(self, small_trace, tmp_path):
+        tracer, *_ = small_trace
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer, str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[2]["counters"] == {"items": 10}
+
+
+class TestSummaryTree:
+    def test_tree_indents_and_shows_counters(self, small_trace):
+        tracer, *_ = small_trace
+        text = format_tree(tracer)
+        lines = text.splitlines()
+        assert lines[0].startswith("verify")
+        assert "application=courses" in lines[0]
+        assert lines[1].startswith("  explore")
+        assert "[explore.states=25]" in lines[1]
+        assert lines[2].startswith("  chunk")
+
+    def test_counter_overflow_is_summarized(self):
+        tracer = Tracer()
+        with tracer.span("busy") as busy:
+            for index in range(9):
+                busy.count(f"c{index}")
+        text = format_tree(tracer, max_counters=6)
+        assert "+3 more" in text
+
+    def test_exporters_accept_raw_span_lists(self, small_trace):
+        tracer, *_ = small_trace
+        assert format_tree(tracer.roots) == format_tree(tracer)
+        assert list(iter_flat_events(tracer.roots)) == list(
+            iter_flat_events(tracer)
+        )

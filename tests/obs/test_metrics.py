@@ -1,0 +1,136 @@
+"""Tests for the metrics registry and its stats/tracer bridges."""
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.parallel.stats import VerificationStats
+
+
+def _stats():
+    explore = VerificationStats(
+        label="explore",
+        workers=2,
+        states_checked=25,
+        cache_hits=100,
+        cache_misses=40,
+        rewrite_steps=60,
+        dispatch_hits=90,
+        interned_terms=30,
+        wall_time=0.5,
+    )
+    coverage = VerificationStats(
+        label="coverage",
+        workers=2,
+        states_checked=273,
+        cache_hits=10,
+        wall_time=0.25,
+    )
+    return VerificationStats(
+        label="verify",
+        workers=2,
+        states_checked=298,
+        cache_hits=110,
+        cache_misses=40,
+        rewrite_steps=60,
+        dispatch_hits=90,
+        interned_terms=30,
+        wall_time=0.75,
+        parts=(explore, coverage),
+    )
+
+
+class TestRegistryBasics:
+    def test_inc_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 4)
+        registry.set_gauge("g", 1.5)
+        assert registry.counters == {"a": 5}
+        assert registry.gauges == {"g": 1.5}
+
+    def test_merge_sums_counters_and_overwrites_gauges(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.inc("n", 2)
+        left.set_gauge("g", 1.0)
+        right.inc("n", 3)
+        right.inc("m", 1)
+        right.set_gauge("g", 9.0)
+        left.merge(right)
+        assert left.counters == {"n": 5, "m": 1}
+        assert left.gauges == {"g": 9.0}
+
+    def test_merge_counters_with_prefix(self):
+        registry = MetricsRegistry()
+        registry.merge_counters({"steps": 7}, prefix="wgrammar.")
+        assert registry.counters == {"wgrammar.steps": 7}
+
+    def test_to_dict_and_json_are_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("zeta")
+        registry.inc("alpha")
+        payload = json.loads(registry.to_json())
+        assert list(payload["counters"]) == ["alpha", "zeta"]
+        assert set(payload) == {"counters", "gauges"}
+
+    def test_str_renders_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", 3)
+        registry.set_gauge("wall", 0.5)
+        text = str(registry)
+        assert "hits = 3" in text
+        assert "wall = 0.5 (gauge)" in text
+
+
+class TestStatsBridge:
+    def test_record_verification_maps_the_flat_names(self):
+        registry = MetricsRegistry()
+        registry.record_verification(_stats())
+        assert registry.counters["verify.items"] == 298
+        assert registry.counters["rewrite.cache.hits"] == 110
+        assert registry.counters["rewrite.cache.misses"] == 40
+        assert registry.counters["rewrite.steps"] == 60
+        assert registry.counters["rewrite.dispatch.hits"] == 90
+        assert registry.counters["kernel.interned_terms"] == 30
+        assert registry.gauges["verify.wall_time"] == 0.75
+        assert registry.gauges["verify.workers"] == 2
+
+    def test_record_verification_keeps_per_check_parts(self):
+        registry = MetricsRegistry()
+        registry.record_verification(_stats())
+        assert registry.counters["check.explore.items"] == 25
+        assert registry.counters["check.explore.rewrite.cache.hits"] == 100
+        assert registry.counters["check.coverage.items"] == 273
+        assert registry.gauges["check.explore.wall_time"] == 0.5
+        assert registry.gauges["check.coverage.wall_time"] == 0.25
+
+    def test_record_kernel_gauges_the_intern_tables(self):
+        from repro.logic.terms import intern_stats, intern_table_size
+
+        registry = MetricsRegistry()
+        registry.record_kernel()
+        assert registry.gauges["kernel.intern_table.size"] == (
+            intern_table_size()
+        )
+        detail = intern_stats()
+        assert registry.gauges["kernel.intern_table.vars"] == (
+            detail["vars"]
+        )
+        assert registry.gauges["kernel.intern_table.apps"] == (
+            detail["apps"]
+        )
+
+
+class TestTracerBridge:
+    def test_merge_tracer_folds_span_counter_totals(self):
+        tracer = Tracer()
+        tracer.count("loose", 1)
+        with tracer.span("outer"):
+            tracer.count("rewrite.evaluate.calls", 5)
+            with tracer.span("inner"):
+                tracer.count("rewrite.evaluate.calls", 2)
+        registry = MetricsRegistry()
+        registry.inc("rewrite.evaluate.calls", 1)
+        registry.merge_tracer(tracer)
+        assert registry.counters["rewrite.evaluate.calls"] == 8
+        assert registry.counters["loose"] == 1
