@@ -1,0 +1,80 @@
+"""E15 — incremental verification: cold vs warm pipeline runs.
+
+The pipeline's content-addressed :class:`ResultCache` promises that
+re-verifying an unchanged design replays stored results instead of
+re-running the bounded sweeps.  Three benchmarks quantify that
+promise on the courses registrar:
+
+* ``bench_pipeline_cold_verify`` — the full check graph, no cache:
+  every sweep runs.
+* ``bench_pipeline_warm_verify`` — the full graph against a
+  populated cache: every node replays, the state graph is never
+  rebuilt.
+* ``bench_pipeline_warm_single_check`` — the ``--only second-third``
+  subgraph against the same cache: the incremental unit of work a
+  developer pays after an edit that invalidated one check.
+
+``benchmarks/check_pipeline_regression.py`` gates the warm
+single-check re-verify at >= 5x faster than the cold full verify.
+Both sides run in the same session on the same machine, so the gate
+is machine-independent.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.cli import APPLICATIONS
+from repro.pipeline.cache import ResultCache
+
+_POPULATED: Path | None = None
+
+
+def _populated_cache_dir() -> Path:
+    """A cache directory with one complete courses run stored."""
+    global _POPULATED
+    if _POPULATED is None:
+        _POPULATED = Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+        cache = ResultCache(_POPULATED)
+        APPLICATIONS["courses"]().verify(cache=cache)
+        assert cache.stores > 0
+    return _POPULATED
+
+
+def bench_pipeline_cold_verify(benchmark):
+    """Full verify with no cache: every check executes."""
+
+    def cold():
+        return APPLICATIONS["courses"]().verify()
+
+    report = benchmark(cold)
+    assert report.ok
+
+
+def bench_pipeline_warm_verify(benchmark):
+    """Full verify against a populated cache: every node replays."""
+    root = _populated_cache_dir()
+
+    def warm():
+        return APPLICATIONS["courses"]().verify(
+            cache=ResultCache(root)
+        )
+
+    report = benchmark(warm)
+    assert report.ok
+
+
+def bench_pipeline_warm_single_check(benchmark):
+    """One-check re-verify (the post-edit increment) against the
+    populated cache."""
+    root = _populated_cache_dir()
+
+    def warm_single():
+        return APPLICATIONS["courses"]().verify_pipeline(
+            cache=ResultCache(root), only=["second-third"]
+        )
+
+    result = benchmark(warm_single)
+    assert result.ok
+    assert result.execution("second-third").status == "hit"

@@ -1,0 +1,98 @@
+"""Gate the warm-cache speedup of the verification pipeline.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_pipeline.py -q \
+        --benchmark-json=BENCH_pipeline.json
+    python benchmarks/check_pipeline_regression.py BENCH_pipeline.json \
+        [--factor 5.0]
+
+Reads a pytest-benchmark JSON emission of ``bench_pipeline.py`` and
+fails (exit 1) when the warm single-check re-verify is not at least
+``factor`` times faster than the cold full verify.  Cold and warm run
+in the same session on the same machine, so the ratio — unlike an
+absolute wall-time baseline — is machine-independent: if replaying
+nine stored results ever costs a fifth of re-running every bounded
+sweep, the cache has regressed into decoration.
+
+The full warm verify ratio is reported for context but not gated
+(it replays every node and is dominated by the same fixed costs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: The gated pair: (cold baseline, warm variant).
+GATED_PAIR = (
+    "bench_pipeline_cold_verify",
+    "bench_pipeline_warm_single_check",
+)
+
+#: Informational pair, reported but never gated.
+REPORTED_PAIR = (
+    "bench_pipeline_cold_verify",
+    "bench_pipeline_warm_verify",
+)
+
+
+def _means(payload: dict) -> dict[str, float]:
+    """Map benchmark name -> mean seconds."""
+    return {
+        bench["name"]: bench["stats"]["mean"]
+        for bench in payload["benchmarks"]
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "run", help="pytest-benchmark JSON of bench_pipeline"
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=5.0,
+        help=(
+            "fail when cold mean < factor * warm single-check mean "
+            "(default 5.0 = the incremental re-verify contract)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.run, encoding="utf-8") as handle:
+        means = _means(json.load(handle))
+
+    cold_name, warm_name = GATED_PAIR
+    try:
+        cold, warm = means[cold_name], means[warm_name]
+    except KeyError as missing:
+        print(
+            f"benchmark {missing} missing from the run",
+            file=sys.stderr,
+        )
+        return 2
+
+    speedup = cold / warm
+    verdict = "OK" if speedup >= args.factor else "FAIL"
+    print(
+        f"[{verdict}] warm single-check re-verify: {cold_name} "
+        f"{cold * 1e3:.1f}ms vs {warm_name} {warm * 1e3:.1f}ms "
+        f"-> x{speedup:.1f} speedup (gate >= x{args.factor})"
+    )
+
+    base_name, full_name = REPORTED_PAIR
+    if base_name in means and full_name in means:
+        full = means[full_name]
+        print(
+            f"[info] full warm verify: {full * 1e3:.1f}ms "
+            f"-> x{means[base_name] / full:.1f} speedup (not gated)"
+        )
+
+    return 0 if speedup >= args.factor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

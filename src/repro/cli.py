@@ -9,6 +9,9 @@ Usage::
     python -m repro verify courses --trace trace.json   # Chrome trace
     python -m repro verify courses --trace-summary      # span tree
     python -m repro verify courses --metrics-json metrics.json
+    python -m repro verify courses --cache-dir .repro-cache  # warm reruns
+    python -m repro verify courses --only second-third   # one check (+deps)
+    python -m repro verify courses --skip congruence --fail-fast
     python -m repro schema courses        # print the RPR schema
     python -m repro axioms courses        # print the level-1 theory
 """
@@ -72,6 +75,19 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_selection(values: list[str] | None) -> list[str] | None:
+    """Flatten repeatable, comma-separable ``--only``/``--skip``
+    values into one name list (``None`` when the flag is absent)."""
+    if not values:
+        return None
+    names: list[str] = []
+    for value in values:
+        names.extend(
+            part.strip() for part in value.split(",") if part.strip()
+        )
+    return names or None
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     names = (
         list(APPLICATIONS) if args.application == "all"
@@ -90,6 +106,20 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         from repro.obs.tracer import Tracer
 
         tracer = Tracer()
+    cache = None
+    if args.cache_dir is not None:
+        from pathlib import Path
+
+        from repro.pipeline.cache import ResultCache
+
+        # One cache for the whole invocation: fingerprints embed each
+        # application's specs, so 'verify all' shares the directory
+        # without collisions.
+        cache = ResultCache(Path(args.cache_dir))
+    only = _split_selection(args.only)
+    skip = _split_selection(args.skip)
+    selection_mode = bool(only or skip or args.fail_fast)
+    include_stats = collect_stats or args.workers > 1
     failures = 0
     stats_bundles = []
     verified_stats = []
@@ -101,36 +131,73 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             return 2
         framework = factory()
         started = time.perf_counter()
-        report = framework.verify(
-            completeness_depth=args.depth,
-            congruence_depth=args.depth,
-            workers=args.workers,
-            collect_stats=collect_stats,
-            tracer=tracer,
-        )
-        elapsed = time.perf_counter() - started
-        verdict = "OK" if report.ok else "FAILED"
-        print(f"[{verdict}] {framework.name}  ({elapsed:.1f}s)")
-        if not args.quiet or not report.ok:
-            print(report)
-            print()
-        if report.stats is not None:
+        if selection_mode:
+            from contextlib import nullcontext
+
+            from repro.errors import SpecificationError
+            from repro.obs.tracer import activate
+
+            activation = (
+                activate(tracer) if tracer is not None else nullcontext()
+            )
+            try:
+                with activation:
+                    result = framework.verify_pipeline(
+                        completeness_depth=args.depth,
+                        congruence_depth=args.depth,
+                        workers=args.workers,
+                        cache=cache,
+                        only=only,
+                        skip=skip,
+                        fail_fast=args.fail_fast,
+                    )
+            except SpecificationError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            elapsed = time.perf_counter() - started
+            ok = result.ok
+            verdict = "OK" if ok else "FAILED"
+            print(f"[{verdict}] {framework.name}  ({elapsed:.1f}s)")
+            if not args.quiet or not ok:
+                print(result.summary())
+                print()
+            stats = (
+                result.combined_stats() if include_stats else None
+            )
+        else:
+            report = framework.verify(
+                completeness_depth=args.depth,
+                congruence_depth=args.depth,
+                workers=args.workers,
+                collect_stats=collect_stats,
+                tracer=tracer,
+                cache=cache,
+            )
+            elapsed = time.perf_counter() - started
+            ok = report.ok
+            verdict = "OK" if ok else "FAILED"
+            print(f"[{verdict}] {framework.name}  ({elapsed:.1f}s)")
+            if not args.quiet or not ok:
+                print(report)
+                print()
+            stats = report.stats
+        if stats is not None:
             if args.stats:
-                for part in report.stats.parts:
+                for part in stats.parts:
                     print(f"  {part}")
-                print(f"  {report.stats}")
+                print(f"  {stats}")
                 kernel = intern_stats()
                 print(
                     f"  [kernel] intern_table={intern_table_size()} "
                     f"(vars={kernel['vars']} apps={kernel['apps']}) "
-                    f"dispatch_hits={report.stats.dispatch_hits} "
-                    f"interned_during_run={report.stats.interned_terms}"
+                    f"dispatch_hits={stats.dispatch_hits} "
+                    f"interned_during_run={stats.interned_terms}"
                 )
             stats_bundles.append(
-                {"application": name, **report.stats.to_dict()}
+                {"application": name, **stats.to_dict()}
             )
-            verified_stats.append(report.stats)
-        if not report.ok:
+            verified_stats.append(stats)
+        if not ok:
             failures += 1
     if args.stats_json is not None and stats_bundles:
         import json
@@ -277,6 +344,34 @@ def main(argv: list[str] | None = None) -> int:
             "write the aggregated metrics registry (named counters "
             "and gauges) as JSON to PATH ('-' for stdout)"
         ),
+    )
+    verify.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help=(
+            "persist per-check results under DIR, keyed by content "
+            "fingerprint; a re-verify replays unchanged checks from "
+            "the cache and re-runs only what an edit invalidated "
+            "(reports and stats are byte-identical, warm or cold)"
+        ),
+    )
+    verify.add_argument(
+        "--only", action="append", metavar="CHECK", default=None,
+        help=(
+            "run only these checks (repeatable, comma-separable); "
+            "dependencies are pulled in automatically and the "
+            "per-check outcome table replaces the full report"
+        ),
+    )
+    verify.add_argument(
+        "--skip", action="append", metavar="CHECK", default=None,
+        help=(
+            "skip these checks and everything depending on them "
+            "(repeatable, comma-separable)"
+        ),
+    )
+    verify.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop at the first failing check",
     )
     verify.set_defaults(handler=_cmd_verify)
 

@@ -151,15 +151,32 @@ class ParallelExecutor:
         deterministic mergers rely on) and appends one
         :class:`WorkerStats` per chunk to :attr:`worker_stats`.
         """
+        return self.map_async(fn, args).collect()
+
+    def map_async(self, fn: Callable, args: Sequence[Any]) -> "PendingMap":
+        """Submit chunks without blocking on their completion.
+
+        The pipeline scheduler uses this to overlap a batch of
+        independent serial checks with work the parent keeps running
+        inline; call :meth:`PendingMap.collect` to block, absorb the
+        per-chunk stats, and graft worker span buffers (still in
+        submission order) under the *then-active* span.  With no pool
+        (``workers=1`` or fork unavailable) the chunks run in-process
+        at collect time instead — identical results, no overlap.
+        """
         if not self._entered:
             raise RuntimeError(
                 "ParallelExecutor.map used outside its context manager"
             )
         payloads = [(fn, index, arg) for index, arg in enumerate(args)]
-        if self._pool is None:
-            outcomes = [_run_chunk(payload) for payload in payloads]
-        else:
-            outcomes = self._pool.map(_run_chunk, payloads)
+        handle = None
+        if self._pool is not None:
+            handle = self._pool.map_async(_run_chunk, payloads)
+        return PendingMap(self, payloads, handle)
+
+    def _absorb(self, outcomes: list[tuple]) -> list[Any]:
+        """Record chunk stats and graft span buffers, in chunk
+        submission order (the deterministic-merge invariant)."""
         results = []
         graft = (
             OBS_STATE.tracer.graft
@@ -175,6 +192,34 @@ class ParallelExecutor:
                 for span_dict in stats.spans:
                     graft(Span.from_dict(span_dict))
         return results
+
+
+class PendingMap:
+    """A submitted-but-not-collected :meth:`ParallelExecutor.map_async`
+    batch.  :meth:`collect` must be called exactly once, before the
+    executor's context manager exits."""
+
+    __slots__ = ("_executor", "_payloads", "_handle", "_collected")
+
+    def __init__(self, executor, payloads, handle):
+        self._executor = executor
+        self._payloads = payloads
+        self._handle = handle
+        self._collected = False
+
+    def collect(self) -> list[Any]:
+        """Block until every chunk finished; return results in
+        submission order and absorb their stats/spans."""
+        if self._collected:
+            raise RuntimeError("PendingMap.collect called twice")
+        self._collected = True
+        if self._handle is not None:
+            outcomes = self._handle.get()
+        else:
+            outcomes = [
+                _run_chunk(payload) for payload in self._payloads
+            ]
+        return self._executor._absorb(outcomes)
 
 
 def run_chunked(

@@ -128,6 +128,21 @@ class WorkerStats:
             "wall_time": self.wall_time,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkerStats":
+        """Rebuild a chunk record serialized by :meth:`to_dict` (the
+        result-cache replay path)."""
+        return cls(
+            worker=payload.get("worker", 0),
+            items=payload.get("items", 0),
+            cache_hits=payload.get("cache_hits", 0),
+            cache_misses=payload.get("cache_misses", 0),
+            rewrite_steps=payload.get("rewrite_steps", 0),
+            dispatch_hits=payload.get("dispatch_hits", 0),
+            interned_terms=payload.get("interned_terms", 0),
+            wall_time=payload.get("wall_time", 0.0),
+        )
+
 
 @dataclass(frozen=True)
 class VerificationStats:
@@ -231,6 +246,34 @@ class VerificationStats:
         if self.parts:
             out["parts"] = [p.to_dict() for p in self.parts]
         return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "VerificationStats":
+        """Rebuild a pass record serialized by :meth:`to_dict`.
+
+        The inverse the result cache relies on: a cached check replays
+        its stats record so warm and cold ``--stats-json`` emissions
+        are byte-identical (``cache_hit_rate`` is derived, not
+        stored).
+        """
+        return cls(
+            label=payload.get("label", ""),
+            workers=payload.get("workers", 1),
+            states_checked=payload.get("states_checked", 0),
+            cache_hits=payload.get("cache_hits", 0),
+            cache_misses=payload.get("cache_misses", 0),
+            rewrite_steps=payload.get("rewrite_steps", 0),
+            dispatch_hits=payload.get("dispatch_hits", 0),
+            interned_terms=payload.get("interned_terms", 0),
+            wall_time=payload.get("wall_time", 0.0),
+            per_worker=tuple(
+                WorkerStats.from_dict(worker)
+                for worker in payload.get("per_worker", ())
+            ),
+            parts=tuple(
+                cls.from_dict(part) for part in payload.get("parts", ())
+            ),
+        )
 
     def to_json(self, indent: int | None = None) -> str:
         """The record as a JSON document (:meth:`to_dict` serialized)."""

@@ -1,0 +1,57 @@
+"""The declarative verification pipeline.
+
+The paper's methodology is a fixed repertoire of verification
+obligations — the Section 4.4 plan (a)–(d), the inductive proof of
+(b), level-2 observational congruence, W-grammar recognition of the
+schema, the Section 5.4 equation-validity check, and the direct
+cross-level observation agreement.  This package turns that repertoire
+into data:
+
+* :mod:`repro.pipeline.check` — a :class:`~repro.pipeline.check.Check`
+  is one obligation: a name, declared fingerprint inputs, dependency
+  edges, and a runner.
+* :mod:`repro.pipeline.graph` — a
+  :class:`~repro.pipeline.graph.CheckGraph` validates the dependency
+  structure and selects subgraphs (``--only``/``--skip`` closure).
+* :mod:`repro.pipeline.scheduler` — the
+  :class:`~repro.pipeline.scheduler.Scheduler` executes a selection in
+  deterministic topological order, supports fail-fast vs run-all
+  policies and per-check parameter overrides (budgets), and fans
+  independent serial checks out through
+  :mod:`repro.parallel.executor`.
+* :mod:`repro.pipeline.fingerprint` — stable content fingerprints over
+  specifications, carriers, schemas, and check parameters.
+* :mod:`repro.pipeline.cache` — the content-addressed
+  :class:`~repro.pipeline.cache.ResultCache`: an unchanged check is a
+  cache hit, so re-verifying a touched application only re-runs the
+  invalidated subgraph.
+* :mod:`repro.pipeline.nodes` — the standard check graph of a
+  :class:`~repro.core.framework.DesignFramework`.
+"""
+
+from repro.pipeline.cache import ResultCache
+from repro.pipeline.check import Check, CheckRun
+from repro.pipeline.fingerprint import (
+    combine_fingerprint,
+    framework_parts,
+)
+from repro.pipeline.graph import CheckGraph
+from repro.pipeline.nodes import build_framework_graph
+from repro.pipeline.scheduler import (
+    PipelineContext,
+    PipelineResult,
+    Scheduler,
+)
+
+__all__ = [
+    "Check",
+    "CheckRun",
+    "CheckGraph",
+    "ResultCache",
+    "Scheduler",
+    "PipelineContext",
+    "PipelineResult",
+    "build_framework_graph",
+    "framework_parts",
+    "combine_fingerprint",
+]

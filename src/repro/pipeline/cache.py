@@ -1,0 +1,281 @@
+"""Content-addressed, incremental verification result cache.
+
+Every cache entry is one JSON file under the cache directory, named
+``<check>-<fingerprint-prefix>.json`` and carrying the full
+fingerprint, the serialized report, the check's
+:class:`~repro.parallel.stats.VerificationStats` records, and its
+span-counter totals.  A lookup hits only when the stored format
+version and full fingerprint match; anything else — unreadable JSON,
+a truncated write, an entry produced by an older format — is treated
+as a miss and never raises.
+
+Only *clean* reports are cached: a report carrying witness objects
+(violating traces, counterexample snapshots, falsified instances)
+re-runs every time, so failure witnesses are always fresh and the
+serializers never have to round-trip terms or structures.  The
+round-trip invariant the tests pin down: a report rebuilt from its
+cache entry renders byte-identically and drives
+``FrameworkReport.ok`` identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.algebraic.completeness import (
+    CompletenessReport,
+    CoverageReport,
+    TerminationReport,
+)
+from repro.algebraic.induction import InductionReport
+from repro.algebraic.observation import ObservabilityReport
+from repro.parallel.stats import VerificationStats
+from repro.refinement.first_second import (
+    StaticConsistencyReport,
+    TransitionConsistencyReport,
+)
+from repro.refinement.reachability import InclusionReport
+from repro.refinement.second_third import SecondToThirdReport
+
+__all__ = ["ResultCache", "serialize_result", "deserialize_result"]
+
+#: Entry format version; bump on any incompatible layout change so
+#: stale files stop matching instead of deserializing wrongly.
+CACHE_FORMAT = 1
+
+
+# ---------------------------------------------------------------------
+# report serializers (clean reports only — no witness objects)
+# ---------------------------------------------------------------------
+def serialize_result(kind: str, result: Any) -> dict | None:
+    """A JSON-portable rendering of a clean report, or ``None`` when
+    the report carries witnesses (then it must not be cached)."""
+    if kind == "completeness":
+        termination, coverage = result.termination, result.coverage
+        if (
+            termination.non_decreasing_calls
+            or termination.cycles
+            or coverage.missing_constructors
+            or coverage.uncovered
+        ):
+            return None
+        return {
+            "termination_ok": termination.ok,
+            "structural": termination.structural,
+            "coverage_ok": coverage.ok,
+            "traces_checked": coverage.traces_checked,
+        }
+    if kind == "static":
+        if result.violations:
+            return None
+        return {"ok": result.ok, "states_checked": result.states_checked}
+    if kind == "inclusion":
+        if result.invalid_reachable or result.unreachable_valid:
+            return None
+        return {
+            "reachable_subset_valid": result.reachable_subset_valid,
+            "valid_subset_reachable": result.valid_subset_reachable,
+            "valid_count": result.valid_count,
+            "reachable_count": result.reachable_count,
+            "truncated": result.truncated,
+        }
+    if kind == "transitions":
+        if result.violations:
+            return None
+        return {
+            "ok": result.ok,
+            "transitions_checked": result.transitions_checked,
+        }
+    if kind == "induction":
+        if result is None:
+            return {"skipped": True}
+        if result.counterexamples:
+            return None
+        return {
+            "ok": result.ok,
+            "base_ok": result.base_ok,
+            "step_ok": result.step_ok,
+            "states_examined": result.states_examined,
+        }
+    if kind == "congruence":
+        if result.violations:
+            return None
+        return {
+            "ok": result.ok,
+            "classes": result.classes,
+            "traces_checked": result.traces_checked,
+        }
+    if kind == "grammar":
+        return {"grammar_ok": result}
+    if kind in ("second-third", "agreement"):
+        if result.failures:
+            return None
+        return {
+            "ok": result.ok,
+            "states_checked": result.states_checked,
+            "instances_checked": result.instances_checked,
+        }
+    raise ValueError(f"unknown cache kind {kind!r}")
+
+
+def deserialize_result(kind: str, payload: dict) -> Any:
+    """Rebuild the report object a clean cache entry describes."""
+    if kind == "completeness":
+        return CompletenessReport(
+            termination=TerminationReport(
+                ok=payload["termination_ok"],
+                structural=payload["structural"],
+            ),
+            coverage=CoverageReport(
+                ok=payload["coverage_ok"],
+                traces_checked=payload["traces_checked"],
+            ),
+        )
+    if kind == "static":
+        return StaticConsistencyReport(
+            ok=payload["ok"], states_checked=payload["states_checked"]
+        )
+    if kind == "inclusion":
+        return InclusionReport(
+            reachable_subset_valid=payload["reachable_subset_valid"],
+            valid_subset_reachable=payload["valid_subset_reachable"],
+            valid_count=payload["valid_count"],
+            reachable_count=payload["reachable_count"],
+            truncated=payload["truncated"],
+        )
+    if kind == "transitions":
+        return TransitionConsistencyReport(
+            ok=payload["ok"],
+            transitions_checked=payload["transitions_checked"],
+        )
+    if kind == "induction":
+        if payload.get("skipped"):
+            return None
+        return InductionReport(
+            ok=payload["ok"],
+            base_ok=payload["base_ok"],
+            step_ok=payload["step_ok"],
+            states_examined=payload["states_examined"],
+        )
+    if kind == "congruence":
+        return ObservabilityReport(
+            ok=payload["ok"],
+            classes=payload["classes"],
+            traces_checked=payload["traces_checked"],
+        )
+    if kind == "grammar":
+        return payload["grammar_ok"]
+    if kind in ("second-third", "agreement"):
+        return SecondToThirdReport(
+            ok=payload["ok"],
+            states_checked=payload["states_checked"],
+            instances_checked=payload["instances_checked"],
+        )
+    raise ValueError(f"unknown cache kind {kind!r}")
+
+
+# ---------------------------------------------------------------------
+# the cache itself
+# ---------------------------------------------------------------------
+class ResultCache:
+    """A directory of content-addressed check results.
+
+    Args:
+        root: cache directory (created on first store).
+
+    Attributes:
+        hits: lookups that returned an entry this session.
+        misses: lookups that found nothing usable.
+        stores: entries written this session.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, node: str, fingerprint: str) -> Path:
+        return self.root / f"{node}-{fingerprint[:32]}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, node: str, fingerprint: str) -> dict | None:
+        """The stored entry for ``(node, fingerprint)``, or ``None``.
+
+        Corrupted, truncated, stale-format, or fingerprint-mismatched
+        files are ignored (a miss), never fatal.
+        """
+        path = self._path(node, fingerprint)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("format") != CACHE_FORMAT
+            or entry.get("node") != node
+            or entry.get("fingerprint") != fingerprint
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(
+        self,
+        node: str,
+        fingerprint: str,
+        kind: str | None,
+        report_payload: dict | None,
+        stats_parts: tuple[VerificationStats, ...] = (),
+        counters: dict[str, int] | None = None,
+        wall_time: float = 0.0,
+    ) -> None:
+        """Persist one check outcome (atomic write via rename).
+
+        A failed write (read-only directory, disk full) is swallowed:
+        the cache is an accelerator, never a correctness dependency.
+        """
+        entry = {
+            "format": CACHE_FORMAT,
+            "node": node,
+            "fingerprint": fingerprint,
+            "kind": kind,
+            "report": report_payload,
+            "stats": [part.to_dict() for part in stats_parts],
+            "counters": counters,
+            "wall_time": wall_time,
+        }
+        path = self._path(node, fingerprint)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            temp = path.with_suffix(".json.tmp")
+            with open(temp, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, indent=2)
+                handle.write("\n")
+            os.replace(temp, path)
+            self.stores += 1
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def entry_stats(entry: dict) -> tuple[VerificationStats, ...]:
+        """The replayed stats records of a loaded entry."""
+        return tuple(
+            VerificationStats.from_dict(part)
+            for part in entry.get("stats", ())
+        )
+
+    @staticmethod
+    def entry_counters(entry: dict) -> dict[str, int] | None:
+        """The replayed span-counter totals of a loaded entry."""
+        counters = entry.get("counters")
+        if counters is None:
+            return None
+        return {str(name): int(value) for name, value in counters.items()}

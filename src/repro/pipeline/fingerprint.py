@@ -1,0 +1,171 @@
+"""Stable content fingerprints for pipeline inputs.
+
+A fingerprint is a SHA-256 digest over a canonical JSON rendering of
+an input's *content* — the axioms of an information-level theory, the
+equations and parameter domains of an algebraic specification, the
+concrete schema text, the carriers, a check's parameters.  Equal
+content yields equal digests across processes and sessions, which is
+what lets :class:`~repro.pipeline.cache.ResultCache` address results
+by content: editing any spec, carrier, or parameter changes exactly
+the fingerprints (and hence invalidates exactly the cached results)
+of the checks that declare that input.
+
+Interpretation and representation maps fingerprint by ``repr``; the
+shipped classes render their full content, so explicit maps cache
+exactly like homonym ones.  A third-party map with only the default
+object repr (which embeds a memory address) simply never hits the
+cache — a safe degradation, never a stale hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+__all__ = [
+    "digest",
+    "describe_signature",
+    "fingerprint_information",
+    "fingerprint_algebraic",
+    "fingerprint_schema",
+    "fingerprint_carriers",
+    "fingerprint_mapping",
+    "framework_parts",
+    "combine_fingerprint",
+]
+
+#: Bump when the fingerprint payload shape changes; old cache entries
+#: then simply stop matching (a miss, never a wrong hit).
+FINGERPRINT_VERSION = 1
+
+
+def digest(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def describe_signature(signature) -> dict:
+    """A content dictionary of an
+    :class:`~repro.algebraic.signature.AlgebraicSignature`: parameter
+    sorts with their value domains, and every query/update/initial
+    symbol with its full sort profile."""
+    return {
+        "name": signature.name,
+        "domains": {
+            sort.name: list(signature.domain(sort))
+            for sort in signature.parameter_sorts
+        },
+        "queries": [str(symbol) for symbol in signature.queries],
+        "updates": [str(symbol) for symbol in signature.updates],
+        "initials": [str(symbol) for symbol in signature.initials],
+    }
+
+
+def fingerprint_information(information) -> str:
+    """Fingerprint of a T1 theory: db-predicates and all axioms (the
+    full ``str`` rendering lists both constraint classes)."""
+    return digest({"kind": "information", "text": str(information)})
+
+
+def fingerprint_algebraic(algebraic) -> str:
+    """Fingerprint of a T2 specification: the signature content plus
+    every conditional equation (label, condition, both sides)."""
+    return digest(
+        {
+            "kind": "algebraic",
+            "signature": describe_signature(algebraic.signature),
+            "equations": [str(eq) for eq in algebraic.equations],
+        }
+    )
+
+
+def fingerprint_schema(schema, schema_source: str | None) -> str:
+    """Fingerprint of a T3 schema: the concrete source when available
+    (what the W-grammar reads), else the parsed schema's rendering."""
+    return digest(
+        {
+            "kind": "schema",
+            "text": schema_source
+            if schema_source is not None
+            else str(schema),
+        }
+    )
+
+
+def fingerprint_carriers(carriers: Mapping) -> str:
+    """Fingerprint of the finite carriers: sort names with their value
+    lists, order-insensitive across sorts, order-sensitive within a
+    carrier (enumeration order is observable in reports)."""
+    return digest(
+        {
+            "kind": "carriers",
+            "carriers": sorted(
+                (sort.name, list(values))
+                for sort, values in carriers.items()
+            ),
+        }
+    )
+
+
+def fingerprint_mapping(mapping, default_name: str) -> str:
+    """Fingerprint of an interpretation/representation map.
+
+    ``None`` means the canonical homonym map and fingerprints stably;
+    a custom map is fingerprinted by ``repr``.
+    :class:`~repro.refinement.interpretation.Interpretation` and
+    :class:`~repro.refinement.second_third.RepresentationMap` render
+    their full content, so explicit maps (the bank's) cache as well as
+    homonym ones; a third-party map with only the default object repr
+    embeds a memory address, making the owning check uncacheable —
+    safe, never stale.
+    """
+    if mapping is None:
+        return digest({"kind": "mapping", "default": default_name})
+    return digest({"kind": "mapping", "repr": repr(mapping)})
+
+
+def framework_parts(framework) -> dict[str, str]:
+    """Per-input fingerprints of one
+    :class:`~repro.core.framework.DesignFramework`.
+
+    The keys are what :attr:`repro.pipeline.check.Check.inputs`
+    declares; a check's fingerprint combines exactly the parts it
+    names, so an edit invalidates only the checks that read the edited
+    input.
+    """
+    return {
+        "information": fingerprint_information(framework.information),
+        "algebraic": fingerprint_algebraic(framework.algebraic),
+        "schema": fingerprint_schema(
+            framework.schema, framework.schema_source
+        ),
+        "carriers": fingerprint_carriers(framework.carriers),
+        "interpretation": fingerprint_mapping(
+            framework.interpretation, "homonym-interpretation"
+        ),
+        "representation": fingerprint_mapping(
+            framework.representation, "homonym-representation"
+        ),
+    }
+
+
+def combine_fingerprint(
+    node_name: str,
+    parts: Mapping[str, str],
+    inputs: tuple[str, ...],
+    params: Mapping[str, Any],
+) -> str:
+    """The content address of one check: its name, the fingerprints of
+    its declared inputs, and its parameters."""
+    return digest(
+        {
+            "version": FINGERPRINT_VERSION,
+            "node": node_name,
+            "inputs": {key: parts[key] for key in inputs},
+            "params": dict(params),
+        }
+    )

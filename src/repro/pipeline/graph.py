@@ -1,0 +1,132 @@
+"""The check graph: dependency validation and subgraph selection.
+
+Checks are declared in an order that is required to be topologically
+consistent (every dependency precedes its dependents), so the
+deterministic schedule *is* the declaration order — the property the
+byte-identical report/stats guarantees lean on.  Selection closes
+``--only`` requests over their dependencies and closes ``--skip``
+requests over their dependents, so a selected subgraph is always
+runnable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import SpecificationError
+from repro.pipeline.check import Check
+
+__all__ = ["CheckGraph"]
+
+
+class CheckGraph:
+    """An ordered, validated collection of :class:`Check` nodes.
+
+    Args:
+        checks: the nodes, in topologically consistent declaration
+            order.
+
+    Raises:
+        SpecificationError: on duplicate names, unknown dependencies,
+            or a dependency declared after its dependent (which would
+            make the declaration order non-topological).
+    """
+
+    def __init__(self, checks: Iterable[Check]):
+        self.checks: dict[str, Check] = {}
+        for check in checks:
+            if check.name in self.checks:
+                raise SpecificationError(
+                    f"duplicate check name {check.name!r}"
+                )
+            for dep in check.deps:
+                if dep not in self.checks:
+                    raise SpecificationError(
+                        f"check {check.name!r} depends on {dep!r}, "
+                        "which is unknown or declared later"
+                    )
+            self.checks[check.name] = check
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Check]:
+        return iter(self.checks.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.checks
+
+    def __getitem__(self, name: str) -> Check:
+        return self.checks[name]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Every check name, in schedule (declaration) order."""
+        return tuple(self.checks)
+
+    def dependents(self, name: str) -> tuple[str, ...]:
+        """Names of checks that (directly) depend on ``name``."""
+        return tuple(
+            check.name
+            for check in self.checks.values()
+            if name in check.deps
+        )
+
+    # ------------------------------------------------------------------
+    def _close_over_deps(self, names: set[str]) -> set[str]:
+        closed: set[str] = set()
+        frontier = list(names)
+        while frontier:
+            current = frontier.pop()
+            if current in closed:
+                continue
+            closed.add(current)
+            frontier.extend(self.checks[current].deps)
+        return closed
+
+    def _close_over_dependents(self, names: set[str]) -> set[str]:
+        closed: set[str] = set()
+        frontier = list(names)
+        while frontier:
+            current = frontier.pop()
+            if current in closed:
+                continue
+            closed.add(current)
+            frontier.extend(self.dependents(current))
+        return closed
+
+    def select(
+        self,
+        only: Iterable[str] | None = None,
+        skip: Iterable[str] | None = None,
+    ) -> tuple[str, ...]:
+        """Resolve a subgraph selection to schedule order.
+
+        ``only`` keeps the named checks plus everything they depend
+        on; ``skip`` removes the named checks plus everything that
+        depends on them.  ``skip`` wins over ``only``.
+
+        Raises:
+            SpecificationError: if a name is unknown, or the selection
+                is empty.
+        """
+        only_set = set(only) if only else None
+        skip_set = set(skip) if skip else set()
+        for name in (only_set or set()) | skip_set:
+            if name not in self.checks:
+                raise SpecificationError(
+                    f"unknown check {name!r}; known checks: "
+                    + ", ".join(self.checks)
+                )
+        wanted = (
+            self._close_over_deps(only_set)
+            if only_set is not None
+            else set(self.checks)
+        )
+        wanted -= self._close_over_dependents(skip_set)
+        selection = tuple(
+            name for name in self.checks if name in wanted
+        )
+        if not selection:
+            raise SpecificationError(
+                "the --only/--skip selection leaves no checks to run"
+            )
+        return selection

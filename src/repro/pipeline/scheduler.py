@@ -1,0 +1,518 @@
+"""Deterministic execution of a check-graph selection.
+
+The :class:`Scheduler` walks a :class:`~repro.pipeline.graph.CheckGraph`
+selection in declaration order (which the graph guarantees is
+topological), consults the optional
+:class:`~repro.pipeline.cache.ResultCache` per node, and executes what
+misses:
+
+* **run-all** (default) reproduces the old monolithic ``verify()``
+  exactly: every check runs, failures accumulate.  Independent serial
+  checks marked ``fan_out`` are dispatched through
+  :class:`~repro.parallel.executor.ParallelExecutor` when ``workers >
+  1``, overlapping with the inline graph-bound checks; results are
+  merged back in declaration order, so reports and stats stay
+  byte-identical for every worker count.
+* **fail-fast** stops at the first failing check and marks the rest
+  aborted (fan-out is disabled so the stop point is deterministic).
+
+Cache hits *replay*: the stored report is rebuilt, the stored
+:class:`~repro.parallel.stats.VerificationStats` parts re-enter the
+bundle, and the stored span-counter totals are recorded on a
+``cached=True`` span — so a warm run's ``--stats-json`` and
+``--metrics-json`` are byte-identical to the cold run that populated
+the cache.
+
+Resource nodes (``explore``) are demand-driven: they execute only when
+a dependent missed; on an all-hit run only their stats record is
+replayed and the state graph is never rebuilt — that is where the
+warm-run speedup comes from.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.obs.tracer import (
+    OBS_STATE,
+    Tracer,
+    activate,
+    count as _count,
+    span as _span,
+)
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.stats import VerificationStats
+from repro.pipeline.cache import ResultCache, deserialize_result, serialize_result
+from repro.pipeline.check import Check, CheckRun
+from repro.pipeline.fingerprint import combine_fingerprint, framework_parts
+from repro.pipeline.graph import CheckGraph
+from repro.refinement.interpretation import Interpretation
+
+__all__ = ["PipelineContext", "NodeExecution", "PipelineResult", "Scheduler"]
+
+
+class PipelineContext:
+    """The shared state one pipeline run threads through its checks.
+
+    Attributes:
+        framework: the :class:`~repro.core.framework.DesignFramework`
+            under verification.
+        workers: worker-process budget for the fanned sweeps.
+        resources: keyed products of resource nodes (the ``explore``
+            node deposits the state graph under ``"graph"``).
+    """
+
+    def __init__(self, framework, workers: int = 1):
+        self.framework = framework
+        self.workers = max(1, int(workers))
+        self.resources: dict[str, Any] = {}
+        self._algebra = None
+        self._interpretation = None
+
+    @property
+    def algebra(self):
+        """The trace algebra of T2, built on first use and shared by
+        every check of the run (one rewrite-engine memo)."""
+        if self._algebra is None:
+            self._algebra = self.framework.algebra()
+        return self._algebra
+
+    @property
+    def interpretation(self) -> Interpretation:
+        """The interpretation I (the framework's, or homonym)."""
+        if self._interpretation is None:
+            self._interpretation = (
+                self.framework.interpretation
+                or Interpretation.homonym(
+                    self.framework.information, self.algebra.signature
+                )
+            )
+        return self._interpretation
+
+    def materialize(self) -> None:
+        """Eagerly build the shared algebra and interpretation (the
+        old monolith built both before any check; keeping that order
+        keeps rewrite/intern counter trajectories identical)."""
+        self.algebra
+        self.interpretation
+
+
+@dataclass(frozen=True)
+class NodeExecution:
+    """One scheduled node's outcome.
+
+    Attributes:
+        name: the check's name.
+        title: the check's one-line description.
+        status: ``"ran"`` (executed), ``"hit"`` (cache replay), or
+            ``"aborted"`` (skipped by fail-fast).
+        fingerprint: the node's content fingerprint (``None`` when no
+            cache was consulted).
+        run: the :class:`CheckRun` (``None`` when aborted).
+        ok: False only when the check ran/replayed and failed.
+    """
+
+    name: str
+    title: str
+    status: str
+    fingerprint: str | None
+    run: CheckRun | None
+    ok: bool
+
+
+class PipelineResult:
+    """Everything a pipeline run produced, in schedule order."""
+
+    def __init__(
+        self,
+        executions: Iterable[NodeExecution],
+        selection: tuple[str, ...],
+        cache_enabled: bool = False,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+    ):
+        self.executions: tuple[NodeExecution, ...] = tuple(executions)
+        self.selection = selection
+        self.cache_enabled = cache_enabled
+        self.cache_hits = cache_hits
+        self.cache_misses = cache_misses
+        self._by_name = {
+            execution.name: execution for execution in self.executions
+        }
+
+    @property
+    def ok(self) -> bool:
+        """True iff no executed check failed (aborted checks are
+        indeterminate but only exist after a failure)."""
+        return all(execution.ok for execution in self.executions)
+
+    def execution(self, name: str) -> NodeExecution | None:
+        """The execution record of ``name``, if it was scheduled."""
+        return self._by_name.get(name)
+
+    def result_of(self, name: str, default: Any = None) -> Any:
+        """The report object check ``name`` produced (or replayed)."""
+        execution = self._by_name.get(name)
+        if execution is None or execution.run is None:
+            return default
+        return execution.run.result
+
+    def stats_parts(self) -> list[VerificationStats]:
+        """Every stats record, in schedule (= old emission) order."""
+        parts: list[VerificationStats] = []
+        for execution in self.executions:
+            if execution.run is not None:
+                parts.extend(execution.run.stats_parts)
+        return parts
+
+    def combined_stats(self, label: str = "verify") -> VerificationStats:
+        """One bundle over every part (the report's ``stats`` field)."""
+        return VerificationStats.combine(label, self.stats_parts())
+
+    def summary(self) -> str:
+        """Per-node outcome lines for the CLI's selection mode."""
+        lines = []
+        for execution in self.executions:
+            if execution.status == "aborted":
+                outcome = "aborted (fail-fast)"
+            elif execution.run is not None and execution.run.skipped:
+                outcome = "skipped"
+            else:
+                outcome = "ok" if execution.ok else "FAILED"
+            if execution.status == "hit":
+                outcome += " [cached]"
+            elif execution.run is not None:
+                outcome += f" ({execution.run.wall_time:.2f}s)"
+            lines.append(
+                f"{execution.name:12s} {outcome:22s} {execution.title}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------
+# execution helpers (module-level: the fan-out path forks them)
+# ---------------------------------------------------------------------
+def _execute_check(check: Check, ctx: PipelineContext, want_counters: bool) -> CheckRun:
+    """Run one check, under its declared span, optionally collecting
+    the span-counter totals it recorded (for the cache replay path).
+
+    When counters are wanted but tracing is off, the check runs under
+    a throwaway activated tracer so the counters exist to store.
+    """
+    started = time.perf_counter()
+    own_tracer = Tracer() if (want_counters and not OBS_STATE.enabled) else None
+    activation = activate(own_tracer) if own_tracer is not None else nullcontext()
+    with activation:
+        baseline = (
+            OBS_STATE.tracer.counter_totals()
+            if want_counters and own_tracer is None
+            else None
+        )
+        if check.span_name is not None:
+            with _span(check.span_name, **check.span_attrs):
+                run = check.run(ctx, check.params)
+        else:
+            run = check.run(ctx, check.params)
+        counters = None
+        if want_counters:
+            totals = OBS_STATE.tracer.counter_totals()
+            if baseline is not None:
+                # A key the check created at zero (e.g. a violations
+                # counter that stayed clean) must survive the delta:
+                # replaying it keeps warm metrics key-identical to cold.
+                counters = {
+                    name: value - baseline.get(name, 0)
+                    for name, value in totals.items()
+                    if name not in baseline or value - baseline[name]
+                }
+            else:
+                counters = dict(totals)
+    return CheckRun(
+        result=run.result,
+        stats_parts=run.stats_parts,
+        counters=counters,
+        wall_time=time.perf_counter() - started,
+        skipped=run.skipped,
+    )
+
+
+def _fanout_chunk(context, name):
+    """Worker-side trampoline for one fanned-out check.
+
+    Returns empty executor counters so the chunk's bookkeeping span
+    stays counter-free: the check's own counters travel inside the
+    :class:`CheckRun` (and its spans inside the chunk buffer), keeping
+    cold and warm metrics totals identical.
+    """
+    ctx, checks, want_counters = context
+    return _execute_check(checks[name], ctx, want_counters), {}
+
+
+def _node_ok(run: CheckRun | None) -> bool:
+    """A check outcome's verdict (``None``/resource results pass)."""
+    if run is None:
+        return True
+    result = run.result
+    if result is None:
+        return True
+    if isinstance(result, bool):
+        return result
+    return bool(getattr(result, "ok", True))
+
+
+class Scheduler:
+    """Executes check-graph selections deterministically.
+
+    Args:
+        graph: the validated check graph.
+        fail_fast: stop at the first failing check instead of running
+            everything (run-all is the default and matches the old
+            monolithic ``verify()``).
+        cache: optional :class:`ResultCache`; when given, unchanged
+            checks replay instead of running.
+    """
+
+    def __init__(
+        self,
+        graph: CheckGraph,
+        fail_fast: bool = False,
+        cache: ResultCache | None = None,
+    ):
+        self.graph = graph
+        self.fail_fast = fail_fast
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        ctx: PipelineContext,
+        only: Iterable[str] | None = None,
+        skip: Iterable[str] | None = None,
+        overrides: dict[str, dict] | None = None,
+    ) -> PipelineResult:
+        """Execute the selected subgraph.
+
+        Args:
+            ctx: the bound framework context.
+            only/skip: subgraph selection (closed over dependencies /
+                dependents by the graph).
+            overrides: per-check parameter overrides (budgets), merged
+                into each check's ``params`` — and therefore into its
+                fingerprint.
+        """
+        cache = self.cache
+        selection = self.graph.select(only, skip)
+        checks = {
+            name: self.graph[name].with_params(
+                (overrides or {}).get(name)
+            )
+            for name in selection
+        }
+
+        fingerprints: dict[str, str] = {}
+        plan: dict[str, str] = {}
+        entries: dict[str, dict] = {}
+        replayed: dict[str, Any] = {}
+        if cache is not None:
+            parts = framework_parts(ctx.framework)
+            for name in selection:
+                check = checks[name]
+                fingerprints[name] = combine_fingerprint(
+                    name, parts, check.inputs, check.params
+                )
+            # Probe result-bearing checks first; resource nodes are
+            # decided afterwards from their dependents' fate.
+            for name in selection:
+                check = checks[name]
+                if check.provides is not None:
+                    continue
+                entry = cache.load(name, fingerprints[name])
+                if (
+                    entry is not None
+                    and entry.get("kind") == check.cache_kind
+                    and entry.get("report") is not None
+                ):
+                    try:
+                        replayed[name] = deserialize_result(
+                            check.cache_kind, entry["report"]
+                        )
+                    except Exception:
+                        plan[name] = "run"
+                        continue
+                    entries[name] = entry
+                    plan[name] = "hit"
+                else:
+                    plan[name] = "run"
+            for name in selection:
+                check = checks[name]
+                if check.provides is None:
+                    continue
+                needed = any(
+                    plan.get(dependent) == "run"
+                    for dependent in self.graph.dependents(name)
+                )
+                entry = None if needed else cache.load(
+                    name, fingerprints[name]
+                )
+                if entry is not None:
+                    entries[name] = entry
+                    plan[name] = "hit"
+                else:
+                    plan[name] = "run"
+            if OBS_STATE.enabled:
+                _count("pipeline.cache.hits", 0)
+                _count("pipeline.cache.misses", 0)
+        else:
+            plan = {name: "run" for name in selection}
+
+        want_counters = cache is not None
+        runs: dict[str, CheckRun] = {}
+        statuses: dict[str, str] = {name: "aborted" for name in selection}
+
+        fanout = [
+            name
+            for name in selection
+            if checks[name].fan_out
+            and plan[name] == "run"
+            and not checks[name].deps
+            and ctx.workers > 1
+            and not self.fail_fast
+        ]
+        fanned = set(fanout)
+        executor = None
+        try:
+            open_group: str | None = None
+            group_span = None
+
+            def close_group():
+                nonlocal open_group, group_span
+                if group_span is not None:
+                    group_span.__exit__(None, None, None)
+                open_group, group_span = None, None
+
+            try:
+                for name in selection:
+                    if name in fanned:
+                        continue
+                    check = checks[name]
+                    if check.group != open_group:
+                        close_group()
+                        if check.group is not None:
+                            group_span = _span(check.group)
+                            group_span.__enter__()
+                            open_group = check.group
+                    if plan[name] == "hit":
+                        runs[name] = self._replay(check, entries[name])
+                        statuses[name] = "hit"
+                    else:
+                        if cache is not None and OBS_STATE.enabled:
+                            _count("pipeline.cache.misses", 1)
+                        runs[name] = _execute_check(
+                            check, ctx, want_counters
+                        )
+                        statuses[name] = "ran"
+                        self._store(
+                            check, fingerprints.get(name), runs[name]
+                        )
+                    if self.fail_fast and not _node_ok(runs[name]):
+                        break
+            finally:
+                close_group()
+
+            if fanout:
+                # Dispatched only after the inline (graph-bound,
+                # internally chunked) checks finish: the fanned checks
+                # overlap each other, never the inline worker pools —
+                # CPU contention there would perturb which pool worker
+                # runs which chunk, and with it the per-chunk
+                # rewrite-cache deltas the stats replay pins down.
+                # Forking now also hands the children the fully warmed
+                # parent memo, like the old sequential order did.
+                executor = ParallelExecutor(
+                    min(ctx.workers, len(fanout)),
+                    context=(ctx, checks, want_counters),
+                )
+                executor.__enter__()
+                pending = executor.map_async(_fanout_chunk, fanout)
+                for name, run in zip(fanout, pending.collect()):
+                    if cache is not None and OBS_STATE.enabled:
+                        _count("pipeline.cache.misses", 1)
+                    runs[name] = run
+                    statuses[name] = "ran"
+                    self._store(
+                        checks[name], fingerprints.get(name), run
+                    )
+        finally:
+            if executor is not None:
+                executor.__exit__(None, None, None)
+
+        executions = tuple(
+            NodeExecution(
+                name=name,
+                title=checks[name].title,
+                status=statuses[name],
+                fingerprint=fingerprints.get(name),
+                run=runs.get(name),
+                ok=_node_ok(runs.get(name)),
+            )
+            for name in selection
+        )
+        hits = sum(1 for status in statuses.values() if status == "hit")
+        ran = sum(1 for status in statuses.values() if status == "ran")
+        return PipelineResult(
+            executions,
+            selection,
+            cache_enabled=cache is not None,
+            cache_hits=hits,
+            cache_misses=ran if cache is not None else 0,
+        )
+
+    # ------------------------------------------------------------------
+    def _replay(self, check: Check, entry: dict) -> CheckRun:
+        """Rebuild a cached check: report object, stats records, and
+        span counters, without running anything."""
+        if OBS_STATE.enabled:
+            _count("pipeline.cache.hits", 1)
+        result = None
+        if check.cache_kind is not None:
+            result = deserialize_result(check.cache_kind, entry["report"])
+        counters = ResultCache.entry_counters(entry)
+        span_name = check.span_name or check.name
+        with _span(span_name, cached=True, **check.span_attrs) as span:
+            if counters:
+                span.record(counters)
+        return CheckRun(
+            result=result,
+            stats_parts=ResultCache.entry_stats(entry),
+            counters=counters,
+            wall_time=0.0,
+            skipped=bool(
+                isinstance(entry.get("report"), dict)
+                and entry["report"].get("skipped")
+            ),
+        )
+
+    def _store(
+        self, check: Check, fingerprint: str | None, run: CheckRun
+    ) -> None:
+        """Persist a freshly executed check (clean reports only)."""
+        if self.cache is None or fingerprint is None:
+            return
+        if check.cache_kind is not None:
+            payload = serialize_result(check.cache_kind, run.result)
+            if payload is None:
+                return  # witness-bearing report: always re-run fresh
+        else:
+            payload = None
+        self.cache.store(
+            check.name,
+            fingerprint,
+            check.cache_kind,
+            payload,
+            stats_parts=run.stats_parts,
+            counters=run.counters,
+            wall_time=run.wall_time,
+        )

@@ -77,6 +77,13 @@ class Interpretation:
     def __init__(self, assignments: dict[str, PredicateInterpretation]):
         self._assignments = dict(assignments)
 
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name!r}: {self._assignments[name]!r}"
+            for name in sorted(self._assignments)
+        )
+        return f"Interpretation({{{inner}}})"
+
     @classmethod
     def homonym(
         cls,

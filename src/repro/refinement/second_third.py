@@ -123,6 +123,25 @@ class RepresentationMap:
         self.sort_map = dict(sort_map)
         self.initial_proc = initial_proc
 
+    def __repr__(self) -> str:
+        queries = ", ".join(
+            f"{name!r}: {self.query_map[name]!r}"
+            for name in sorted(self.query_map)
+        )
+        updates = ", ".join(
+            f"{name!r}: {self.update_map[name]!r}"
+            for name in sorted(self.update_map)
+        )
+        sorts = ", ".join(
+            f"{source!r}: {self.sort_map[source]!r}"
+            for source in sorted(self.sort_map, key=lambda s: s.name)
+        )
+        return (
+            f"RepresentationMap(query_map={{{queries}}}, "
+            f"update_map={{{updates}}}, sort_map={{{sorts}}}, "
+            f"initial_proc={self.initial_proc!r})"
+        )
+
     @classmethod
     def homonym(
         cls, signature: AlgebraicSignature, schema: Schema

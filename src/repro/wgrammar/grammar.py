@@ -376,7 +376,10 @@ class WGrammar:
     # recognition
     # ------------------------------------------------------------------
     def recognize(
-        self, tokens: list[str], max_steps: int = 2_000_000
+        self,
+        tokens: list[str],
+        max_steps: int = 2_000_000,
+        counters: dict | None = None,
     ) -> bool:
         """Decide whether the token (mark) sequence is derivable from
         the start notion.
@@ -386,6 +389,10 @@ class WGrammar:
             max_steps: abort (raising :class:`WGrammarError`) after
                 this many rule expansions — W-grammar recognition is
                 undecidable in general, so a budget is mandatory.
+            counters: optional dict receiving the recognizer's work
+                counters (``steps``, ``memo_entries``, ``memo_hits``)
+                so callers can route them into a stats sink even when
+                tracing is disabled.
         """
         recognizer = _Recognizer(self, tuple(tokens), max_steps)
         accepted = len(tokens) in recognizer.parse(self.start, 0)
@@ -394,6 +401,10 @@ class WGrammar:
             _OBS.tracer.count(
                 "wgrammar.memo_entries", len(recognizer._memo)
             )
+        if counters is not None:
+            counters["steps"] = recognizer.steps_used
+            counters["memo_entries"] = len(recognizer._memo)
+            counters["memo_hits"] = recognizer.memo_hits
         return accepted
 
     def derive_prefix(
@@ -594,6 +605,8 @@ class _Recognizer:
         self._budget = max_steps
         self._memo: dict[tuple[Notion, int], set[int]] = {}
         self._active: set[tuple[Notion, int]] = set()
+        #: Lookups answered from the memo table.
+        self.memo_hits = 0
 
     @property
     def steps_used(self) -> int:
@@ -604,6 +617,7 @@ class _Recognizer:
         key = (notion, pos)
         cached = self._memo.get(key)
         if cached is not None:
+            self.memo_hits += 1
             return cached
         if key in self._active:
             # Left-recursive re-entry: cut the loop (grammars used

@@ -672,10 +672,17 @@ def schema_marks(source: str) -> list[str]:
 
 
 def check_schema_source(
-    source: str, max_steps: int = 2_000_000
+    source: str,
+    max_steps: int = 2_000_000,
+    counters: dict | None = None,
 ) -> bool:
     """Decide whether RPR source is generated by the W-grammar
     (Section 5.4's syntactic-correctness check).
+
+    Args:
+        counters: optional dict receiving the recognizer's work
+            counters (``steps``, ``memo_entries``, ``memo_hits``) for
+            the caller's stats sink.
 
     Raises:
         WGrammarError: if the source declares scalar/constant program
@@ -691,4 +698,6 @@ def check_schema_source(
     with _span(
         "wgrammar.recognize", tokens=len(marks), budget=max_steps
     ):
-        return rpr_wgrammar().recognize(marks, max_steps=max_steps)
+        return rpr_wgrammar().recognize(
+            marks, max_steps=max_steps, counters=counters
+        )

@@ -173,6 +173,7 @@ class TestFrameworkEquivalence:
             "reachable",
             "valid-enumeration",
             "transitions",
+            "grammar",
             "second-third",
         ]
         assert parallel.stats.workers == WORKERS

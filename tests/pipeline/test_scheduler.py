@@ -1,0 +1,74 @@
+"""Scheduler policies: run-all vs fail-fast, statuses, summaries."""
+
+from __future__ import annotations
+
+from repro.pipeline.check import Check, CheckRun
+from repro.pipeline.graph import CheckGraph
+from repro.pipeline.scheduler import PipelineContext, Scheduler
+
+RAN = []
+
+
+def _passes(ctx, params):
+    RAN.append("passes")
+    return CheckRun(result=True)
+
+
+def _fails(ctx, params):
+    RAN.append("fails")
+    return CheckRun(result=False)
+
+
+def _later(ctx, params):
+    RAN.append("later")
+    return CheckRun(result=True)
+
+
+def _graph():
+    return CheckGraph(
+        [
+            Check(name="passes", title="always ok", run=_passes),
+            Check(name="fails", title="always bad", run=_fails),
+            Check(name="later", title="after the failure", run=_later),
+        ]
+    )
+
+
+def _run(fail_fast):
+    del RAN[:]
+    scheduler = Scheduler(_graph(), fail_fast=fail_fast)
+    return scheduler.run(PipelineContext(None))
+
+
+class TestPolicies:
+    def test_run_all_accumulates_failures(self):
+        result = _run(fail_fast=False)
+        assert not result.ok
+        assert RAN == ["passes", "fails", "later"]
+        statuses = {e.name: e.status for e in result.executions}
+        assert statuses == {
+            "passes": "ran",
+            "fails": "ran",
+            "later": "ran",
+        }
+
+    def test_fail_fast_stops_at_first_failure(self):
+        result = _run(fail_fast=True)
+        assert not result.ok
+        assert RAN == ["passes", "fails"]
+        statuses = {e.name: e.status for e in result.executions}
+        assert statuses["later"] == "aborted"
+
+    def test_summary_labels_outcomes(self):
+        summary = _run(fail_fast=True).summary()
+        assert "always ok" in summary
+        assert "FAILED" in summary
+        assert "aborted (fail-fast)" in summary
+
+    def test_result_lookup(self):
+        result = _run(fail_fast=False)
+        assert result.result_of("passes") is True
+        assert result.result_of("fails") is False
+        assert result.result_of("missing", default="d") == "d"
+        assert result.execution("passes").ok
+        assert not result.execution("fails").ok
