@@ -1,0 +1,53 @@
+"""Coverage-completeness smoke: courses must reach 100% cell coverage.
+
+Usage::
+
+    PYTHONPATH=src python -m repro verify courses --quiet \
+        --coverage coverage.json
+    python benchmarks/check_coverage_smoke.py coverage.json
+
+Reads a ``--coverage`` emission and fails (exit 1) unless every
+application document in it reports 100% equation-dispatch-cell
+coverage with no sufficient-completeness holes.  At the default
+bounds the bundled designs exercise every ``(query, constructor)``
+cell, so anything below 100% means either a regression in the
+recorder's merging or a genuinely dead equation — both worth failing
+CI over.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "coverage", help="coverage.json written by verify --coverage"
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.coverage, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    documents = payload if isinstance(payload, list) else [payload]
+
+    failed = False
+    for document in documents:
+        application = document.get("application") or "<unnamed>"
+        summary = document["rewrite"]["summary"]
+        coverage = summary["coverage"]
+        holes = summary["uncovered_cells"]
+        verdict = "OK" if coverage == 1.0 and not holes else "FAIL"
+        print(
+            f"[{verdict}] {application}: {coverage * 100:.1f}% of "
+            f"{summary['total_cells']} dispatch cells covered"
+            + (f"; holes: {', '.join(holes)}" if holes else "")
+        )
+        failed = failed or verdict == "FAIL"
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,12 @@ disabled instrumentation costs <= 5%.
 The tracing-ON ratios (``bench_snapshot_traced``,
 ``bench_explore_traced``) are reported for context but never gated —
 recording is an explicit opt-in.
+
+With ``--coverage-run BENCH_coverage.json`` the same gate logic also
+checks the coverage-enabled pair of :mod:`benchmarks.bench_coverage`:
+``bench_snapshot_cov_on`` must stay within ``--coverage-factor``
+(default 1.15, the <= 15% enabled-recording contract) of
+``bench_snapshot_cov_off``.
 """
 
 from __future__ import annotations
@@ -27,6 +33,9 @@ import sys
 
 #: The gated pair: (baseline benchmark, instrumented benchmark).
 GATED_PAIR = ("bench_snapshot_plain", "bench_snapshot_noop_spans")
+
+#: The coverage-enabled gated pair of ``bench_coverage.py``.
+COVERAGE_PAIR = ("bench_snapshot_cov_off", "bench_snapshot_cov_on")
 
 #: Informational pairs: (baseline, variant, description).
 REPORTED_PAIRS = (
@@ -53,6 +62,23 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "fail when noop-span mean > factor * plain mean "
             "(default 1.05 = the 5%% disabled-overhead contract)"
+        ),
+    )
+    parser.add_argument(
+        "--coverage-run",
+        default=None,
+        help=(
+            "pytest-benchmark JSON of bench_coverage; when given, "
+            "additionally gate the coverage-enabled pair"
+        ),
+    )
+    parser.add_argument(
+        "--coverage-factor",
+        type=float,
+        default=1.15,
+        help=(
+            "fail when cov_on mean > factor * cov_off mean "
+            "(default 1.15 = the 15%% enabled-recording contract)"
         ),
     )
     args = parser.parse_args(argv)
@@ -83,7 +109,30 @@ def main(argv: list[str] | None = None) -> int:
                 f"x{means[variant] / means[base_name]:.4f} of {base_name}"
             )
 
-    return 0 if ratio <= args.factor else 1
+    failed = ratio > args.factor
+
+    if args.coverage_run is not None:
+        with open(args.coverage_run, encoding="utf-8") as handle:
+            cov_means = _means(json.load(handle))
+        off_name, on_name = COVERAGE_PAIR
+        try:
+            off, on = cov_means[off_name], cov_means[on_name]
+        except KeyError as missing:
+            print(
+                f"benchmark {missing} missing from the coverage run",
+                file=sys.stderr,
+            )
+            return 2
+        cov_ratio = on / off
+        cov_verdict = "OK" if cov_ratio <= args.coverage_factor else "FAIL"
+        print(
+            f"[{cov_verdict}] coverage-on overhead: {off_name} "
+            f"{off * 1e3:.3f}ms vs {on_name} {on * 1e3:.3f}ms "
+            f"-> x{cov_ratio:.4f} (gate x{args.coverage_factor})"
+        )
+        failed = failed or cov_ratio > args.coverage_factor
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -50,6 +50,7 @@ from repro.errors import (
     IncompletenessError,
     NonTerminationError,
 )
+from repro.obs.coverage import COV_STATE as _COV
 from repro.obs.tracer import OBS_STATE as _OBS
 from repro.algebraic.equations import ConditionalEquation
 from repro.algebraic.spec import AlgebraicSpec
@@ -198,7 +199,9 @@ class RewriteEngine:
         self.dispatch_hits = 0
         #: Compiled per-symbol evaluation closures, built on first use.
         self._dispatch: dict[str, Callable[[App, list[int]], Value]] = {}
-        #: Compiled equation lists per (query, constructor) pair.
+        #: Compiled equation lists per (query, constructor) pair; each
+        #: entry carries the equation's index in ``spec.equations`` so
+        #: coverage recording can name what fired.
         self._equation_tables: dict[
             tuple[str, str],
             tuple[
@@ -206,10 +209,15 @@ class RewriteEngine:
                     Callable[[App], dict[Var, Term] | None],
                     fm.Formula | None,
                     Term,
+                    int,
                 ],
                 ...,
             ],
         ] = {}
+        #: Equation object -> index into ``spec.equations``, built on
+        #: first compile (identity-keyed: ``equations_for`` returns
+        #: the declaration objects themselves).
+        self._equation_index: dict[int, int] | None = None
         # Value constants per sort, prebuilt for quantifier expansion.
         self._domain_terms = {
             sort: tuple(
@@ -234,6 +242,21 @@ class RewriteEngine:
         """
         if _OBS.enabled:
             _OBS.tracer.count("rewrite.evaluate.calls")
+        if _COV.enabled:
+            # Top-level dispatch-cell census: the multiset of these
+            # calls is exactly the workload, which the chunk
+            # partitioner splits without overlap — so summed per-cell
+            # counts are identical for every worker count.
+            if (
+                isinstance(term, App)
+                and term.args
+                and self.signature.is_query(term.symbol)
+            ):
+                state = term.args[-1]
+                if isinstance(state, App):
+                    _COV.recorder.record_dispatch(
+                        term.symbol.name, state.symbol.name
+                    )
         if term.sort == STATE:
             raise EvaluationError(
                 "terms of sort state are symbolic traces; only query/"
@@ -310,6 +333,10 @@ class RewriteEngine:
                     continue
             rewritten = apply_to_term(substitution, equation.rhs)
             self.rewrite_steps += 1
+            if _COV.enabled:
+                _COV.recorder.record_u_fire(
+                    current.symbol.name, self._index_of(equation)
+                )
             if not isinstance(rewritten, App):
                 raise EvaluationError(
                     f"U-equation {equation.describe()} produced a "
@@ -464,13 +491,29 @@ class RewriteEngine:
                 if matcher is None:
                     matcher = _generic_matcher(equation)
                 compiled.append(
-                    (matcher, equation.condition, equation.rhs)
+                    (
+                        matcher,
+                        equation.condition,
+                        equation.rhs,
+                        self._index_of(equation),
+                    )
                 )
             table = tuple(compiled)
             self._equation_tables[key] = table
         else:
             self.dispatch_hits += 1
         return table
+
+    def _index_of(self, equation: ConditionalEquation) -> int:
+        """The equation's index within ``spec.equations``."""
+        index = self._equation_index
+        if index is None:
+            index = {
+                id(candidate): position
+                for position, candidate in enumerate(self.spec.equations)
+            }
+            self._equation_index = index
+        return index.get(id(equation), -1)
 
     def _eval_query(self, term: App, budget: list[int]) -> Value:
         budget[0] -= 1
@@ -495,7 +538,7 @@ class RewriteEngine:
             )
         constructor = state_arg.symbol.name
         table = self._compiled_equations(term.symbol.name, constructor)
-        for matcher, condition, rhs in table:
+        for matcher, condition, rhs, eq_index in table:
             bindings = matcher(term)
             if bindings is None:
                 continue
@@ -505,6 +548,13 @@ class RewriteEngine:
                     continue
             instantiated = apply_to_term(bindings, rhs)
             self.rewrite_steps += 1
+            if _COV.enabled:
+                # Fired-equation *sets* union-merge exactly: within an
+                # engine the memo-missed terms are the needed terms,
+                # and need distributes over workload unions.
+                _COV.recorder.record_fire(
+                    term.symbol.name, constructor, eq_index
+                )
             return self._eval(instantiated, budget)
         raise IncompletenessError(
             f"no equation applies to {term} (query "

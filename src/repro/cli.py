@@ -12,6 +12,10 @@ Usage::
     python -m repro verify courses --cache-dir .repro-cache  # warm reruns
     python -m repro verify courses --only second-third   # one check (+deps)
     python -m repro verify courses --skip congruence --fail-fast
+    python -m repro verify all --coverage coverage.json \
+        --coverage-html coverage.html   # proof-coverage report
+    python -m repro cache stats --cache-dir .repro-cache
+    python -m repro cache prune --cache-dir .repro-cache [--all]
     python -m repro schema courses        # print the RPR schema
     python -m repro axioms courses        # print the level-1 theory
 """
@@ -75,6 +79,37 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _ensure_parent(path: str) -> None:
+    """Create the parent directories of an output path."""
+    from pathlib import Path
+
+    parent = Path(path).parent
+    if str(parent) not in ("", "."):
+        parent.mkdir(parents=True, exist_ok=True)
+
+
+def _write_text_output(path: str, text: str, label: str) -> bool:
+    """Write an artifact to ``path`` (``'-'`` = stdout), creating
+    missing parent directories; on an unwritable path print a clear
+    error instead of a traceback and return False."""
+    if not text.endswith("\n"):
+        text += "\n"
+    if path == "-":
+        sys.stdout.write(text)
+        return True
+    try:
+        _ensure_parent(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    except OSError as exc:
+        print(
+            f"error: cannot write {label} to {path!r}: {exc}",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
 def _split_selection(values: list[str] | None) -> list[str] | None:
     """Flatten repeatable, comma-separable ``--only``/``--skip``
     values into one name list (``None`` when the flag is absent)."""
@@ -86,6 +121,73 @@ def _split_selection(values: list[str] | None) -> list[str] | None:
             part.strip() for part in value.split(",") if part.strip()
         )
     return names or None
+
+
+def _classic_results(report) -> dict:
+    """The per-check report map of a classic :class:`FrameworkReport`
+    (the shape :func:`repro.obs.provenance.render_failures` reads)."""
+    first = report.first_second
+    return {
+        "completeness": first.completeness,
+        "static": first.static,
+        "inclusion": first.inclusion,
+        "transitions": first.transitions,
+        "induction": report.induction,
+        "congruence": report.congruence,
+        "grammar": report.grammar_ok,
+        "second-third": report.second_third,
+        "agreement": report.agreement,
+    }
+
+
+def _print_failure_traces(framework, results, graph=None) -> None:
+    """Print the minimal violating traces of every failing check."""
+    from repro.obs.provenance import render_failures
+
+    provider = (lambda: graph) if graph is not None else None
+    text = render_failures(
+        results, algebra=framework.algebra(), graph_provider=provider
+    )
+    if text:
+        print(text)
+        print()
+
+
+def _coverage_document_of(
+    args: argparse.Namespace, name, framework, recorder, result
+) -> dict:
+    """Assemble one application's coverage document, provenance
+    records included."""
+    from repro.obs.coverage import coverage_document
+    from repro.obs.provenance import pipeline_provenance
+    from repro.pipeline.nodes import build_framework_graph
+    from repro.wgrammar.rpr_grammar import rpr_wgrammar
+
+    graph = build_framework_graph(
+        completeness_depth=args.depth,
+        congruence_depth=args.depth,
+        workers=args.workers,
+    )
+    labels = [
+        rule.label or f"rule-{index}"
+        for index, rule in enumerate(rpr_wgrammar().hyperrules)
+    ]
+    checks = pipeline_provenance(
+        framework, result, graph, algebra=framework.algebra()
+    )
+    return coverage_document(
+        recorder,
+        framework.algebraic,
+        application=name,
+        params={
+            "completeness_depth": args.depth,
+            "congruence_depth": args.depth,
+            "max_states": 100_000,
+            "grammar_budget": 2_000_000,
+        },
+        grammar_labels=labels,
+        checks=checks,
+    )
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -100,6 +202,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     )
     want_trace = bool(
         args.trace or args.trace_jsonl or args.trace_summary
+    )
+    want_coverage = (
+        args.coverage is not None or args.coverage_html is not None
     )
     tracer = None
     if want_trace or args.metrics_json is not None:
@@ -123,6 +228,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     failures = 0
     stats_bundles = []
     verified_stats = []
+    coverage_documents = []
     for name in names:
         factory = APPLICATIONS.get(name)
         if factory is None:
@@ -131,7 +237,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             return 2
         framework = factory()
         started = time.perf_counter()
-        if selection_mode:
+        if selection_mode or want_coverage:
             from contextlib import nullcontext
 
             from repro.errors import SpecificationError
@@ -140,8 +246,20 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             activation = (
                 activate(tracer) if tracer is not None else nullcontext()
             )
+            recorder = None
+            cov_scope = nullcontext()
+            if want_coverage:
+                from repro.obs.coverage import (
+                    CoverageRecorder,
+                    activate_coverage,
+                )
+
+                # One recorder per application: documents never mix
+                # coverage across specs.
+                recorder = CoverageRecorder()
+                cov_scope = activate_coverage(recorder)
             try:
-                with activation:
+                with activation, cov_scope:
                     result = framework.verify_pipeline(
                         completeness_depth=args.depth,
                         congruence_depth=args.depth,
@@ -158,12 +276,35 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             ok = result.ok
             verdict = "OK" if ok else "FAILED"
             print(f"[{verdict}] {framework.name}  ({elapsed:.1f}s)")
-            if not args.quiet or not ok:
-                print(result.summary())
-                print()
+            if selection_mode:
+                if not args.quiet or not ok:
+                    print(result.summary())
+                    print()
+            else:
+                report = framework.report_of(
+                    result, include_stats=include_stats
+                )
+                if not args.quiet or not ok:
+                    print(report)
+                    print()
+            if not ok:
+                _print_failure_traces(
+                    framework,
+                    {
+                        check: result.result_of(check)
+                        for check in result.selection
+                    },
+                    graph=result.result_of("explore"),
+                )
             stats = (
                 result.combined_stats() if include_stats else None
             )
+            if want_coverage:
+                coverage_documents.append(
+                    _coverage_document_of(
+                        args, name, framework, recorder, result
+                    )
+                )
         else:
             report = framework.verify(
                 completeness_depth=args.depth,
@@ -180,6 +321,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             if not args.quiet or not ok:
                 print(report)
                 print()
+            if not ok:
+                _print_failure_traces(
+                    framework, _classic_results(report)
+                )
             stats = report.stats
         if stats is not None:
             if args.stats:
@@ -205,36 +350,79 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         payload = (
             stats_bundles[0] if len(stats_bundles) == 1 else stats_bundles
         )
-        if args.stats_json == "-":
-            print(json.dumps(payload, indent=2))
-        else:
-            with open(args.stats_json, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2)
-                handle.write("\n")
-    _write_observability(args, tracer, verified_stats)
+        if not _write_text_output(
+            args.stats_json, json.dumps(payload, indent=2), "stats JSON"
+        ):
+            return 2
+    if not _write_observability(args, tracer, verified_stats):
+        return 2
+    if want_coverage and coverage_documents:
+        from repro.obs.coverage import coverage_json
+
+        payload = (
+            coverage_documents[0]
+            if len(coverage_documents) == 1
+            else coverage_documents
+        )
+        if args.coverage is not None:
+            if not _write_text_output(
+                args.coverage, coverage_json(payload), "coverage JSON"
+            ):
+                return 2
+            if args.coverage != "-":
+                print(f"coverage written to {args.coverage}")
+        if args.coverage_html is not None:
+            from repro.obs.report_html import coverage_html
+
+            if not _write_text_output(
+                args.coverage_html,
+                coverage_html(payload),
+                "coverage HTML",
+            ):
+                return 2
+            if args.coverage_html != "-":
+                print(
+                    f"coverage report written to {args.coverage_html}"
+                )
     return 1 if failures else 0
 
 
 def _write_observability(
     args: argparse.Namespace, tracer, verified_stats
-) -> None:
-    """Export the trace/metrics artifacts the verify flags requested."""
+) -> bool:
+    """Export the trace/metrics artifacts the verify flags requested.
+
+    Returns False when an output path was unwritable (the error is
+    printed here; the caller turns it into exit code 2).
+    """
     if tracer is None:
-        return
+        return True
+    import json
+
     from repro.obs.export import (
         format_tree,
-        write_chrome_trace,
-        write_jsonl,
+        iter_flat_events,
+        to_chrome_json,
     )
     from repro.obs.metrics import MetricsRegistry
 
     if args.trace is not None:
-        write_chrome_trace(tracer, args.trace)
-        print(f"trace written to {args.trace} "
-              "(load in chrome://tracing or ui.perfetto.dev)")
+        text = json.dumps(to_chrome_json(tracer))
+        if not _write_text_output(args.trace, text, "Chrome trace"):
+            return False
+        if args.trace != "-":
+            print(f"trace written to {args.trace} "
+                  "(load in chrome://tracing or ui.perfetto.dev)")
     if args.trace_jsonl is not None:
-        write_jsonl(tracer, args.trace_jsonl)
-        print(f"flat span log written to {args.trace_jsonl}")
+        text = "\n".join(
+            json.dumps(event) for event in iter_flat_events(tracer)
+        )
+        if not _write_text_output(
+            args.trace_jsonl, text, "span log"
+        ):
+            return False
+        if args.trace_jsonl != "-":
+            print(f"flat span log written to {args.trace_jsonl}")
     if args.trace_summary:
         print(format_tree(tracer))
     if args.metrics_json is not None:
@@ -243,14 +431,43 @@ def _write_observability(
             registry.record_verification(stats)
         registry.merge_tracer(tracer)
         registry.record_kernel()
-        if args.metrics_json == "-":
-            print(registry.to_json())
+        if not _write_text_output(
+            args.metrics_json, registry.to_json(), "metrics JSON"
+        ):
+            return False
+    return True
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """The ``repro cache`` maintenance subcommand."""
+    from pathlib import Path
+
+    from repro.pipeline.cache import ResultCache
+
+    cache = ResultCache(Path(args.cache_dir))
+    if args.cache_command == "stats":
+        summary = cache.summary()
+        if args.json:
+            import json
+
+            print(json.dumps(summary, indent=2, sort_keys=True))
         else:
-            with open(
-                args.metrics_json, "w", encoding="utf-8"
-            ) as handle:
-                handle.write(registry.to_json())
-                handle.write("\n")
+            print(f"cache directory : {summary['path']}")
+            print(
+                f"entries         : {summary['entries']} "
+                f"({summary['total_bytes']} bytes)"
+            )
+            print(f"current format  : {summary['format']}")
+            print(f"stale entries   : {summary['stale']}")
+            print(f"with coverage   : {summary['with_coverage']}")
+            for node, count in summary["by_node"].items():
+                print(f"  {node:12s} {count}")
+        return 0
+    removed = cache.prune(everything=args.all)
+    scope = "all" if args.all else "stale"
+    noun = "entry" if removed == 1 else "entries"
+    print(f"pruned {removed} {scope} cache {noun}")
+    return 0
 
 
 def _cmd_schema(args: argparse.Namespace) -> int:
@@ -373,7 +590,59 @@ def main(argv: list[str] | None = None) -> int:
         "--fail-fast", action="store_true",
         help="stop at the first failing check",
     )
+    verify.add_argument(
+        "--coverage", metavar="PATH", default=None,
+        help=(
+            "record proof coverage (equation dispatch cells, "
+            "state-graph census, W-grammar usage, per-check "
+            "provenance) and write the machine-readable document to "
+            "PATH ('-' for stdout); output is byte-identical for "
+            "every worker count, cold or warm cache"
+        ),
+    )
+    verify.add_argument(
+        "--coverage-html", metavar="PATH", default=None,
+        help=(
+            "write the self-contained HTML coverage report to PATH"
+        ),
+    )
     verify.set_defaults(handler=_cmd_verify)
+
+    cache_parser = subparsers.add_parser(
+        "cache",
+        help="inspect or prune a verification result cache directory",
+    )
+    cache_sub = cache_parser.add_subparsers(
+        dest="cache_command", required=True
+    )
+    cache_stats = cache_sub.add_parser(
+        "stats", help="summarize the entries under a cache directory"
+    )
+    cache_stats.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="the cache directory to inspect",
+    )
+    cache_stats.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as JSON",
+    )
+    cache_stats.set_defaults(handler=_cmd_cache)
+    cache_prune = cache_sub.add_parser(
+        "prune",
+        help=(
+            "delete stale cache entries (unreadable or older-format "
+            "files); --all deletes every entry"
+        ),
+    )
+    cache_prune.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="the cache directory to prune",
+    )
+    cache_prune.add_argument(
+        "--all", action="store_true",
+        help="delete every entry, not only stale ones",
+    )
+    cache_prune.set_defaults(handler=_cmd_cache)
 
     schema = subparsers.add_parser(
         "schema", help="print an application's RPR schema"

@@ -23,8 +23,31 @@ Worker processes forked by :mod:`repro.parallel` inherit the enabled
 flag; their per-chunk span buffers are merged back **in deterministic
 chunk order**, so traces are structurally identical for every worker
 count.
+
+Proof-coverage recording (:mod:`repro.obs.coverage`) follows the same
+switch discipline under its own flag: a
+:class:`~repro.obs.coverage.CoverageRecorder` collects which equation
+dispatch cells, state-graph regions, and W-grammar rules a run
+exercised; :mod:`repro.obs.provenance` attaches per-check provenance
+records and renders minimal counterexample traces; and
+:mod:`repro.obs.report_html` turns the resulting documents into a
+self-contained HTML report.
 """
 
+from repro.obs.coverage import (
+    COV_STATE,
+    CoverageRecorder,
+    activate_coverage,
+    capture_coverage,
+    coverage_digest,
+    coverage_document,
+    coverage_enabled,
+    coverage_json,
+    disable_coverage,
+    enable_coverage,
+    payload_digest,
+    state_graph_census,
+)
 from repro.obs.export import (
     chrome_trace_events,
     format_tree,
@@ -34,6 +57,14 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import (
+    counterexamples_of,
+    pipeline_provenance,
+    render_counterexample,
+    render_failures,
+    trace_updates,
+)
+from repro.obs.report_html import coverage_html
 from repro.obs.tracer import (
     OBS_STATE,
     Span,
@@ -67,4 +98,22 @@ __all__ = [
     "iter_flat_events",
     "write_jsonl",
     "format_tree",
+    "COV_STATE",
+    "CoverageRecorder",
+    "coverage_enabled",
+    "enable_coverage",
+    "disable_coverage",
+    "activate_coverage",
+    "capture_coverage",
+    "state_graph_census",
+    "coverage_document",
+    "coverage_digest",
+    "payload_digest",
+    "coverage_json",
+    "coverage_html",
+    "trace_updates",
+    "render_counterexample",
+    "counterexamples_of",
+    "render_failures",
+    "pipeline_provenance",
 ]

@@ -36,6 +36,7 @@ import multiprocessing
 import time
 from typing import Any, Callable, Sequence
 
+from repro.obs.coverage import COV_STATE, capture_coverage
 from repro.obs.tracer import OBS_STATE, Span, capture
 from repro.parallel.stats import WorkerStats
 
@@ -62,16 +63,24 @@ def _run_chunk(payload):
     fn, index, arg = payload
     started = time.perf_counter()
     spans: tuple = ()
-    if OBS_STATE.enabled:
-        with capture("chunk", worker=index) as chunk_tracer:
+    coverage_payload: dict | None = None
+    # merge=False: the chunk's facts travel back on the stats record
+    # and the parent merges them exactly once in _absorb — merging
+    # here too would double-count under the in-process fallback,
+    # where this trampoline runs in the parent process.
+    with capture_coverage(merge=False) as chunk_cov:
+        if OBS_STATE.enabled:
+            with capture("chunk", worker=index) as chunk_tracer:
+                result, counters = fn(_CONTEXT, arg)
+            for root in chunk_tracer.roots:
+                root.record(
+                    {k: v for k, v in counters.items() if isinstance(v, int)}
+                )
+            spans = tuple(root.to_dict() for root in chunk_tracer.roots)
+        else:
             result, counters = fn(_CONTEXT, arg)
-        for root in chunk_tracer.roots:
-            root.record(
-                {k: v for k, v in counters.items() if isinstance(v, int)}
-            )
-        spans = tuple(root.to_dict() for root in chunk_tracer.roots)
-    else:
-        result, counters = fn(_CONTEXT, arg)
+    if COV_STATE.enabled:
+        coverage_payload = chunk_cov.to_payload()
     elapsed = time.perf_counter() - started
     stats = WorkerStats(
         worker=index,
@@ -83,6 +92,7 @@ def _run_chunk(payload):
         interned_terms=counters.get("interned_terms", 0),
         wall_time=elapsed,
         spans=spans,
+        coverage=coverage_payload,
     )
     return result, stats
 
@@ -183,6 +193,9 @@ class ParallelExecutor:
             if OBS_STATE.enabled and OBS_STATE.tracer is not None
             else None
         )
+        recorder = (
+            COV_STATE.recorder if COV_STATE.enabled else None
+        )
         for result, stats in outcomes:
             self.worker_stats.append(stats)
             results.append(result)
@@ -191,6 +204,8 @@ class ParallelExecutor:
                 # grafted trace is deterministic for any worker count.
                 for span_dict in stats.spans:
                     graft(Span.from_dict(span_dict))
+            if recorder is not None and stats.coverage is not None:
+                recorder.merge_payload(stats.coverage)
         return results
 
 

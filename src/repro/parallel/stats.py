@@ -102,6 +102,12 @@ class WorkerStats:
             chunk recorded (empty unless tracing was enabled); the
             executor grafts them back into the parent's trace in
             chunk submission order.
+        coverage: the chunk's serialized
+            :class:`repro.obs.coverage.CoverageRecorder` payload
+            (``None`` unless coverage recording was enabled); the
+            executor folds it into the parent's recorder — coverage
+            merging is commutative, so any merge order yields the
+            same facts.
     """
 
     worker: int
@@ -113,10 +119,12 @@ class WorkerStats:
     interned_terms: int = 0
     wall_time: float = 0.0
     spans: tuple = ()
+    coverage: dict | None = None
 
     def to_dict(self) -> dict:
         """A JSON-serializable view of the chunk record (span buffers
-        are part of the trace, not the stats, and are omitted)."""
+        and coverage payloads are part of the trace/coverage outputs,
+        not the stats, and are omitted)."""
         return {
             "worker": self.worker,
             "items": self.items,

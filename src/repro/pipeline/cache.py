@@ -44,7 +44,8 @@ __all__ = ["ResultCache", "serialize_result", "deserialize_result"]
 
 #: Entry format version; bump on any incompatible layout change so
 #: stale files stop matching instead of deserializing wrongly.
-CACHE_FORMAT = 1
+#: Format 2 added the per-check ``coverage`` payload.
+CACHE_FORMAT = 2
 
 
 # ---------------------------------------------------------------------
@@ -235,6 +236,7 @@ class ResultCache:
         stats_parts: tuple[VerificationStats, ...] = (),
         counters: dict[str, int] | None = None,
         wall_time: float = 0.0,
+        coverage: dict | None = None,
     ) -> None:
         """Persist one check outcome (atomic write via rename).
 
@@ -250,6 +252,7 @@ class ResultCache:
             "stats": [part.to_dict() for part in stats_parts],
             "counters": counters,
             "wall_time": wall_time,
+            "coverage": coverage,
         }
         path = self._path(node, fingerprint)
         try:
@@ -279,3 +282,84 @@ class ResultCache:
         if counters is None:
             return None
         return {str(name): int(value) for name, value in counters.items()}
+
+    @staticmethod
+    def entry_coverage(entry: dict) -> dict | None:
+        """The replayed per-check coverage payload of a loaded entry
+        (``None`` when the entry was stored with coverage off)."""
+        coverage = entry.get("coverage")
+        if not isinstance(coverage, dict):
+            return None
+        return coverage
+
+    # ------------------------------------------------------------------
+    # maintenance (the ``repro cache`` subcommand)
+    # ------------------------------------------------------------------
+    def entries(self) -> list[dict]:
+        """Every readable entry file under the cache root, as
+        ``{"path", "node", "format", "size", "has_coverage"}`` records
+        sorted by file name.  Unreadable files get ``format: None``."""
+        if not self.root.is_dir():
+            return []
+        records = []
+        for path in sorted(self.root.glob("*.json")):
+            record: dict[str, Any] = {
+                "path": str(path),
+                "size": path.stat().st_size,
+                "node": None,
+                "format": None,
+                "has_coverage": False,
+            }
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    entry = json.load(handle)
+                if isinstance(entry, dict):
+                    record["node"] = entry.get("node")
+                    record["format"] = entry.get("format")
+                    record["has_coverage"] = isinstance(
+                        entry.get("coverage"), dict
+                    )
+            except (OSError, ValueError):
+                pass
+            records.append(record)
+        return records
+
+    def summary(self) -> dict:
+        """Aggregate statistics over the cache directory: entry and
+        byte counts, per-node breakdown, and how many entries are
+        stale (unreadable or from an older format version)."""
+        records = self.entries()
+        by_node: dict[str, int] = {}
+        stale = 0
+        with_coverage = 0
+        for record in records:
+            if record["format"] != CACHE_FORMAT:
+                stale += 1
+            else:
+                node = str(record["node"])
+                by_node[node] = by_node.get(node, 0) + 1
+                if record["has_coverage"]:
+                    with_coverage += 1
+        return {
+            "path": str(self.root),
+            "entries": len(records),
+            "total_bytes": sum(r["size"] for r in records),
+            "format": CACHE_FORMAT,
+            "stale": stale,
+            "with_coverage": with_coverage,
+            "by_node": dict(sorted(by_node.items())),
+        }
+
+    def prune(self, everything: bool = False) -> int:
+        """Delete stale entries (unreadable or older-format files);
+        with ``everything=True`` delete every entry.  Returns the
+        number of files removed; removal failures are skipped."""
+        removed = 0
+        for record in self.entries():
+            if everything or record["format"] != CACHE_FORMAT:
+                try:
+                    os.remove(record["path"])
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -35,6 +35,12 @@ class CheckRun:
         wall_time: seconds the execution took.
         skipped: True when an optional check declined to run (e.g. the
             inductive proof on an over-large abstract space).
+        coverage: the check's isolated
+            :meth:`repro.obs.coverage.CoverageRecorder.to_payload`
+            rendering (``None`` when coverage recording was off).
+            Captured under a fresh recorder per check, so the payload
+            is a function of the check alone and replays exactly on a
+            cache hit.
     """
 
     result: Any
@@ -42,6 +48,7 @@ class CheckRun:
     counters: dict[str, int] | None = None
     wall_time: float = 0.0
     skipped: bool = False
+    coverage: dict | None = None
 
 
 @dataclass(frozen=True)

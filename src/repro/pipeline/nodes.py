@@ -20,6 +20,7 @@ import time
 from repro.algebraic.completeness import check_sufficient_completeness
 from repro.algebraic.observation import check_congruence
 from repro.errors import SpecificationError, WGrammarError
+from repro.obs.coverage import COV_STATE, state_graph_census
 from repro.parallel.stats import StatsSink, VerificationStats, WorkerStats
 from repro.pipeline.check import Check, CheckRun
 from repro.pipeline.graph import CheckGraph
@@ -51,6 +52,10 @@ def _run_explore(ctx, params) -> CheckRun:
         stats=sink,
     )
     ctx.resources["graph"] = graph
+    if COV_STATE.enabled:
+        # The census reads the merged graph, which is identical at
+        # every worker count, so the recorded curve is deterministic.
+        COV_STATE.recorder.record_explore(state_graph_census(graph))
     return CheckRun(result=graph, stats_parts=tuple(sink.records))
 
 

@@ -36,6 +36,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Iterable
 
+from repro.obs.coverage import COV_STATE, capture_coverage
 from repro.obs.tracer import (
     OBS_STATE,
     Tracer,
@@ -205,7 +206,13 @@ def _execute_check(check: Check, ctx: PipelineContext, want_counters: bool) -> C
     started = time.perf_counter()
     own_tracer = Tracer() if (want_counters and not OBS_STATE.enabled) else None
     activation = activate(own_tracer) if own_tracer is not None else nullcontext()
-    with activation:
+    # Each check records into its own fresh recorder (folded into the
+    # enclosing one on exit), so the stored payload is a function of
+    # the check alone — the property cache replay needs.
+    coverage_scope = (
+        capture_coverage() if COV_STATE.enabled else nullcontext()
+    )
+    with activation, coverage_scope:
         baseline = (
             OBS_STATE.tracer.counter_totals()
             if want_counters and own_tracer is None
@@ -236,6 +243,11 @@ def _execute_check(check: Check, ctx: PipelineContext, want_counters: bool) -> C
         counters=counters,
         wall_time=time.perf_counter() - started,
         skipped=run.skipped,
+        coverage=(
+            coverage_scope.recorder.to_payload()
+            if COV_STATE.enabled
+            else None
+        ),
     )
 
 
@@ -332,6 +344,15 @@ class Scheduler:
                 entry = cache.load(name, fingerprints[name])
                 if (
                     entry is not None
+                    and COV_STATE.enabled
+                    and ResultCache.entry_coverage(entry) is None
+                ):
+                    # The entry was stored with coverage recording off:
+                    # replaying it would silently drop the check's
+                    # contribution from the coverage report.  Re-run.
+                    entry = None
+                if (
+                    entry is not None
                     and entry.get("kind") == check.cache_kind
                     and entry.get("report") is not None
                 ):
@@ -357,6 +378,12 @@ class Scheduler:
                 entry = None if needed else cache.load(
                     name, fingerprints[name]
                 )
+                if (
+                    entry is not None
+                    and COV_STATE.enabled
+                    and ResultCache.entry_coverage(entry) is None
+                ):
+                    entry = None
                 if entry is not None:
                     entries[name] = entry
                     plan[name] = "hit"
@@ -480,6 +507,16 @@ class Scheduler:
         if check.cache_kind is not None:
             result = deserialize_result(check.cache_kind, entry["report"])
         counters = ResultCache.entry_counters(entry)
+        coverage = ResultCache.entry_coverage(entry)
+        if (
+            COV_STATE.enabled
+            and coverage is not None
+            and COV_STATE.recorder is not None
+        ):
+            # Replay the stored per-check coverage payload, making a
+            # warm run's coverage byte-identical to the cold run that
+            # populated the cache.
+            COV_STATE.recorder.merge_payload(coverage)
         span_name = check.span_name or check.name
         with _span(span_name, cached=True, **check.span_attrs) as span:
             if counters:
@@ -493,6 +530,7 @@ class Scheduler:
                 isinstance(entry.get("report"), dict)
                 and entry["report"].get("skipped")
             ),
+            coverage=coverage,
         )
 
     def _store(
@@ -515,4 +553,5 @@ class Scheduler:
             stats_parts=run.stats_parts,
             counters=run.counters,
             wall_time=run.wall_time,
+            coverage=run.coverage,
         )

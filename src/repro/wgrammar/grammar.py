@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
 from repro.errors import WGrammarError
+from repro.obs.coverage import COV_STATE as _COV
 from repro.obs.tracer import OBS_STATE as _OBS
 
 __all__ = [
@@ -345,6 +346,11 @@ class WGrammar:
             return
         for cut in range(len(notion) + 1):
             segment = notion[:cut]
+            if _COV.enabled:
+                # Usage is recorded at the matcher's membership call
+                # sites, never inside member()'s memoized recursion:
+                # counts then do not depend on cache warmth.
+                _COV.recorder.record_metanotion(head.name)
             if self.member(head.name, segment):
                 child = dict(bindings)
                 child[head.name] = segment
@@ -625,7 +631,7 @@ class _Recognizer:
             return set()
         self._active.add(key)
         results: set[int] = set()
-        for rule in self._grammar.hyperrules:
+        for rule_index, rule in enumerate(self._grammar.hyperrules):
             self._budget -= 1
             if self._budget < 0:
                 raise WGrammarError(
@@ -635,6 +641,10 @@ class _Recognizer:
             for bindings in self._grammar.match_lhs(rule.lhs, notion):
                 if not rule.bindings_admissible(bindings):
                     continue
+                if _COV.enabled:
+                    _COV.recorder.record_hyperrule(
+                        rule.label or f"rule-{rule_index}"
+                    )
                 results |= self._sequence(rule.rhs, 0, dict(bindings), pos)
         self._active.discard(key)
         self._memo[key] = results
@@ -663,6 +673,8 @@ class _Recognizer:
                 if bound != (mark,):
                     return set()
                 return self._sequence(items, index + 1, bindings, pos + 1)
+            if _COV.enabled:
+                _COV.recorder.record_metanotion(item.sym.name)
             if not self._grammar.member(item.sym.name, (mark,)):
                 return set()
             child = dict(bindings)

@@ -240,3 +240,294 @@ class TestPipelineFlags:
             ]
         ) == 0
         assert "[cached]" in capsys.readouterr().out
+
+
+def _broken_factory():
+    """A courses variant whose cancel equations drop the guard —
+    every consistency check fails with concrete witnesses."""
+    from repro.applications import courses
+    from repro.core.framework import DesignFramework
+    from tests.refinement.test_first_second import broken_cancel_spec
+
+    return DesignFramework.from_sources(
+        information=courses.courses_information(),
+        algebraic=broken_cancel_spec(),
+        schema_source=courses.courses_schema_source(),
+        carriers=courses.courses_information_carriers(),
+        name="broken",
+    )
+
+
+class TestCoverageFlags:
+    def test_coverage_json_reports_full_cell_coverage(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        path = tmp_path / "coverage.json"
+        assert main(
+            ["verify", "courses", "--quiet", "--coverage", str(path)]
+        ) == 0
+        document = json.loads(path.read_text())
+        assert document["application"] == "courses"
+        assert document["rewrite"]["summary"]["coverage"] == 1.0
+        assert document["rewrite"]["summary"]["uncovered_cells"] == []
+        assert document["explore"]["states"] > 0
+        assert document["wgrammar"]["hyperrules"]
+        assert document["checks"]
+        assert str(path) in capsys.readouterr().out
+
+    def test_coverage_html_is_self_contained(self, tmp_path):
+        path = tmp_path / "coverage.html"
+        assert main(
+            [
+                "verify", "courses", "--quiet",
+                "--coverage-html", str(path),
+            ]
+        ) == 0
+        html = path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<style>" in html
+        assert "100.0% cell coverage" in html
+        # Self-contained: no external scripts or stylesheets.
+        assert "src=" not in html and "href=" not in html
+
+    def test_coverage_to_stdout(self, capsys):
+        import json
+
+        assert main(
+            ["verify", "library", "--quiet", "--coverage", "-"]
+        ) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out[out.index("{"):])
+        assert document["rewrite"]["summary"]["coverage"] == 1.0
+
+    def test_coverage_byte_identical_across_worker_counts(
+        self, tmp_path, capsys
+    ):
+        one, four = tmp_path / "w1.json", tmp_path / "w4.json"
+        assert main(
+            ["verify", "courses", "--quiet", "--coverage", str(one)]
+        ) == 0
+        assert main(
+            [
+                "verify", "courses", "--quiet",
+                "--workers", "4", "--coverage", str(four),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert one.read_bytes() == four.read_bytes()
+
+    def test_coverage_byte_identical_cold_vs_warm(
+        self, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        cold, warm = tmp_path / "cold.json", tmp_path / "warm.json"
+        for path in (cold, warm):
+            assert main(
+                [
+                    "verify", "courses", "--quiet",
+                    "--cache-dir", cache_dir,
+                    "--coverage", str(path),
+                ]
+            ) == 0
+        capsys.readouterr()
+        assert cold.read_bytes() == warm.read_bytes()
+
+    def test_coverage_composes_with_selection(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "coverage.json"
+        assert main(
+            [
+                "verify", "courses",
+                "--only", "grammar",
+                "--coverage", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        document = json.loads(path.read_text())
+        # Only the recognizer ran: grammar usage is present, the
+        # rewrite cells and the census are untouched.
+        assert document["wgrammar"]["hyperrules"]
+        assert document["explore"] is None
+        assert document["rewrite"]["summary"]["covered"] == 0
+
+    def test_coverage_all_emits_a_document_list(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        path = tmp_path / "coverage.json"
+        assert main(
+            ["verify", "all", "--quiet", "--coverage", str(path)]
+        ) == 0
+        capsys.readouterr()
+        documents = json.loads(path.read_text())
+        assert isinstance(documents, list)
+        assert [d["application"] for d in documents] == list(
+            APPLICATIONS
+        )
+
+    def test_verify_leaves_coverage_off(self):
+        from repro.obs.coverage import COV_STATE
+
+        assert main(
+            ["verify", "library", "--quiet", "--coverage", "-"]
+        ) == 0
+        assert COV_STATE.enabled is False
+        assert COV_STATE.recorder is None
+
+
+class TestFailureTraces:
+    def test_verify_failure_prints_minimal_trace(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setitem(APPLICATIONS, "broken", _broken_factory)
+        assert main(["verify", "broken", "--quiet"]) == 1
+        out = capsys.readouterr().out
+        assert "[static] minimal counterexample:" in out
+        assert "initiate" in out
+        assert "-> cancel(" in out
+        assert "more counterexample" in out
+
+    def test_failure_traces_with_coverage_pipeline(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        import json
+
+        monkeypatch.setitem(APPLICATIONS, "broken", _broken_factory)
+        path = tmp_path / "coverage.json"
+        assert main(
+            [
+                "verify", "broken", "--quiet",
+                "--coverage", str(path),
+            ]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "minimal counterexample:" in out
+        document = json.loads(path.read_text())
+        failed = [
+            check
+            for check in document["checks"]
+            if check["ok"] is False
+        ]
+        assert failed
+        assert any(check.get("witnesses") for check in failed)
+
+
+class TestOutputPathHandling:
+    def test_stats_json_dash_writes_stdout(self, capsys):
+        import json
+
+        assert main(
+            ["verify", "library", "--quiet", "--stats-json", "-"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["application"] == "library"
+
+    def test_trace_dash_writes_stdout(self, capsys):
+        import json
+
+        assert main(
+            ["verify", "library", "--quiet", "--trace", "-"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["traceEvents"]
+
+    def test_missing_parent_directories_are_created(self, tmp_path):
+        nested = tmp_path / "a" / "b" / "stats.json"
+        assert main(
+            [
+                "verify", "library", "--quiet",
+                "--stats-json", str(nested),
+            ]
+        ) == 0
+        assert nested.is_file()
+
+    def test_unwritable_path_fails_cleanly(self, capsys):
+        assert main(
+            [
+                "verify", "library", "--quiet",
+                "--stats-json", "/proc/nonexistent/stats.json",
+            ]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error: cannot write stats JSON" in err
+        assert "Traceback" not in err
+
+    def test_unwritable_coverage_path_fails_cleanly(self, capsys):
+        assert main(
+            [
+                "verify", "library", "--quiet",
+                "--coverage", "/proc/nonexistent/coverage.json",
+            ]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error: cannot write coverage" in err
+        assert "Traceback" not in err
+
+
+class TestCacheSubcommand:
+    def _populate(self, cache_dir):
+        assert main(
+            [
+                "verify", "courses", "--quiet",
+                "--cache-dir", cache_dir, "--coverage", "-",
+            ]
+        ) == 0
+
+    def test_stats_reports_entries(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        self._populate(cache_dir)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert "stale" in out
+
+    def test_stats_json(self, tmp_path, capsys):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        self._populate(cache_dir)
+        capsys.readouterr()
+        assert main(
+            ["cache", "stats", "--cache-dir", cache_dir, "--json"]
+        ) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["entries"] > 0
+        assert summary["stale"] == 0
+        assert summary["with_coverage"] == summary["entries"]
+        assert summary["by_node"]
+
+    def test_prune_removes_stale_then_all(self, tmp_path, capsys):
+        import json
+
+        cache_dir = tmp_path / "cache"
+        self._populate(str(cache_dir))
+        # Plant one stale (older-format) and one unreadable entry.
+        (cache_dir / "old-entry.json").write_text(
+            json.dumps({"format": 1, "node": "explore"})
+        )
+        (cache_dir / "garbage.json").write_text("{not json")
+        capsys.readouterr()
+        assert main(
+            ["cache", "prune", "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert "pruned 2" in capsys.readouterr().out
+        remaining = len(list(cache_dir.glob("*.json")))
+        assert remaining > 0
+        assert main(
+            ["cache", "prune", "--cache-dir", str(cache_dir), "--all"]
+        ) == 0
+        assert f"pruned {remaining}" in capsys.readouterr().out
+        assert not list(cache_dir.glob("*.json"))
+
+    def test_stats_on_missing_directory(self, tmp_path, capsys):
+        assert main(
+            ["cache", "stats", "--cache-dir", str(tmp_path / "none")]
+        ) == 0
+        assert "0" in capsys.readouterr().out

@@ -2,13 +2,18 @@
 
 import pytest
 
+from repro.obs.coverage import COV_STATE, disable_coverage
 from repro.obs.tracer import OBS_STATE, disable
 
 
 @pytest.fixture(autouse=True)
 def _clean_obs_state():
-    """Guarantee tracing is off before and after every obs test."""
+    """Guarantee tracing and coverage are off before and after every
+    obs test."""
     disable()
+    disable_coverage()
     yield
     disable()
+    disable_coverage()
     assert OBS_STATE.enabled is False
+    assert COV_STATE.enabled is False

@@ -179,6 +179,39 @@ class TestModuleSwitch:
                 pass
         assert [s.name for s in mine.roots] == ["recorded"]
 
+    def test_activate_reentered_with_distinct_tracers(self):
+        outer, inner = Tracer(), Tracer()
+        with activate(outer):
+            with span("outer-span"):
+                with activate(inner):
+                    with span("inner-span"):
+                        pass
+                # Exiting the inner activation restores the outer
+                # tracer with its span stack intact.
+                assert current_tracer() is outer
+                assert outer.current is not None
+                assert outer.current.name == "outer-span"
+        assert [s.name for s in outer.walk()] == ["outer-span"]
+        assert [s.name for s in inner.walk()] == ["inner-span"]
+        assert not is_enabled()
+
+    def test_activate_reentered_with_the_same_tracer(self):
+        mine = Tracer()
+        with activate(mine):
+            with span("first"):
+                with activate(mine):
+                    # Same tracer, same live stack: new spans keep
+                    # nesting under the open one.
+                    with span("second"):
+                        pass
+                assert current_tracer() is mine
+        roots = [s.name for s in mine.roots]
+        assert roots == ["first"]
+        assert [s.name for s in mine.roots[0].children] == ["second"]
+        # Every span closed despite the nested activation.
+        for recorded in mine.walk():
+            assert recorded.end is not None
+
 
 class TestCapture:
     def test_capture_isolates_a_fresh_buffer(self):
