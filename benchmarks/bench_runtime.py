@@ -1,0 +1,122 @@
+"""E17 — serving runtime: update admission and query throughput.
+
+Each benchmark drives a batch of requests through a live
+:class:`~repro.runtime.service.SpecRuntime` and records the batch
+size in ``extra_info``, so throughput (requests per second) can be
+recovered from the pytest-benchmark JSON as ``batch / mean``.  The
+acceptance floor — at least 100k guarded updates/s on the bank — is
+enforced by ``check_runtime_regression.py`` over the in-memory
+``bench_bank_guarded_updates`` emission.
+
+The re-reduction benchmark at the bottom is the ablation baseline:
+the same workload answered by full trace re-reduction instead of the
+incremental store (three orders of magnitude slower; this is the gap
+the runtime exists to close).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebraic.algebra import TraceAlgebra
+from repro.runtime.apps import build_app
+from repro.runtime.service import SpecRuntime
+
+#: Updates per measured batch (deposit/withdraw pairs stay admissible
+#: forever, so every request in the batch exercises the full path).
+BATCH = 2000
+
+
+@pytest.fixture(scope="module")
+def bank_app():
+    return build_app("bank")
+
+
+def _bank_runtime(bank_app, **kwargs):
+    runtime = SpecRuntime(
+        bank_app.framework, bank_app.descriptions, **kwargs
+    )
+    runtime.execute("open_account", ("a1",))
+    return runtime
+
+
+def bench_bank_guarded_updates(benchmark, bank_app):
+    """The gated number: in-memory admission with all guards on."""
+    runtime = _bank_runtime(bank_app)
+
+    def run():
+        execute = runtime.execute
+        for _ in range(BATCH // 2):
+            execute("deposit", ("a1",))
+            execute("withdraw", ("a1",))
+
+    benchmark(run)
+    benchmark.extra_info["batch"] = BATCH
+    benchmark.extra_info["kind"] = "updates"
+
+
+def bench_bank_journaled_updates(benchmark, bank_app, tmp_path):
+    """Admission plus the write-ahead journal (group commit, no
+    fsync — CI disks make synchronous fsync numbers meaningless)."""
+    runtime = _bank_runtime(
+        bank_app, data_dir=str(tmp_path), fsync=False
+    )
+
+    def run():
+        execute = runtime.execute
+        for _ in range(BATCH // 2):
+            execute("deposit", ("a1",))
+            execute("withdraw", ("a1",))
+
+    benchmark(run)
+    runtime.close()
+    benchmark.extra_info["batch"] = BATCH
+    benchmark.extra_info["kind"] = "updates"
+
+
+def bench_bank_rejected_updates(benchmark, bank_app):
+    """Precondition-rejection throughput (the cheap refusal path)."""
+    runtime = _bank_runtime(bank_app)  # a2 stays closed
+
+    def run():
+        execute = runtime.execute
+        for _ in range(BATCH):
+            execute("deposit", ("a2",))
+
+    benchmark(run)
+    benchmark.extra_info["batch"] = BATCH
+    benchmark.extra_info["kind"] = "updates"
+
+
+def bench_bank_queries(benchmark, bank_app):
+    """Point-query throughput against the materialized cells."""
+    runtime = _bank_runtime(bank_app)
+
+    def run():
+        query = runtime.query
+        for _ in range(BATCH):
+            query("balance", ("a1",))
+
+    benchmark(run)
+    benchmark.extra_info["batch"] = BATCH
+    benchmark.extra_info["kind"] = "queries"
+
+
+def bench_bank_trace_re_reduction(benchmark, bank_app):
+    """Ablation baseline: the same deposit/withdraw workload answered
+    by growing a trace and re-reducing it (no incremental store)."""
+    steps = 50  # quadratic: keep the batch small
+
+    def run():
+        algebra = TraceAlgebra(bank_app.framework.algebraic)
+        trace = algebra.apply(
+            "open_account", "a1", trace=algebra.initial_trace()
+        )
+        for index in range(steps):
+            name = "deposit" if index % 2 == 0 else "withdraw"
+            trace = algebra.apply(name, "a1", trace=trace)
+            algebra.snapshot(trace)
+
+    benchmark(run)
+    benchmark.extra_info["batch"] = steps
+    benchmark.extra_info["kind"] = "updates"

@@ -1,0 +1,128 @@
+"""End-to-end smoke of ``repro serve``: the CI serve lane.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_serve_smoke.py [application]
+
+Spawns ``python -m repro serve`` as a real subprocess, waits for the
+ready line, then drives the JSON-lines protocol over TCP:
+
+* ping, query, admissible update (accepted, state visible),
+* an update violating its precondition (must be *rejected* with a
+  witness, and must not advance the sequence number),
+* stats consistency, and
+* a clean protocol-level shutdown (exit code 0).
+
+Exit code 0 on success; 1 with a diagnostic on any failed
+expectation.  Keeps to the stdlib so it runs anywhere the repo does.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.runtime.client import wait_until_ready  # noqa: E402
+
+
+def fail(process: subprocess.Popen, message: str) -> int:
+    print(f"serve smoke FAILED: {message}", file=sys.stderr)
+    process.kill()
+    out, err = process.communicate(timeout=10)
+    if err:
+        print(f"server stderr:\n{err}", file=sys.stderr)
+    if out:
+        print(f"server stdout:\n{out}", file=sys.stderr)
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    application = args[0] if args else "bank"
+    if application != "bank":
+        # The driven workload (open_account/deposit and the a2
+        # precondition probe) is the bank's; serving other
+        # applications is covered by tests/runtime/test_differential.
+        print(
+            f"serve smoke drives the bank workload, not {application!r}",
+            file=sys.stderr,
+        )
+        return 2
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            application,
+            "--allow-shutdown",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=str(REPO),
+    )
+    ready = process.stdout.readline().strip()
+    print(f"server: {ready}")
+    if " on " not in ready:
+        return fail(process, f"unexpected ready line {ready!r}")
+    host, _, port = ready.rpartition(" on ")[2].rpartition(":")
+    client = wait_until_ready(host, int(port), timeout=30)
+
+    if not client.ping().get("pong"):
+        return fail(process, "ping did not pong")
+
+    accepted = client.update("open_account", "a1")
+    if not (accepted.get("ok") and accepted.get("accepted")):
+        return fail(process, f"open_account refused: {accepted}")
+    if accepted.get("seq") != 1:
+        return fail(process, f"seq after first update: {accepted}")
+
+    value = client.query("open", "a1")
+    if value.get("value") is not True:
+        return fail(process, f"query after update: {value}")
+
+    # a2 is closed: depositing violates the precondition and must be
+    # rejected with a witness, without advancing the sequence number.
+    rejected = client.update("deposit", "a2")
+    if not rejected.get("ok"):
+        return fail(process, f"rejection not served: {rejected}")
+    if rejected.get("accepted") is not False:
+        return fail(process, f"violating update admitted: {rejected}")
+    violation = rejected.get("violation") or {}
+    if violation.get("kind") != "precondition":
+        return fail(process, f"missing witness: {rejected}")
+    if rejected.get("seq") != 1:
+        return fail(process, f"rejection advanced seq: {rejected}")
+    print(
+        "guard rejection witnessed: "
+        f"{violation['kind']} / {violation['constraint']}"
+    )
+
+    stats = client.stats().get("stats", {})
+    if stats.get("accepted") != 1 or stats.get("rejected") != 1:
+        return fail(process, f"stats inconsistent: {stats}")
+
+    bye = client.shutdown()
+    if not bye.get("bye"):
+        return fail(process, f"shutdown refused: {bye}")
+    client.close()
+
+    code = process.wait(timeout=30)
+    if code != 0:
+        return fail(process, f"server exit code {code}")
+    print(f"serve smoke OK ({application}): accepted=1 rejected=1, "
+          "clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

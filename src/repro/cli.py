@@ -18,6 +18,7 @@ Usage::
     python -m repro cache prune --cache-dir .repro-cache [--all]
     python -m repro schema courses        # print the RPR schema
     python -m repro axioms courses        # print the level-1 theory
+    python -m repro serve bank --port 7474 --data-dir /var/lib/repro
 """
 
 from __future__ import annotations
@@ -491,6 +492,50 @@ def _cmd_axioms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The ``repro serve`` subcommand: run the serving runtime."""
+    from repro.errors import ServingError
+    from repro.runtime.apps import available_applications, make_runtime
+    from repro.runtime.server import serve
+
+    if args.application not in available_applications():
+        print(f"unknown application {args.application!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+    try:
+        runtime = make_runtime(
+            args.application,
+            data_dir=args.data_dir,
+            fsync_batch=args.fsync_batch,
+            fsync=not args.no_fsync,
+            compact_every=args.compact_every,
+        )
+    except ServingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def _ready(server) -> None:
+        # The flushed ready line lets harnesses (the CI serve smoke)
+        # learn the chosen port without racing the bind.
+        print(
+            f"serving {args.application} on "
+            f"{server.host}:{server.port}",
+            flush=True,
+        )
+        if args.port_file is not None:
+            _write_text_output(
+                args.port_file, str(server.port), "port file"
+            )
+
+    return serve(
+        runtime,
+        host=args.host,
+        port=args.port,
+        allow_shutdown=args.allow_shutdown,
+        ready=_ready,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -655,6 +700,57 @@ def main(argv: list[str] | None = None) -> int:
     )
     axioms.add_argument("application")
     axioms.set_defaults(handler=_cmd_axioms)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "serve a verified application over the JSON-lines "
+            "runtime protocol"
+        ),
+    )
+    serve.add_argument(
+        "application",
+        help=f"one of {', '.join(APPLICATIONS)}",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0 = pick a free port)",
+    )
+    serve.add_argument(
+        "--data-dir", metavar="DIR", default=None,
+        help=(
+            "journal directory for durability and crash recovery "
+            "(default: in-memory only)"
+        ),
+    )
+    serve.add_argument(
+        "--fsync-batch", type=int, default=64, metavar="N",
+        help="group-commit: fsync the journal every N appends",
+    )
+    serve.add_argument(
+        "--no-fsync", action="store_true",
+        help="never fsync the journal (benchmarks and tests only)",
+    )
+    serve.add_argument(
+        "--compact-every", type=int, default=None, metavar="N",
+        help="auto-compact the journal every N accepted updates",
+    )
+    serve.add_argument(
+        "--allow-shutdown", action="store_true",
+        help=(
+            "honor the 'shutdown' protocol operation (CI smoke runs; "
+            "otherwise stop with SIGINT/SIGTERM)"
+        ),
+    )
+    serve.add_argument(
+        "--port-file", metavar="PATH", default=None,
+        help="also write the chosen port to PATH once bound",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -64,3 +64,14 @@ class WGrammarError(ReproError):
 
 class ExecutionError(ReproError):
     """An RPR program failed during (denotational) evaluation."""
+
+
+class ServingError(ReproError):
+    """The serving runtime rejected a malformed request or reached an
+    inconsistent configuration (unknown application, bad cell, ...)."""
+
+
+class JournalError(ServingError):
+    """The write-ahead journal is unusable (unwritable directory,
+    corrupt snapshot, ...); corrupt *tail* entries are recovered past,
+    not raised."""

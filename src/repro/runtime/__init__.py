@@ -1,0 +1,40 @@
+"""`repro.runtime`: a serving runtime that executes verified specs.
+
+ROADMAP item 1 made literal: instead of replaying ground trace terms
+through the rewrite engine, a verified application is *served* from an
+incremental materialized-state store.  The package provides:
+
+* :mod:`repro.runtime.state` — the store: one cell per simple
+  observation, updated in O(delta) by per-update programs compiled
+  from the Q-equations;
+* :mod:`repro.runtime.guards` — the application's verified Section 4.4
+  static/transition constraints compiled into per-update admission
+  checks that reject violating transactions with a provenance-style
+  witness;
+* :mod:`repro.runtime.journal` — a write-ahead journal of update
+  terms with fsync batching, snapshot compaction and crash-recovery
+  replay;
+* :mod:`repro.runtime.service` — :class:`~repro.runtime.service.SpecRuntime`,
+  the admission pipeline tying store, guards and journal together;
+* :mod:`repro.runtime.server` / :mod:`repro.runtime.client` — an
+  asyncio JSON-lines server (``repro serve``) and a small blocking
+  client;
+* :mod:`repro.runtime.apps` — the registry of shipped applications
+  the server can host (bank, courses, projects, library).
+"""
+
+from repro.runtime.guards import AdmissionGuard, GuardViolation
+from repro.runtime.journal import Journal, RecoveredLog
+from repro.runtime.service import ExecutionResult, SpecRuntime
+from repro.runtime.state import MaterializedState, UpdatePlan
+
+__all__ = [
+    "AdmissionGuard",
+    "GuardViolation",
+    "Journal",
+    "RecoveredLog",
+    "ExecutionResult",
+    "SpecRuntime",
+    "MaterializedState",
+    "UpdatePlan",
+]

@@ -1,0 +1,115 @@
+"""A small blocking client for the JSON-lines runtime server.
+
+Used by the tests and the CI serve smoke; any JSON-lines capable tool
+works just as well (the protocol is documented in
+:mod:`repro.runtime.server`).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from repro.errors import ServingError
+
+__all__ = ["RuntimeClient", "wait_until_ready"]
+
+
+class RuntimeClient:
+    """One blocking connection to a runtime server.
+
+    Args:
+        host / port: the server address.
+        timeout: per-operation socket timeout in seconds.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 10.0
+    ):
+        self._sock = socket.create_connection(
+            (host, port), timeout=timeout
+        )
+        self._file = self._sock.makefile("rw", encoding="utf-8")
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object and return the decoded response.
+
+        Raises:
+            ServingError: on a closed connection or non-JSON reply.
+        """
+        self._file.write(json.dumps(payload) + "\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServingError("server closed the connection")
+        try:
+            return json.loads(line)
+        except ValueError as exc:
+            raise ServingError(
+                f"invalid response line: {line!r}"
+            ) from exc
+
+    # Convenience wrappers -------------------------------------------------
+    def ping(self) -> dict:
+        """``{"op": "ping"}``."""
+        return self.request({"op": "ping"})
+
+    def query(self, name: str, *params: str) -> dict:
+        """Query ``name(params)``."""
+        return self.request(
+            {"op": "query", "query": name, "params": list(params)}
+        )
+
+    def update(self, name: str, *params: str) -> dict:
+        """Submit update ``name(params)`` for admission."""
+        return self.request(
+            {"op": "update", "update": name, "params": list(params)}
+        )
+
+    def stats(self) -> dict:
+        """``{"op": "stats"}``."""
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop (needs ``allow_shutdown``)."""
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "RuntimeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def wait_until_ready(
+    host: str, port: int, timeout: float = 15.0
+) -> RuntimeClient:
+    """Poll until the server accepts a ping, then return the client.
+
+    Raises:
+        ServingError: when the deadline passes without a pong.
+    """
+    deadline = time.monotonic() + timeout
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            client = RuntimeClient(host, port, timeout=timeout)
+            response = client.ping()
+            if response.get("pong"):
+                return client
+            client.close()
+        except (OSError, ServingError) as exc:
+            last_error = exc
+            time.sleep(0.05)
+    raise ServingError(
+        f"server at {host}:{port} not ready within {timeout}s: "
+        f"{last_error}"
+    )

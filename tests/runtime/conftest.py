@@ -1,0 +1,117 @@
+"""Fixtures for the serving-runtime tests.
+
+Besides the shipped applications, a deliberately *lenient* bank
+variant is built here: its ``close_account`` drops the zero-balance
+precondition and a fifth update ``reopen_rich`` reopens an account
+with a non-zero balance in one step.  Both are admissible by their
+preconditions but violate the bank's information-level constraints —
+exactly what exercises the guard-rejection paths (static and
+transition) without mocking anything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebraic.description import (
+    STATE_VAR,
+    Effect,
+    StructuredDescription,
+    initial_equations,
+    synthesize_equations,
+)
+from repro.algebraic.spec import AlgebraicSpec
+from repro.applications.bank import (
+    bank_carriers,
+    bank_descriptions,
+    bank_information,
+    bank_interpretation,
+    bank_schema_source,
+    bank_signature,
+)
+from repro.core.framework import DesignFramework
+from repro.logic import formulas as fm
+from repro.logic.terms import Var
+from repro.rpr.parser import parse_schema
+from repro.runtime.apps import build_app
+from repro.runtime.service import SpecRuntime
+
+
+@pytest.fixture(scope="session")
+def bank_app():
+    """The shipped bank application (framework + descriptions)."""
+    return build_app("bank")
+
+
+@pytest.fixture()
+def bank_runtime(bank_app):
+    """A fresh in-memory bank runtime per test."""
+    return SpecRuntime(bank_app.framework, bank_app.descriptions)
+
+
+def lenient_bank() -> tuple[DesignFramework, list[StructuredDescription]]:
+    """The guard-violating bank variant (see module docstring)."""
+    signature = bank_signature()
+    account = signature.logic.sort("account")
+    money = signature.logic.sort("money")
+    signature.add_update("reopen_rich", [account])
+
+    a = Var("a", account)
+    u = STATE_VAR
+    is_open = fm.Equals(
+        signature.apply_query("open", a, u), signature.true()
+    )
+    descriptions = [
+        d
+        for d in bank_descriptions(signature)
+        if d.update != "close_account"
+    ]
+    descriptions.append(
+        StructuredDescription(
+            update="close_account",
+            params=(a,),
+            precondition=is_open,  # zero-balance conjunct dropped
+            effects=(Effect("open", (a,), False),),
+            doc="account a closes regardless of its balance",
+        )
+    )
+    descriptions.append(
+        StructuredDescription(
+            update="reopen_rich",
+            params=(a,),
+            precondition=fm.Not(is_open),
+            effects=(
+                Effect("open", (a,), True),
+                Effect("balance", (a,), signature.value(money, "m1")),
+            ),
+            doc="account a reopens with one unit already on it",
+        )
+    )
+    equations = initial_equations(
+        signature, defaults={"balance": signature.value(money, "m0")}
+    ) + synthesize_equations(signature, descriptions)
+    spec = AlgebraicSpec(
+        signature, tuple(equations), name="bank accounts (lenient)"
+    )
+    framework = DesignFramework(
+        information=bank_information(),
+        algebraic=spec,
+        schema=parse_schema(bank_schema_source()),
+        carriers=bank_carriers(),
+        interpretation=bank_interpretation(signature),
+        name="bank accounts (lenient)",
+    )
+    return framework, descriptions
+
+
+@pytest.fixture(scope="session")
+def lenient_bank_parts():
+    """(framework, descriptions) of the lenient bank, built once."""
+    return lenient_bank()
+
+
+@pytest.fixture()
+def lenient_runtime(lenient_bank_parts):
+    """A fresh runtime over the lenient bank per test."""
+    framework, descriptions = lenient_bank_parts
+    return SpecRuntime(framework, descriptions)

@@ -1,0 +1,96 @@
+"""Admission guards: cell indexing, witnesses, violation detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.guards import AdmissionGuard
+from repro.runtime.state import MaterializedState
+
+
+@pytest.fixture(scope="module")
+def guard(bank_app):
+    framework = bank_app.framework
+    return AdmissionGuard(
+        framework.information,
+        framework.algebraic,
+        framework.carriers,
+        framework.interpretation,
+    )
+
+
+@pytest.fixture()
+def cells(bank_app):
+    store = MaterializedState(
+        bank_app.framework.algebraic, bank_app.descriptions
+    )
+    return dict(store.cells)
+
+
+def test_instances_compiled_and_indexed(guard):
+    assert guard.static_instances > 0
+    assert guard.transition_instances > 0
+    balance_cell = ("balance", ("a1",))
+    for instance in guard.static_for([balance_cell]):
+        assert balance_cell in instance.reads
+
+
+def test_initial_state_is_consistent(guard, cells):
+    assert guard.check_now(cells.__getitem__) == []
+
+
+def test_static_violation_detected(guard, cells):
+    # a closed account holding money violates closed_zero.
+    cells[("balance", ("a1",))] = "m1"
+    violations = guard.static_violations(cells.__getitem__)
+    assert violations
+    assert all(v.kind == "static" for v in violations)
+    witness = violations[0]
+    assert ("balance", ("a1",)) in witness.cells
+    assert dict(witness.binding)  # the instantiating values survive
+
+
+def test_static_check_scoped_to_cells(guard, cells):
+    cells[("balance", ("a1",))] = "m1"
+    # Checking only a2's cells must not see a1's violation ...
+    clean = guard.static_violations(
+        cells.__getitem__, cells=[("balance", ("a2",))]
+    )
+    assert clean == []
+    # ... while checking the touched cell does.
+    dirty = guard.static_violations(
+        cells.__getitem__, cells=[("balance", ("a1",))]
+    )
+    assert dirty
+
+
+def test_transition_violation_detected(guard, cells):
+    # reopening with a non-zero balance violates reopen_zero even
+    # though both endpoint states are statically consistent.
+    after = dict(cells)
+    after[("open", ("a1",))] = True
+    after[("balance", ("a1",))] = "m1"
+    violations = guard.transition_violations(
+        cells.__getitem__, after.__getitem__
+    )
+    assert violations
+    assert all(v.kind == "transition" for v in violations)
+
+
+def test_identity_step_has_no_transition_violation(guard, cells):
+    assert (
+        guard.transition_violations(
+            cells.__getitem__, cells.__getitem__
+        )
+        == []
+    )
+
+
+def test_violation_witness_serializes(guard, cells):
+    cells[("balance", ("a2",))] = "m2"
+    witness = guard.static_violations(cells.__getitem__)[0]
+    payload = witness.to_dict()
+    assert payload["kind"] == "static"
+    assert isinstance(payload["constraint"], str)
+    assert payload["cells"]
+    assert str(witness)  # human-readable form renders

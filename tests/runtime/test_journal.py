@@ -1,0 +1,200 @@
+"""Write-ahead journal: durability, compaction, crash recovery."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import JournalError
+from repro.runtime.service import SpecRuntime
+
+
+def _runtime(bank_app, directory, **kwargs):
+    kwargs.setdefault("fsync", False)
+    return SpecRuntime(
+        bank_app.framework,
+        bank_app.descriptions,
+        data_dir=str(directory),
+        **kwargs,
+    )
+
+
+def _journal_lines(directory) -> list[str]:
+    path = os.path.join(str(directory), "journal.jsonl")
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as handle:
+        return [line for line in handle if line.strip()]
+
+
+def _drive(runtime) -> None:
+    runtime.execute("open_account", ("a1",))
+    runtime.execute("deposit", ("a1",))
+    runtime.execute("open_account", ("a2",))
+    runtime.execute("deposit", ("a1",))
+    runtime.execute("withdraw", ("a1",))
+
+
+def test_recovery_after_crash(bank_app, tmp_path):
+    first = _runtime(bank_app, tmp_path)
+    _drive(first)
+    first.flush()  # simulate a crash: flushed but never close()d
+    expected = first.store.snapshot()
+
+    second = _runtime(bank_app, tmp_path)
+    assert second.seq == first.seq == 5
+    assert second.store.snapshot() == expected
+    assert second.recovery_warnings == []
+
+
+def test_rejections_are_never_journaled(bank_app, tmp_path):
+    runtime = _runtime(bank_app, tmp_path)
+    _drive(runtime)
+    runtime.flush()
+    lines = _journal_lines(tmp_path)
+    assert len(lines) == runtime.accepted_count == 5
+
+    runtime.execute("deposit", ("a2",))  # a2 is open: accepted
+    runtime.execute("withdraw", ("a2",))
+    runtime.execute("withdraw", ("a2",))  # balance m0: rejected
+    runtime.flush()
+    assert runtime.rejected_count == 1
+    assert len(_journal_lines(tmp_path)) == runtime.accepted_count
+    runtime.close()
+
+
+def test_truncated_tail_is_skipped_with_warning(bank_app, tmp_path):
+    runtime = _runtime(bank_app, tmp_path)
+    _drive(runtime)
+    runtime.close()
+    expected = runtime.store.snapshot()
+    with open(tmp_path / "journal.jsonl", "a", encoding="utf-8") as f:
+        f.write('{"seq": 6, "update": "deposit", "par')  # torn write
+
+    recovered = _runtime(bank_app, tmp_path)
+    assert recovered.seq == 5
+    assert recovered.store.snapshot() == expected
+    assert any(
+        "truncated or malformed" in w
+        for w in recovered.recovery_warnings
+    )
+
+
+def test_corrupt_crc_drops_entry_and_tail(bank_app, tmp_path):
+    runtime = _runtime(bank_app, tmp_path)
+    _drive(runtime)
+    runtime.close()
+    lines = _journal_lines(tmp_path)
+    entry = json.loads(lines[2])
+    entry["update"] = "withdraw"  # flip the payload, keep the old crc
+    lines[2] = json.dumps(entry) + "\n"
+    (tmp_path / "journal.jsonl").write_text("".join(lines))
+
+    recovered = _runtime(bank_app, tmp_path)
+    # entries 1-2 survive; the corrupt third and everything after drop.
+    assert recovered.seq == 2
+    assert recovered.query("balance", ("a1",)) == "m1"
+    assert recovered.query("open", ("a2",)) is False
+    assert any("checksum" in w for w in recovered.recovery_warnings)
+
+
+def test_non_monotone_seq_drops_tail(bank_app, tmp_path):
+    runtime = _runtime(bank_app, tmp_path)
+    _drive(runtime)
+    runtime.close()
+    lines = _journal_lines(tmp_path)
+    del lines[2]  # a gap: seq jumps 2 -> 4
+    (tmp_path / "journal.jsonl").write_text("".join(lines))
+
+    recovered = _runtime(bank_app, tmp_path)
+    assert recovered.seq == 2
+    assert any(
+        "expected" in w for w in recovered.recovery_warnings
+    )
+
+
+def test_compaction_truncates_journal_and_preserves_state(
+    bank_app, tmp_path
+):
+    runtime = _runtime(bank_app, tmp_path)
+    _drive(runtime)
+    runtime.compact()
+    runtime.close()
+    assert _journal_lines(tmp_path) == []
+    assert (tmp_path / "snapshot.json").exists()
+
+    recovered = _runtime(bank_app, tmp_path)
+    assert recovered.seq == 5
+    assert recovered.store.snapshot() == runtime.store.snapshot()
+    assert recovered.recovery_warnings == []
+
+
+def test_replay_after_compaction_is_byte_identical(bank_app, tmp_path):
+    runtime = _runtime(bank_app, tmp_path)
+    _drive(runtime)
+    runtime.compact()
+    runtime.close()
+    first_bytes = (tmp_path / "snapshot.json").read_bytes()
+
+    # Recover from the snapshot and immediately re-compact: the
+    # canonical encoding must reproduce the file byte for byte.
+    recovered = _runtime(bank_app, tmp_path)
+    recovered.compact()
+    recovered.close()
+    assert (tmp_path / "snapshot.json").read_bytes() == first_bytes
+
+
+def test_updates_after_compaction_replay_on_top_of_snapshot(
+    bank_app, tmp_path
+):
+    runtime = _runtime(bank_app, tmp_path)
+    _drive(runtime)
+    runtime.compact()
+    runtime.execute("deposit", ("a2",))
+    runtime.close()
+    expected = runtime.store.snapshot()
+
+    recovered = _runtime(bank_app, tmp_path)
+    assert recovered.seq == 6
+    assert recovered.store.snapshot() == expected
+
+
+def test_corrupt_snapshot_raises(bank_app, tmp_path):
+    runtime = _runtime(bank_app, tmp_path)
+    _drive(runtime)
+    runtime.compact()
+    runtime.close()
+    payload = json.loads((tmp_path / "snapshot.json").read_text())
+    payload["seq"] = 99  # tamper without refreshing the crc
+    (tmp_path / "snapshot.json").write_text(json.dumps(payload))
+    with pytest.raises(JournalError):
+        _runtime(bank_app, tmp_path)
+
+
+def test_auto_compaction_every_n_updates(bank_app, tmp_path):
+    runtime = _runtime(bank_app, tmp_path, compact_every=3)
+    _drive(runtime)  # 5 accepted updates -> one auto-compaction
+    runtime.close()
+    assert runtime.journal.compactions == 1
+    assert len(_journal_lines(tmp_path)) == 2
+
+    recovered = _runtime(bank_app, tmp_path)
+    assert recovered.seq == 5
+    assert recovered.store.snapshot() == runtime.store.snapshot()
+
+
+def test_fsync_batching_counters(bank_app, tmp_path):
+    runtime = SpecRuntime(
+        bank_app.framework,
+        bank_app.descriptions,
+        data_dir=str(tmp_path),
+        fsync_batch=2,
+        fsync=True,
+    )
+    _drive(runtime)  # 5 appends at batch 2 -> 2 batched syncs
+    assert runtime.journal.appends == 5
+    assert runtime.journal.syncs == 2
+    runtime.close()  # close flushes the straggler
+    assert runtime.journal.syncs == 3

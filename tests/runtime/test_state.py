@@ -1,0 +1,99 @@
+"""The materialized store: plans, writes, trace equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebraic.algebra import TraceAlgebra
+from repro.errors import ServingError
+from repro.runtime.state import MaterializedState
+
+
+@pytest.fixture()
+def store(bank_app):
+    return MaterializedState(
+        bank_app.framework.algebraic, bank_app.descriptions
+    )
+
+
+def test_initial_cells_match_trace_snapshot(store, bank_app):
+    algebra = TraceAlgebra(bank_app.framework.algebraic)
+    assert store.snapshot() == algebra.snapshot(algebra.initial_trace())
+
+
+def test_plans_are_cached(store):
+    assert store.plan("deposit", ("a1",)) is store.plan(
+        "deposit", ("a1",)
+    )
+
+
+def test_frame_cells_dropped_from_plan(store):
+    # deposit(a1) only ever writes a1's balance; the synthesized frame
+    # equations for open(a1), open(a2) and balance(a2) are identities
+    # and must not appear as candidate cells.
+    plan = store.plan("deposit", ("a1",))
+    assert plan.candidate_cells == (("balance", ("a1",)),)
+
+
+def test_open_account_plan_covers_both_effects(store):
+    cells = set(store.plan("open_account", ("a1",)).candidate_cells)
+    assert cells == {("open", ("a1",)), ("balance", ("a1",))}
+
+
+def test_precondition_compiled_against_cells(store):
+    plan = store.plan("deposit", ("a1",))
+    assert plan.precondition is not None
+    assert plan.precondition(store.getter) is False  # a1 is closed
+    store.apply("open_account", ("a1",))
+    assert plan.precondition(store.getter) is True
+
+
+def test_unknown_update_rejected(store):
+    with pytest.raises(ServingError):
+        store.plan("embezzle", ("a1",))
+
+
+def test_bad_arity_rejected(store):
+    with pytest.raises(ServingError):
+        store.plan("deposit", ("a1", "a2"))
+
+
+def test_unknown_parameter_value_rejected(store):
+    with pytest.raises(ServingError):
+        store.plan("deposit", ("a9",))
+
+
+def test_compute_writes_returns_only_changes(store):
+    store.apply("open_account", ("a1",))
+    writes = store.compute_writes(store.plan("deposit", ("a1",)))
+    assert writes == {("balance", ("a1",)): "m1"}
+
+
+def test_precondition_false_apply_is_noop(store):
+    before = store.snapshot()
+    store.apply("deposit", ("a1",))  # a1 closed: trace-level no-op
+    assert store.snapshot() == before
+
+
+def test_apply_matches_trace_algebra(store, bank_app):
+    algebra = TraceAlgebra(bank_app.framework.algebraic)
+    trace = algebra.initial_trace()
+    script = [
+        ("open_account", ("a1",)),
+        ("deposit", ("a1",)),
+        ("deposit", ("a1",)),
+        ("withdraw", ("a1",)),
+        ("open_account", ("a2",)),
+        ("close_account", ("a2",)),
+        ("withdraw", ("a1",)),
+        ("close_account", ("a1",)),
+    ]
+    for update, params in script:
+        store.apply(update, params)
+        trace = algebra.apply(update, *params, trace=trace)
+        assert store.snapshot() == algebra.snapshot(trace)
+
+
+def test_load_requires_matching_cell_set(store):
+    with pytest.raises(ServingError):
+        store.load({("balance", ("a1",)): "m1"})
