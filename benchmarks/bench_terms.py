@@ -12,7 +12,11 @@ import pytest
 
 from repro.algebraic.algebra import TraceAlgebra
 from repro.algebraic.rewriting import RewriteEngine
-from repro.applications.courses import courses_algebraic
+from repro.applications.courses import (
+    courses_algebraic,
+    default_courses,
+    default_students,
+)
 from repro.logic.signature import FunctionSymbol
 from repro.logic.sorts import STATE, Sort
 from repro.logic.substitution import apply_to_term
@@ -129,3 +133,34 @@ def bench_compiled_dispatch_cold_cache(benchmark):
         return [engine.evaluate(term) for term in terms]
 
     benchmark(run)
+
+
+@pytest.mark.parametrize("mode", ["object", "arena"])
+def bench_exploration_packed(benchmark, mode):
+    """Full state-space exploration, object BFS vs the packed
+    value-row explorer (same graph, byte-identical; the ratio is the
+    arena's exploration speedup and is gated in CI by
+    ``check_kernel_regression.py --explore-speedup``)."""
+    spec = courses_algebraic(default_students(2), default_courses(3))
+    algebra = TraceAlgebra(spec, packed=(mode == "arena"))
+    algebra.explore()  # warm: compile dispatch tables / update plans
+
+    graph = benchmark(algebra.explore)
+    assert len(graph.states) == 125
+    assert not graph.truncated
+
+
+def bench_delta_reexploration(benchmark):
+    """Re-exploring with the previous run's edge artifact: every
+    transition replays from the values-keyed memo."""
+    spec = courses_algebraic(default_students(2), default_courses(3))
+    algebra = TraceAlgebra(spec)
+    artifact = algebra.explore().artifact
+    assert artifact is not None
+
+    def run():
+        return algebra.explore(edge_cache=artifact)
+
+    graph = benchmark(run)
+    assert graph.delta["reexplored_states"] == 0
+    assert graph.delta["cached_transitions"] == len(graph.transitions)

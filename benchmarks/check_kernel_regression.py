@@ -3,7 +3,8 @@
 Usage::
 
     python benchmarks/check_kernel_regression.py BENCH_kernel.json \
-        [--baseline benchmarks/kernel_baseline.json] [--factor 2.0]
+        [--baseline benchmarks/kernel_baseline.json] [--factor 2.0] \
+        [--explore-speedup 10.0]
 
 Compares a pytest-benchmark JSON emission against the committed
 baseline and exits non-zero if any benchmark's mean is more than
@@ -13,9 +14,18 @@ what it catches is the kernel losing an asymptotic property (interning
 degrading to construction, memo probes degrading to deep hashing),
 which shows up as far more than 2x.
 
+``--explore-speedup`` additionally gates the packed explorer's win
+*within the run itself*: the object-mode exploration mean must be at
+least ``FACTOR`` times the arena-mode mean.  Because both sides are
+measured on the same host in the same session, the ratio is immune to
+machine-speed differences and can be gated tightly.
+
 Benchmarks present in only one of the two files are reported but do
 not fail the check, so adding a benchmark does not require
 regenerating the baseline in the same commit.
+
+Exit codes: 0 ok, 1 regression, 2 unusable input (missing or
+stale-schema baseline/run file).
 
 Regenerate the baseline (after an intentional perf change) with::
 
@@ -33,16 +43,103 @@ from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).parent / "kernel_baseline.json"
 
+EXPLORE_OBJECT = "bench_exploration_packed[object]"
+EXPLORE_ARENA = "bench_exploration_packed[arena]"
 
-def _means(payload: dict) -> dict[str, float]:
-    """Map benchmark name -> mean seconds from a pytest-benchmark
-    JSON document (or from an already-reduced baseline file)."""
+
+def _fail_input(message: str) -> None:
+    """Exit 2 (unusable input) with ``message`` on stderr."""
+    print(message, file=sys.stderr)
+    sys.exit(2)
+
+
+def _load_means(path: str, role: str) -> dict[str, float]:
+    """Load ``name -> mean seconds`` from a pytest-benchmark JSON
+    document or an already-reduced baseline file, exiting 2 with a
+    readable message when the file is missing or its schema is not
+    one of the two this script understands."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        if role == "baseline":
+            _fail_input(
+                f"error: baseline file not found: {path}\n"
+                "Regenerate it with:\n"
+                "  PYTHONPATH=src python -m pytest benchmarks/bench_terms.py"
+                " benchmarks/bench_rewriting.py -q --benchmark-json=run.json\n"
+                "  python benchmarks/check_kernel_regression.py run.json"
+                " --write-baseline"
+            )
+        _fail_input(f"error: run file not found: {path}")
+    except json.JSONDecodeError as exc:
+        _fail_input(f"error: {role} file {path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        _fail_input(f"error: {role} file {path} is not a JSON object")
     if "benchmarks" in payload:
-        return {
-            bench["name"]: bench["stats"]["mean"]
-            for bench in payload["benchmarks"]
-        }
-    return {name: float(mean) for name, mean in payload["means"].items()}
+        try:
+            return {
+                bench["name"]: float(bench["stats"]["mean"])
+                for bench in payload["benchmarks"]
+            }
+        except (TypeError, KeyError) as exc:
+            _fail_input(
+                f"error: {role} file {path} is not pytest-benchmark "
+                f"JSON (missing {exc} under 'benchmarks')"
+            )
+    if "means" in payload and isinstance(payload["means"], dict):
+        try:
+            return {
+                name: float(mean)
+                for name, mean in payload["means"].items()
+            }
+        except (TypeError, ValueError):
+            _fail_input(
+                f"error: {role} file {path} has non-numeric entries "
+                "under 'means'"
+            )
+    _fail_input(
+        f"error: {role} file {path} has a stale or unknown schema "
+        "(expected a pytest-benchmark document with 'benchmarks' or a "
+        "reduced baseline with 'means').\n"
+        "Regenerate the baseline with "
+        "check_kernel_regression.py --write-baseline"
+    )
+
+
+def _check_explore_speedup(
+    run_means: dict[str, float], factor: float
+) -> bool:
+    """Within-run gate: object-mode exploration must be at least
+    ``factor`` times slower than arena mode.  Returns True on pass."""
+    missing = [
+        name
+        for name in (EXPLORE_OBJECT, EXPLORE_ARENA)
+        if name not in run_means
+    ]
+    if missing:
+        _fail_input(
+            "error: --explore-speedup needs both exploration benchmarks "
+            f"in the run file; missing: {', '.join(missing)}\n"
+            "Run benchmarks/bench_terms.py (both modes are collected "
+            "by the one parametrized benchmark)."
+        )
+    obj, arena = run_means[EXPLORE_OBJECT], run_means[EXPLORE_ARENA]
+    ratio = obj / arena if arena else float("inf")
+    verdict = "ok" if ratio >= factor else "FAIL"
+    print(
+        f"  [{verdict:>4}] exploration speedup: object "
+        f"{obj * 1e3:.2f}ms / arena {arena * 1e3:.2f}ms = {ratio:.1f}x "
+        f"(required >= {factor:g}x)"
+    )
+    if ratio < factor:
+        print(
+            f"packed exploration speedup {ratio:.1f}x is below the "
+            f"required {factor:g}x",
+            file=sys.stderr,
+        )
+        return False
+    return True
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -60,14 +157,23 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when run mean > factor * baseline mean (default 2.0)",
     )
     parser.add_argument(
+        "--explore-speedup",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help=(
+            "fail unless object-mode exploration is at least FACTOR "
+            "times slower than arena mode within this run"
+        ),
+    )
+    parser.add_argument(
         "--write-baseline",
         action="store_true",
         help="write the run's means to the baseline file and exit",
     )
     args = parser.parse_args(argv)
 
-    with open(args.run, encoding="utf-8") as handle:
-        run_means = _means(json.load(handle))
+    run_means = _load_means(args.run, "run")
     if not run_means:
         print("no benchmarks in the run file", file=sys.stderr)
         return 2
@@ -89,8 +195,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {len(run_means)} baseline means to {args.baseline}")
         return 0
 
-    with open(args.baseline, encoding="utf-8") as handle:
-        base_means = _means(json.load(handle))
+    base_means = _load_means(args.baseline, "baseline")
 
     failures = []
     for name in sorted(run_means):
@@ -110,6 +215,12 @@ def main(argv: list[str] | None = None) -> int:
     for name in sorted(set(base_means) - set(run_means)):
         print(f"  [gone] {name}: in baseline but not in this run")
 
+    speedup_ok = True
+    if args.explore_speedup is not None:
+        speedup_ok = _check_explore_speedup(
+            run_means, args.explore_speedup
+        )
+
     if failures:
         print(
             f"{len(failures)} benchmark(s) regressed beyond "
@@ -118,6 +229,8 @@ def main(argv: list[str] | None = None) -> int:
         )
         for name, ratio in failures:
             print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    if not speedup_ok:
         return 1
     print(f"all {len(run_means)} benchmarks within {args.factor}x of baseline")
     return 0

@@ -200,6 +200,12 @@ class StateGraph:
     states: dict[Snapshot, Term]
     transitions: list[Transition] = field(default_factory=list)
     truncated: bool = False
+    #: Delta-exploration artifact (packed serial path only): the
+    #: values-keyed edge memo to persist for incremental
+    #: re-exploration, and the delta statistics of this run.  Both are
+    #: bookkeeping, not graph content: excluded from equality.
+    artifact: dict | None = field(default=None, repr=False, compare=False)
+    delta: dict | None = field(default=None, repr=False, compare=False)
     #: Source-indexed adjacency map, built lazily on the first
     #: :meth:`successors` call and rebuilt if transitions were added
     #: since (detected by length, sufficient for the append-only use).
@@ -273,6 +279,7 @@ class TraceAlgebra:
         initial: str = "initiate",
         fuel: int | None = None,
         normalize: bool = False,
+        packed: bool = True,
     ):
         self.spec = spec
         self.signature = spec.signature
@@ -285,7 +292,15 @@ class TraceAlgebra:
         #: by the specification's U-equations (a no-op for
         #: specifications without them).
         self.normalize = normalize
+        #: When True (the default), serial exploration may use the
+        #: packed value-row explorer and snapshots evaluate through
+        #: the engine's term arena; ``packed=False`` forces the
+        #: original object path (the differential baseline).
+        self.packed = packed
         self._observations = self._build_observations()
+        #: Lazily built packed explorer (None until first use; False
+        #: once the spec proved outside the packed fragment).
+        self._packed_explorer = None
 
     # ------------------------------------------------------------------
     # traces
@@ -388,12 +403,19 @@ class TraceAlgebra:
         """
         if _OBS.enabled:
             _OBS.tracer.count("algebra.snapshots")
-        entries = tuple(
-            sorted(
-                ((name, params), self.query(name, *params, trace=trace))
-                for name, params in self._observations
+        if self.packed:
+            values = self.engine.evaluate_cells(trace, self._observations)
+            entries = tuple(sorted(zip(self._observations, values)))
+        else:
+            entries = tuple(
+                sorted(
+                    (
+                        (name, params),
+                        self.query(name, *params, trace=trace),
+                    )
+                    for name, params in self._observations
+                )
             )
-        )
         return Snapshot(entries)
 
     def observationally_equal(self, left: Term, right: Term) -> bool:
@@ -410,6 +432,7 @@ class TraceAlgebra:
         max_depth: int | None = None,
         workers: int = 1,
         stats: StatsSink | None = None,
+        edge_cache: dict | None = None,
     ) -> StateGraph:
         """Breadth-first construction of the reachable observational
         state space (the set G of Section 4.4b, modulo observational
@@ -419,6 +442,12 @@ class TraceAlgebra:
             max_states: stop (and mark the graph truncated) after this
                 many distinct snapshots.
             max_depth: optionally bound the number of updates applied.
+            edge_cache: a previously returned exploration artifact
+                (``graph.artifact``); the serial packed explorer reuses
+                its values-keyed transition memo for every update
+                instance whose equations are unchanged, re-exploring
+                only the affected frontier.  Ignored (full explore) on
+                the object and parallel paths.
             workers: snapshot successor states on this many processes.
                 The BFS is level-synchronous — every level's successor
                 snapshots are computed in parallel, then merged by
@@ -438,7 +467,15 @@ class TraceAlgebra:
         with _span("explore", workers=workers) as obs_span:
             if workers <= 1:
                 before = engine_counters(self.engine)
-                graph, items = self._explore_serial(max_states, max_depth)
+                packed = self._explore_packed(
+                    max_states, max_depth, edge_cache
+                )
+                if packed is not None:
+                    graph, items = packed
+                else:
+                    graph, items = self._explore_serial(
+                        max_states, max_depth
+                    )
                 after = engine_counters(self.engine)
                 delta = counter_delta(before, after, items)
                 obs_span.record(delta)
@@ -476,6 +513,42 @@ class TraceAlgebra:
                     )
                 )
             return graph
+
+    def _explore_packed(
+        self,
+        max_states: int,
+        max_depth: int | None,
+        edge_cache: dict | None,
+    ) -> tuple[StateGraph, int] | None:
+        """Try the packed value-row explorer; ``None`` falls back to
+        the object BFS (outside the packed fragment, coverage
+        recording active, or a spec error the object path reports
+        with its exact message)."""
+        from repro.obs.coverage import COV_STATE as _COV_STATE
+        from repro.algebraic.exploration import (
+            PackedExplorer,
+            PackedUnsupported,
+        )
+
+        if not self.packed or _COV_STATE.enabled:
+            return None
+        explorer = self._packed_explorer
+        if explorer is False:
+            return None
+        if explorer is None:
+            try:
+                explorer = PackedExplorer(self)
+            except PackedUnsupported:
+                self._packed_explorer = False
+                return None
+            self._packed_explorer = explorer
+        try:
+            return explorer.explore(max_states, max_depth, edge_cache)
+        except Exception:
+            # The object path re-raises the underlying specification
+            # error (incompleteness, non-termination, ...) with the
+            # exact term-level message.
+            return None
 
     def _explore_serial(
         self, max_states: int, max_depth: int | None

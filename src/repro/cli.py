@@ -29,6 +29,8 @@ import time
 from typing import Callable
 
 from repro.core.framework import DesignFramework
+from repro.algebraic.exploration import delta_counters
+from repro.logic.arena import arena_stats
 from repro.logic.terms import intern_stats, intern_table_size
 
 __all__ = ["main", "APPLICATIONS"]
@@ -333,11 +335,17 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                     print(f"  {part}")
                 print(f"  {stats}")
                 kernel = intern_stats()
+                arena = arena_stats()
+                delta = delta_counters()
                 print(
                     f"  [kernel] intern_table={intern_table_size()} "
                     f"(vars={kernel['vars']} apps={kernel['apps']}) "
                     f"dispatch_hits={stats.dispatch_hits} "
-                    f"interned_during_run={stats.interned_terms}"
+                    f"interned_during_run={stats.interned_terms} "
+                    f"arena_terms={arena['terms']} "
+                    f"arena_bytes={arena['bytes']} "
+                    f"delta_reexplored_states="
+                    f"{delta['reexplored_states']}"
                 )
             stats_bundles.append(
                 {"application": name, **stats.to_dict()}

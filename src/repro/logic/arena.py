@@ -1,0 +1,341 @@
+"""Array-packed term arena: terms as integer indices into flat tables.
+
+The hash-consed :class:`~repro.logic.terms.Var`/:class:`~repro.logic.terms.App`
+kernel made term equality an identity check, but the rewrite hot loop
+still chases boxed Python objects: every dispatch reads ``.symbol``,
+every match indexes ``.args`` tuples, and every memo probe hashes a
+boxed key.  The arena packs terms into flat :mod:`array` tables —
+
+* ``kind``   one byte per node (application or variable),
+* ``sym``    the node's symbol id (an index into a symbol registry),
+* ``off``/``num``  the node's child slice in one flat child array,
+* ``children``     the concatenated child node ids
+
+— so a term becomes one ``int``, equality becomes ``==`` on ints
+(nodes are hash-consed per arena: one node per distinct
+``(symbol, children)``), a memo table becomes ``dict[int, value]``,
+and a matcher becomes integer comparisons against packed child ids.
+
+The object API is preserved as a **lazy view**: :meth:`TermArena.term`
+materializes (and caches) the interned :class:`~repro.logic.terms.Term`
+for a node on demand, so error messages, reports and every existing
+test see ordinary terms.  Arenas are engine-local (one per
+:class:`~repro.algebraic.rewriting.RewriteEngine`), so clearing an
+engine or letting it die releases the packed tables; a process-wide
+:func:`arena_stats` aggregates the live arenas for the ``--stats``
+``[kernel]`` line.
+
+Fork/pickle: forked workers inherit arenas copy-on-write; pickling
+ships the symbol registry and the raw array buffers and rebuilds the
+hash-consing indices on load (views are rematerialized lazily), so an
+arena crossing a :class:`~repro.parallel.executor.ParallelExecutor`
+boundary keeps its node numbering.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable
+from weakref import WeakSet
+
+from repro.logic.terms import App, Term, Var
+
+__all__ = ["TermArena", "arena_stats", "KIND_APP", "KIND_VAR"]
+
+#: Node kinds in the packed ``kind`` table.
+KIND_APP = 0
+KIND_VAR = 1
+
+#: Every live arena in this process (weak: an arena lives exactly as
+#: long as its owning engine), aggregated by :func:`arena_stats`.
+_LIVE_ARENAS: WeakSet = WeakSet()
+
+
+class TermArena:
+    """One packed term table plus its hash-consing indices.
+
+    Node ids are dense ints starting at 0; a node is never mutated or
+    removed, so ids are stable for the arena's lifetime (the delta
+    explorer and compiled matchers rely on this).
+    """
+
+    __slots__ = (
+        "_symbols",
+        "_symbol_ids",
+        "_kind",
+        "_sym",
+        "_off",
+        "_num",
+        "_children",
+        "_index",
+        "_var_index",
+        "_views",
+        "_intern_memo",
+        "__weakref__",
+    )
+
+    def __init__(self) -> None:
+        #: Symbol registry: FunctionSymbol (apps) or Var (variables).
+        self._symbols: list = []
+        self._symbol_ids: dict = {}
+        self._kind = array("b")
+        self._sym = array("q")
+        self._off = array("q")
+        self._num = array("q")
+        self._children = array("q")
+        #: Hash-consing index for applications:
+        #: ``(symbol id, child ids) -> node id``.
+        self._index: dict[tuple[int, tuple[int, ...]], int] = {}
+        #: Hash-consing index for variables: ``symbol id -> node id``.
+        self._var_index: dict[int, int] = {}
+        #: Lazy object views, one slot per node.
+        self._views: list[Term | None] = []
+        #: Term -> node id memo for :meth:`intern` (holds strong
+        #: references; dropped by :meth:`release_views`).
+        self._intern_memo: dict[Term, int] = {}
+        _LIVE_ARENAS.add(self)
+
+    # ------------------------------------------------------------------
+    # symbol registry
+    # ------------------------------------------------------------------
+    def symbol_id(self, symbol) -> int:
+        """The arena id of a function symbol (or variable), registering
+        it on first use."""
+        sid = self._symbol_ids.get(symbol)
+        if sid is None:
+            sid = len(self._symbols)
+            self._symbols.append(symbol)
+            self._symbol_ids[symbol] = sid
+        return sid
+
+    def symbol(self, sid: int):
+        """The registered symbol object for a symbol id."""
+        return self._symbols[sid]
+
+    # ------------------------------------------------------------------
+    # packing
+    # ------------------------------------------------------------------
+    def _new_node(
+        self, kind: int, sid: int, child_ids: tuple[int, ...]
+    ) -> int:
+        node = len(self._kind)
+        self._kind.append(kind)
+        self._sym.append(sid)
+        self._off.append(len(self._children))
+        self._num.append(len(child_ids))
+        self._children.extend(child_ids)
+        self._views.append(None)
+        return node
+
+    def app(self, sid: int, child_ids: tuple[int, ...]) -> int:
+        """Intern the application node ``symbol(children)`` from packed
+        parts (the batch/matcher fast path: no object traversal)."""
+        key = (sid, child_ids)
+        node = self._index.get(key)
+        if node is None:
+            node = self._new_node(KIND_APP, sid, child_ids)
+            self._index[key] = node
+        return node
+
+    def var(self, variable: Var) -> int:
+        """Intern a variable node."""
+        sid = self.symbol_id(variable)
+        node = self._var_index.get(sid)
+        if node is None:
+            node = self._new_node(KIND_VAR, sid, ())
+            self._var_index[sid] = node
+            self._views[node] = variable
+        return node
+
+    def intern(self, term: Term) -> int:
+        """Pack a :class:`~repro.logic.terms.Term` into the arena and
+        return its node id (structurally equal terms map to the same
+        id).  Iterative, so arbitrarily deep traces pack without
+        touching the recursion limit."""
+        memo = self._intern_memo
+        node = memo.get(term)
+        if node is not None:
+            return node
+        # Post-order over the term with an explicit stack.
+        stack: list[tuple[Term, bool]] = [(term, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if current in memo:
+                continue
+            if isinstance(current, Var):
+                memo[current] = self.var(current)
+                continue
+            if not expanded:
+                stack.append((current, True))
+                for arg in current.args:
+                    if arg not in memo:
+                        stack.append((arg, False))
+                continue
+            child_ids = tuple(memo[arg] for arg in current.args)
+            sid = self.symbol_id(current.symbol)
+            node = self.app(sid, child_ids)
+            if self._views[node] is None:
+                self._views[node] = current
+            memo[current] = node
+        return memo[term]
+
+    def intern_many(self, terms: Iterable[Term]) -> list[int]:
+        """Batch constructor: intern every term, sharing subterm work
+        through the arena's hash-consing index."""
+        return [self.intern(term) for term in terms]
+
+    def apply_batch(
+        self, sid: int, prefix: tuple[int, ...], tails: Iterable[int]
+    ) -> list[int]:
+        """Batch constructor for ``f(prefix..., tail)`` over many
+        tails — the successor-trace shape of state exploration."""
+        app = self.app
+        return [app(sid, (*prefix, tail)) for tail in tails]
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def kind(self, node: int) -> int:
+        """``KIND_APP`` or ``KIND_VAR``."""
+        return self._kind[node]
+
+    def sym_of(self, node: int) -> int:
+        """The node's symbol id."""
+        return self._sym[node]
+
+    def children(self, node: int) -> tuple[int, ...]:
+        """The node's child ids as a tuple."""
+        off = self._off[node]
+        return tuple(self._children[off : off + self._num[node]])
+
+    def arity(self, node: int) -> int:
+        """Number of children of the node."""
+        return self._num[node]
+
+    def term(self, node: int) -> Term:
+        """Materialize the object view of a node (cached).
+
+        The view is the interned :class:`~repro.logic.terms.Term`, so
+        views of equal nodes are the identical object.
+        """
+        view = self._views[node]
+        if view is not None:
+            return view
+        # Build bottom-up with an explicit stack (deep traces again).
+        pending = [node]
+        order: list[int] = []
+        while pending:
+            current = pending.pop()
+            if self._views[current] is not None:
+                continue
+            order.append(current)
+            off = self._off[current]
+            for i in range(self._num[current]):
+                child = self._children[off + i]
+                if self._views[child] is None:
+                    pending.append(child)
+        for current in reversed(order):
+            if self._views[current] is not None:
+                continue
+            sid = self._sym[current]
+            if self._kind[current] == KIND_VAR:
+                self._views[current] = self._symbols[sid]
+            else:
+                off = self._off[current]
+                args = tuple(
+                    self._views[self._children[off + i]]
+                    for i in range(self._num[current])
+                )
+                self._views[current] = App(self._symbols[sid], args)
+        return self._views[node]
+
+    # ------------------------------------------------------------------
+    # lifecycle / stats
+    # ------------------------------------------------------------------
+    def release_views(self) -> None:
+        """Drop the strong references to object views and the intern
+        memo (packed tables and node ids survive); retired terms can
+        then leave the process-wide intern tables."""
+        self._intern_memo.clear()
+        self._views = [None] * len(self._kind)
+        for sid, node in self._var_index.items():
+            self._views[node] = self._symbols[sid]
+
+    def __len__(self) -> int:
+        return len(self._kind)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the packed tables (arrays only; the
+        hash-consing dicts and views are bookkeeping on top)."""
+        total = 0
+        for table in (
+            self._kind,
+            self._sym,
+            self._off,
+            self._num,
+            self._children,
+        ):
+            total += len(table) * table.itemsize
+        return total
+
+    def stats(self) -> dict[str, int]:
+        """Node count and packed size of this arena."""
+        return {"terms": len(self._kind), "bytes": self.nbytes}
+
+    # ------------------------------------------------------------------
+    # pickling (fork workers inherit arenas; pickled arenas rebuild
+    # their indices from the shipped tables)
+    # ------------------------------------------------------------------
+    def __reduce__(self):
+        return (
+            _rebuild_arena,
+            (
+                list(self._symbols),
+                self._kind.tobytes(),
+                self._sym.tobytes(),
+                self._off.tobytes(),
+                self._num.tobytes(),
+                self._children.tobytes(),
+            ),
+        )
+
+
+def _rebuild_arena(
+    symbols: list,
+    kind: bytes,
+    sym: bytes,
+    off: bytes,
+    num: bytes,
+    children: bytes,
+) -> TermArena:
+    """Reconstruct a pickled arena: restore the packed tables, then
+    re-derive the hash-consing indices by one walk over the nodes."""
+    arena = TermArena()
+    arena._symbols = symbols
+    arena._symbol_ids = {symbol: i for i, symbol in enumerate(symbols)}
+    arena._kind.frombytes(kind)
+    arena._sym.frombytes(sym)
+    arena._off.frombytes(off)
+    arena._num.frombytes(num)
+    arena._children.frombytes(children)
+    arena._views = [None] * len(arena._kind)
+    for node in range(len(arena._kind)):
+        sid = arena._sym[node]
+        if arena._kind[node] == KIND_VAR:
+            arena._var_index[sid] = node
+            arena._views[node] = arena._symbols[sid]
+        else:
+            arena._index[(sid, arena.children(node))] = node
+    return arena
+
+
+def arena_stats() -> dict[str, int]:
+    """Aggregate packed-term statistics over every live arena (the
+    ``arena_terms``/``arena_bytes`` fields of the ``[kernel]`` line)."""
+    arenas = list(_LIVE_ARENAS)
+    return {
+        "arenas": len(arenas),
+        "terms": sum(len(a) for a in arenas),
+        "bytes": sum(a.nbytes for a in arenas),
+    }

@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from typing import Any, Mapping
 
 __all__ = [
@@ -79,19 +80,23 @@ class CoverageRecorder:
     Attributes:
         dispatch: top-level evaluation counts per ``(query,
             constructor)`` cell (partition-invariant).
-        fired: per-cell sets of fired Q-equation indices (indices into
-            ``spec.equations``; union-invariant).
-        fired_u: per-constructor sets of fired U-equation indices.
         hyperrules: W-grammar rule-application counts by rule label.
         metanotions: membership-query counts by metanotion name.
         explore: the state-graph census of the run's exploration, or
             ``None`` while no explore has been recorded.
+
+    Per-equation fire sets (which Q-/U-equation indices fired inside
+    each dispatch cell; union-invariant) are exposed through the
+    stable accessors :meth:`fire_set`, :meth:`fire_sets`,
+    :meth:`u_fire_set` and :meth:`u_fire_sets`.  The legacy ``fired``
+    / ``fired_u`` attributes still resolve to the internal mutable
+    dicts but emit :class:`DeprecationWarning`.
     """
 
     __slots__ = (
         "dispatch",
-        "fired",
-        "fired_u",
+        "_fired",
+        "_fired_u",
         "hyperrules",
         "metanotions",
         "explore",
@@ -99,11 +104,67 @@ class CoverageRecorder:
 
     def __init__(self) -> None:
         self.dispatch: dict[tuple[str, str], int] = {}
-        self.fired: dict[tuple[str, str], set[int]] = {}
-        self.fired_u: dict[str, set[int]] = {}
+        self._fired: dict[tuple[str, str], set[int]] = {}
+        self._fired_u: dict[str, set[int]] = {}
         self.hyperrules: dict[str, int] = {}
         self.metanotions: dict[str, int] = {}
         self.explore: dict | None = None
+
+    # ------------------------------------------------------------------
+    # per-equation fire sets (the stable public interface)
+    # ------------------------------------------------------------------
+    def fire_set(
+        self, query: str, constructor: str
+    ) -> frozenset[int]:
+        """The Q-equation indices (into ``spec.equations``) recorded as
+        fired inside the ``(query, constructor)`` dispatch cell; empty
+        when the cell was never entered."""
+        return frozenset(self._fired.get((query, constructor), ()))
+
+    def fire_sets(self) -> dict[tuple[str, str], frozenset[int]]:
+        """Every non-empty per-cell Q-equation fire set, as an
+        immutable copy (the interface the delta explorer and external
+        tools consume)."""
+        return {
+            cell: frozenset(indices)
+            for cell, indices in self._fired.items()
+        }
+
+    def u_fire_set(self, constructor: str) -> frozenset[int]:
+        """The U-equation indices recorded as fired on a constructor."""
+        return frozenset(self._fired_u.get(constructor, ()))
+
+    def u_fire_sets(self) -> dict[str, frozenset[int]]:
+        """Every non-empty per-constructor U-equation fire set, as an
+        immutable copy."""
+        return {
+            name: frozenset(indices)
+            for name, indices in self._fired_u.items()
+        }
+
+    @property
+    def fired(self) -> dict[tuple[str, str], set[int]]:
+        """Deprecated: the internal per-cell fire-set dict.  Use
+        :meth:`fire_set` / :meth:`fire_sets` instead."""
+        warnings.warn(
+            "CoverageRecorder.fired is deprecated; use fire_set() / "
+            "fire_sets()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._fired
+
+    @property
+    def fired_u(self) -> dict[str, set[int]]:
+        """Deprecated: the internal per-constructor U-fire-set dict.
+        Use :meth:`u_fire_set` / :meth:`u_fire_sets` instead."""
+        warnings.warn(
+            "CoverageRecorder.fired_u is deprecated; use u_fire_set() "
+            "/ u_fire_sets()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._fired_u
 
     # ------------------------------------------------------------------
     # recording (hot paths; called only when COV_STATE.enabled)
@@ -119,16 +180,16 @@ class CoverageRecorder:
     ) -> None:
         """Mark Q-equation ``index`` as fired inside a cell."""
         key = (query, constructor)
-        fired = self.fired.get(key)
+        fired = self._fired.get(key)
         if fired is None:
-            fired = self.fired[key] = set()
+            fired = self._fired[key] = set()
         fired.add(index)
 
     def record_u_fire(self, constructor: str, index: int) -> None:
         """Mark U-equation ``index`` as fired on a constructor."""
-        fired = self.fired_u.get(constructor)
+        fired = self._fired_u.get(constructor)
         if fired is None:
-            fired = self.fired_u[constructor] = set()
+            fired = self._fired_u[constructor] = set()
         fired.add(index)
 
     def record_hyperrule(self, label: str) -> None:
@@ -154,10 +215,10 @@ class CoverageRecorder:
         """Fold another recorder in (sum counts, union sets)."""
         for key, value in other.dispatch.items():
             self.dispatch[key] = self.dispatch.get(key, 0) + value
-        for key, indices in other.fired.items():
-            self.fired.setdefault(key, set()).update(indices)
-        for name, indices in other.fired_u.items():
-            self.fired_u.setdefault(name, set()).update(indices)
+        for key, indices in other._fired.items():
+            self._fired.setdefault(key, set()).update(indices)
+        for name, indices in other._fired_u.items():
+            self._fired_u.setdefault(name, set()).update(indices)
         for name, value in other.hyperrules.items():
             self.hyperrules[name] = self.hyperrules.get(name, 0) + value
         for name, value in other.metanotions.items():
@@ -182,11 +243,11 @@ class CoverageRecorder:
             },
             "fired": {
                 _CELL_SEP.join(key): sorted(indices)
-                for key, indices in sorted(self.fired.items())
+                for key, indices in sorted(self._fired.items())
             },
             "fired_u": {
                 name: sorted(indices)
-                for name, indices in sorted(self.fired_u.items())
+                for name, indices in sorted(self._fired_u.items())
             },
             "hyperrules": dict(sorted(self.hyperrules.items())),
             "metanotions": dict(sorted(self.metanotions.items())),
@@ -202,11 +263,11 @@ class CoverageRecorder:
             recorder.dispatch[(query, constructor)] = int(value)
         for key, indices in payload.get("fired", {}).items():
             query, _, constructor = key.partition(_CELL_SEP)
-            recorder.fired[(query, constructor)] = {
+            recorder._fired[(query, constructor)] = {
                 int(i) for i in indices
             }
         for name, indices in payload.get("fired_u", {}).items():
-            recorder.fired_u[name] = {int(i) for i in indices}
+            recorder._fired_u[name] = {int(i) for i in indices}
         for name, value in payload.get("hyperrules", {}).items():
             recorder.hyperrules[name] = int(value)
         for name, value in payload.get("metanotions", {}).items():
@@ -220,8 +281,8 @@ class CoverageRecorder:
         """True iff nothing has been recorded yet."""
         return not (
             self.dispatch
-            or self.fired
-            or self.fired_u
+            or self._fired
+            or self._fired_u
             or self.hyperrules
             or self.metanotions
             or self.explore is not None
@@ -432,7 +493,7 @@ def coverage_document(
     for query in queries:
         for constructor in constructors:
             equations = spec.equations_for(query, constructor)
-            fired = recorder.fired.get((query, constructor), set())
+            fired = recorder.fire_set(query, constructor)
             entries = []
             for equation in equations:
                 index = _equation_index(spec, equation)
@@ -469,13 +530,14 @@ def coverage_document(
         if equation.is_q_equation:
             kind = "Q"
             fired_flag = any(
-                index in indices for indices in recorder.fired.values()
+                index in indices
+                for indices in recorder.fire_sets().values()
             )
         else:
             kind = "U"
             fired_flag = any(
                 index in indices
-                for indices in recorder.fired_u.values()
+                for indices in recorder.u_fire_sets().values()
             )
         equations.append(
             {

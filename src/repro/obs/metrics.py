@@ -20,6 +20,8 @@ stable schema to emit:
 ``rewrite.dispatch.hits``  compiled dispatch-table reuses
 ``kernel.interned_terms``  terms hash-consed during the run
 ``kernel.intern_table.*``  live intern-table sizes (gauges)
+``kernel.arena.*``         packed term-arena sizes (gauges)
+``kernel.delta.*``         delta-exploration totals (gauges)
 ``check.<label>.*``        the same counters, per check
 ========================== =========================================
 
@@ -111,13 +113,28 @@ class MetricsRegistry:
             self.set_gauge(prefix + "wall_time", part.wall_time)
 
     def record_kernel(self) -> None:
-        """Gauge the live term-kernel intern tables."""
+        """Gauge the live term-kernel intern tables, the packed term
+        arenas, and the delta-exploration totals."""
+        from repro.algebraic.exploration import delta_counters
+        from repro.logic.arena import arena_stats
         from repro.logic.terms import intern_stats, intern_table_size
 
         detail = intern_stats()
         self.set_gauge("kernel.intern_table.size", intern_table_size())
         self.set_gauge("kernel.intern_table.vars", detail["vars"])
         self.set_gauge("kernel.intern_table.apps", detail["apps"])
+        arena = arena_stats()
+        self.set_gauge("kernel.arena.terms", arena["terms"])
+        self.set_gauge("kernel.arena.bytes", arena["bytes"])
+        delta = delta_counters()
+        self.set_gauge(
+            "kernel.delta.reexplored_states",
+            delta["reexplored_states"],
+        )
+        self.set_gauge(
+            "kernel.delta.cached_transitions",
+            delta["cached_transitions"],
+        )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:

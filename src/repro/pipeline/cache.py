@@ -267,6 +267,52 @@ class ResultCache:
             pass
 
     # ------------------------------------------------------------------
+    # named artifacts (non-report blobs, e.g. the delta explorer's
+    # edge memo; the name itself carries the content key)
+    # ------------------------------------------------------------------
+    def load_artifact(self, name: str) -> dict | None:
+        """The stored artifact payload for ``name``, or ``None``.
+
+        Same tolerance as :meth:`load`: anything unreadable, stale, or
+        mislabeled is a miss, never fatal.
+        """
+        path = self.root / f"{name}.json"
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("format") != CACHE_FORMAT
+            or entry.get("node") != name
+            or entry.get("kind") != "artifact"
+            or not isinstance(entry.get("artifact"), dict)
+        ):
+            return None
+        return entry["artifact"]
+
+    def store_artifact(self, name: str, payload: dict) -> None:
+        """Persist a named artifact blob (atomic write via rename;
+        failures are swallowed like :meth:`store`)."""
+        entry = {
+            "format": CACHE_FORMAT,
+            "node": name,
+            "kind": "artifact",
+            "artifact": payload,
+        }
+        path = self.root / f"{name}.json"
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            temp = path.with_suffix(".json.tmp")
+            with open(temp, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, indent=2)
+                handle.write("\n")
+            os.replace(temp, path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
     @staticmethod
     def entry_stats(entry: dict) -> tuple[VerificationStats, ...]:
         """The replayed stats records of a loaded entry."""

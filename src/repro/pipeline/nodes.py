@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 
 from repro.algebraic.completeness import check_sufficient_completeness
+from repro.algebraic.exploration import edge_artifact_name
 from repro.algebraic.observation import check_congruence
 from repro.errors import SpecificationError, WGrammarError
 from repro.obs.coverage import COV_STATE, state_graph_census
@@ -44,14 +45,30 @@ __all__ = ["build_framework_graph"]
 # ---------------------------------------------------------------------
 def _run_explore(ctx, params) -> CheckRun:
     """Materialize the reachable observational state graph (the
-    resource checks (b)–(d) read)."""
+    resource checks (b)–(d) read).
+
+    When a result cache is attached, the previous run's edge artifact
+    is threaded into the serial packed explorer so an equation edit
+    re-explores only the affected frontier (``verify --cache-dir``
+    gets delta exploration for free); the refreshed artifact is stored
+    back after the run.
+    """
     sink = StatsSink()
+    cache = ctx.resources.get("result_cache")
+    artifact_name = None
+    edge_cache = None
+    if cache is not None and params["workers"] <= 1:
+        artifact_name = edge_artifact_name(ctx.algebra.signature)
+        edge_cache = cache.load_artifact(artifact_name)
     graph = ctx.algebra.explore(
         max_states=params["max_states"],
         workers=params["workers"],
         stats=sink,
+        edge_cache=edge_cache,
     )
     ctx.resources["graph"] = graph
+    if artifact_name is not None and graph.artifact is not None:
+        cache.store_artifact(artifact_name, graph.artifact)
     if COV_STATE.enabled:
         # The census reads the merged graph, which is identical at
         # every worker count, so the recorded curve is deterministic.

@@ -316,6 +316,10 @@ class Scheduler:
                 fingerprint.
         """
         cache = self.cache
+        if cache is not None:
+            # Resource nodes may thread non-report artifacts (the
+            # delta explorer's edge memo) through the same cache.
+            ctx.resources["result_cache"] = cache
         selection = self.graph.select(only, skip)
         checks = {
             name: self.graph[name].with_params(

@@ -9,10 +9,12 @@ keeps the cells in a plain dict and applies one update in O(delta):
 
 1. the Q-equations ``q(a, u(b, U)) = rhs`` for update ``u`` are
    compiled **once per (update, params) pair** into an
-   :class:`UpdatePlan` — for each candidate write cell, an ordered
-   dispatch list of ``(condition, rhs)`` closures over the pre-state
-   (see :mod:`repro.runtime.compiler`); equation order is declaration
-   order, mirroring :class:`~repro.algebraic.rewriting.RewriteEngine`;
+   :class:`~repro.algebraic.plans.UpdatePlan` by the shared
+   :class:`~repro.algebraic.plans.UpdatePlanner` (also used by the
+   packed state-space explorer) — for each candidate write cell, an
+   ordered dispatch list of ``(condition, rhs, equation index)``
+   closures over the pre-state; equation order is declaration order,
+   mirroring :class:`~repro.algebraic.rewriting.RewriteEngine`;
 2. applying the plan evaluates the dispatch per candidate cell against
    the current cells and collects only the cells whose value changes.
 
@@ -31,15 +33,9 @@ paths to full trace re-reduction.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
 from typing import Callable, Hashable, Mapping
 
-from repro.errors import (
-    IncompletenessError,
-    ServingError,
-    SignatureError,
-)
+from repro.errors import IncompletenessError, ServingError
 from repro.obs.tracer import OBS_STATE as _OBS
 from repro.algebraic.algebra import Snapshot, TraceAlgebra
 from repro.algebraic.description import StructuredDescription
@@ -47,81 +43,14 @@ from repro.algebraic.induction import (
     abstract_successor,
     make_abstract_engine,
 )
+from repro.algebraic.plans import UpdatePlan, UpdatePlanner
 from repro.algebraic.spec import AlgebraicSpec
-from repro.logic import formulas as fm
-from repro.logic.sorts import BOOLEAN, STATE
-from repro.logic.terms import App, Term, Var
-from repro.runtime.compiler import (
-    Cell,
-    Getter,
-    UnsupportedTermError,
-    compile_ground_formula,
-    compile_ground_term,
-)
+from repro.logic.sorts import BOOLEAN
+from repro.runtime.compiler import Cell
 
 __all__ = ["MaterializedState", "UpdatePlan"]
 
 Value = Hashable
-
-
-@dataclass(frozen=True)
-class UpdatePlan:
-    """The compiled apply program for one ground update instance.
-
-    Attributes:
-        update: the update function's name.
-        params: its ground parameter values.
-        actions: per candidate write cell, the ordered dispatch list of
-            ``(condition, rhs)`` closures; ``condition is None`` means
-            unconditional, ``rhs is None`` means identity (no write).
-        precondition: compiled admission predicate from the update's
-            structured description, or ``None`` when the update has no
-            precondition (or no description was supplied).
-        precondition_reads: cells the precondition may read — the
-            witness cells reported when admission fails.
-        precondition_text: the precondition formula, printed (for the
-            rejection witness).
-        fallback: True when the equations fall outside the canonical
-            fragment and applying must go through the rewrite engine.
-    """
-
-    update: str
-    params: tuple[str, ...]
-    actions: tuple[
-        tuple[
-            Cell,
-            tuple[
-                tuple[
-                    Callable[[Getter], bool] | None,
-                    Callable[[Getter], Value] | None,
-                ],
-                ...,
-            ],
-        ],
-        ...,
-    ]
-    precondition: Callable[[Getter], bool] | None
-    precondition_reads: frozenset[Cell]
-    precondition_text: str = ""
-    fallback: bool = False
-
-    @property
-    def candidate_cells(self) -> tuple[Cell, ...]:
-        """The cells this plan may write (superset of any delta)."""
-        return tuple(cell for cell, _ in self.actions)
-
-
-def _is_identity(lhs: App, rhs: Term) -> bool:
-    """True iff ``rhs`` is the lhs query applied to the same parameter
-    pattern at the bare pre-state variable (a frame/otherwise branch).
-    Terms are interned, so pattern equality is object comparison."""
-    return (
-        isinstance(rhs, App)
-        and rhs.symbol == lhs.symbol
-        and rhs.args[:-1] == lhs.args[:-1]
-        and isinstance(rhs.args[-1], Var)
-        and rhs.args[-1].sort == STATE
-    )
 
 
 class MaterializedState:
@@ -148,16 +77,13 @@ class MaterializedState:
         self.signature = spec.signature
         self._algebra = TraceAlgebra(spec)
         self._abstract_engine = None
-        self._descriptions = {
-            d.update: d for d in (descriptions or [])
-        }
+        self._planner = UpdatePlanner(spec, descriptions)
         self._plans: dict[tuple[str, tuple[str, ...]], UpdatePlan] = {}
         initial = self._algebra.snapshot(self._algebra.initial_trace())
         self._cells: dict[Cell, Value] = {
             (query, params): value
             for (query, params), value in initial.entries
         }
-        self._equals_hook = self._make_equals_hook()
 
     # ------------------------------------------------------------------
     # reads
@@ -231,8 +157,8 @@ class MaterializedState:
     # plan compilation
     # ------------------------------------------------------------------
     def plan(self, update: str, params: tuple[str, ...]) -> UpdatePlan:
-        """The compiled :class:`UpdatePlan` for one ground update
-        instance (cached).
+        """The compiled :class:`~repro.algebraic.plans.UpdatePlan` for
+        one ground update instance (cached).
 
         Raises:
             ServingError: unknown update or ill-sorted parameters.
@@ -241,205 +167,13 @@ class MaterializedState:
         cached = self._plans.get(key)
         if cached is not None:
             return cached
-        built = self._compile_plan(update, key[1])
+        built = self._planner.compile(update, key[1])
         self._plans[key] = built
         if _OBS.enabled:
             _OBS.tracer.count("runtime.plans.compiled")
-        return built
-
-    def _check_params(
-        self, update: str, params: tuple[str, ...]
-    ) -> tuple[Var, ...]:
-        try:
-            symbol = self.signature.update(update)
-        except SignatureError as exc:
-            raise ServingError(str(exc)) from None
-        sorts = symbol.arg_sorts[:-1]
-        if len(params) != len(sorts):
-            raise ServingError(
-                f"update {update!r} takes {len(sorts)} parameter(s), "
-                f"got {len(params)}"
-            )
-        for value, sort in zip(params, sorts):
-            if value not in self.signature.domain(sort):
-                raise ServingError(
-                    f"{value!r} is not a declared value of sort "
-                    f"{sort} (update {update!r})"
-                )
-        return tuple(
-            Var(f"p{i}", sort) for i, sort in enumerate(sorts)
-        )
-
-    def _make_equals_hook(self):
-        signature = self.signature
-
-        def hook(equality: fm.Equals, env: dict[Var, str]):
-            lhs, lreads = compile_ground_term(
-                equality.lhs, env, signature
-            )
-            rhs, rreads = compile_ground_term(
-                equality.rhs, env, signature
-            )
-            return (
-                lambda get: lhs(get) == rhs(get)
-            ), lreads | rreads
-
-        return hook
-
-    def _compile_condition(
-        self, condition: fm.Formula, env: dict[Var, str]
-    ):
-        return compile_ground_formula(
-            condition,
-            env,
-            domain_of=self.signature.domain,
-            atom_hook=None,
-            equals_hook=self._equals_hook,
-        )
-
-    def _compile_plan(
-        self, update: str, params: tuple[str, ...]
-    ) -> UpdatePlan:
-        self._check_params(update, params)
-        precondition, pre_reads, pre_text = self._compile_precondition(
-            update, params
-        )
-        try:
-            actions = self._compile_actions(update, params)
-        except UnsupportedTermError:
-            if _OBS.enabled:
+            if built.fallback:
                 _OBS.tracer.count("runtime.plans.fallback")
-            return UpdatePlan(
-                update,
-                params,
-                (),
-                precondition,
-                pre_reads,
-                pre_text,
-                fallback=True,
-            )
-        return UpdatePlan(
-            update, params, actions, precondition, pre_reads, pre_text
-        )
-
-    def _compile_precondition(
-        self, update: str, params: tuple[str, ...]
-    ):
-        description = self._descriptions.get(update)
-        if description is None or description.precondition is None:
-            return None, frozenset(), ""
-        env = dict(zip(description.params, params))
-        closure, reads = self._compile_condition(
-            description.precondition, env
-        )
-        return closure, reads, str(description.precondition)
-
-    def _compile_actions(self, update: str, params: tuple[str, ...]):
-        """Ground every Q-equation of ``update`` at ``params`` into the
-        per-cell dispatch lists."""
-        signature = self.signature
-        per_cell: dict[Cell, list] = {}
-        for query_symbol in signature.queries:
-            equations = self.spec.equations_for(
-                query_symbol.name, update
-            )
-            if not equations:
-                raise UnsupportedTermError(
-                    f"no equation defines {query_symbol.name} over "
-                    f"{update}"
-                )
-            for equation in equations:
-                self._ground_equation(
-                    equation, params, per_cell
-                )
-        actions = []
-        for cell, entries in per_cell.items():
-            live = []
-            for condition, rhs in entries:
-                live.append((condition, rhs))
-                if condition is None:
-                    break  # later entries are dead
-            if any(rhs is not None for _, rhs in live):
-                actions.append((cell, tuple(live)))
-        return tuple(actions)
-
-    def _ground_equation(
-        self,
-        equation,
-        params: tuple[str, ...],
-        per_cell: dict[Cell, list],
-    ) -> None:
-        lhs = equation.lhs
-        if not isinstance(lhs, App):
-            raise UnsupportedTermError("non-application lhs")
-        state_pat = lhs.args[-1]
-        if not isinstance(state_pat, App) or not isinstance(
-            state_pat.args[-1], Var
-        ):
-            raise UnsupportedTermError("non-canonical state pattern")
-
-        # Bind the update-argument pattern against the actual params.
-        binding: dict[Var, str] = {}
-        for pattern, value in zip(state_pat.args[:-1], params):
-            if isinstance(pattern, Var):
-                bound = binding.get(pattern)
-                if bound is None:
-                    binding[pattern] = value
-                elif bound != value:
-                    return  # repeated variable disagrees: no match
-            elif isinstance(pattern, App) and not pattern.args:
-                if pattern.symbol.name != value:
-                    return  # constant pattern differs: no match
-            else:
-                raise UnsupportedTermError(
-                    "nested term in update-argument position"
-                )
-
-        # Enumerate the query-argument pattern over unbound variables.
-        free: list[Var] = []
-        for pattern in lhs.args[:-1]:
-            if isinstance(pattern, Var):
-                if pattern not in binding and pattern not in free:
-                    free.append(pattern)
-            elif not (
-                isinstance(pattern, App) and not pattern.args
-            ):
-                raise UnsupportedTermError(
-                    "nested term in query-argument position"
-                )
-        domains = [self.signature.domain(v.sort) for v in free]
-        identity = _is_identity(lhs, equation.rhs)
-        query_name = lhs.symbol.name
-        for choice in itertools.product(*domains):
-            env = dict(binding)
-            env.update(zip(free, choice))
-            values = tuple(
-                env[p] if isinstance(p, Var) else p.symbol.name
-                for p in lhs.args[:-1]
-            )
-            cell: Cell = (query_name, values)
-            entries = per_cell.setdefault(cell, [])
-            if entries and entries[-1][0] is None:
-                continue  # dispatch already sealed by an
-                # unconditional entry
-            condition = None
-            if equation.condition is not None:
-                closure, reads = self._compile_condition(
-                    equation.condition, env
-                )
-                if not reads:
-                    if not closure(None):
-                        continue  # statically never fires here
-                    # statically always fires: unconditional entry
-                else:
-                    condition = closure
-            if identity:
-                rhs = None
-            else:
-                rhs, _ = compile_ground_term(
-                    equation.rhs, env, self.signature
-                )
-            entries.append((condition, rhs))
+        return built
 
     # ------------------------------------------------------------------
     # applying updates
@@ -459,7 +193,7 @@ class MaterializedState:
         get = cells.__getitem__
         writes: dict[Cell, Value] = {}
         for cell, entries in plan.actions:
-            for condition, rhs in entries:
+            for condition, rhs, _index in entries:
                 if condition is not None and not condition(get):
                     continue
                 if rhs is not None:

@@ -148,6 +148,41 @@ class TestObservabilityFlags:
         assert OBS_STATE.enabled is False
 
 
+class TestKernelStatsFields:
+    def test_stats_line_reports_arena_and_delta(self, capsys):
+        assert main(["verify", "library", "--quiet", "--stats"]) == 0
+        out = capsys.readouterr().out
+        kernel_lines = [
+            line for line in out.splitlines() if "[kernel]" in line
+        ]
+        assert kernel_lines
+        for field in (
+            "arena_terms=",
+            "arena_bytes=",
+            "delta_reexplored_states=",
+        ):
+            assert all(field in line for line in kernel_lines), field
+
+    def test_metrics_json_reports_arena_and_delta(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(
+            [
+                "verify", "library", "--quiet",
+                "--metrics-json", str(path),
+            ]
+        ) == 0
+        gauges = json.loads(path.read_text())["gauges"]
+        for name in (
+            "kernel.arena.terms",
+            "kernel.arena.bytes",
+            "kernel.delta.reexplored_states",
+            "kernel.delta.cached_transitions",
+        ):
+            assert name in gauges, name
+
+
 class TestSchemaAndAxioms:
     def test_schema_prints_rpr_source(self, capsys):
         assert main(["schema", "courses"]) == 0

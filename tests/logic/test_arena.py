@@ -1,0 +1,180 @@
+"""Invariants of the array-packed term arena.
+
+Packing must hash-cons (one node id per distinct term), the lazy
+object views must be the interned terms themselves (so arena results
+are indistinguishable from object-path results), batch constructors
+must agree with one-at-a-time interning, and an arena must survive
+pickling and the fork into :class:`~repro.parallel.executor.ParallelExecutor`
+workers with its node numbering intact.
+"""
+
+import pickle
+
+from repro.logic.arena import (
+    KIND_APP,
+    KIND_VAR,
+    TermArena,
+    arena_stats,
+)
+from repro.logic.signature import FunctionSymbol
+from repro.logic.sorts import BOOLEAN, STATE, Sort
+from repro.logic.terms import App, Var, const
+
+ITEM = Sort("arena_item")
+ITEM_A = FunctionSymbol("arena_a", (), ITEM)
+ITEM_B = FunctionSymbol("arena_b", (), ITEM)
+PAIR = FunctionSymbol("arena_pair", (ITEM, ITEM), ITEM)
+INITIATE = FunctionSymbol("arena_initiate", (), STATE)
+PUSH = FunctionSymbol("arena_push", (ITEM, STATE), STATE)
+ON_TOP = FunctionSymbol("arena_on_top", (ITEM, STATE), BOOLEAN)
+
+
+def _deep_trace(depth: int) -> App:
+    trace = const(INITIATE)
+    for index in range(depth):
+        item = const(ITEM_A if index % 2 == 0 else ITEM_B)
+        trace = App(PUSH, (item, trace))
+    return trace
+
+
+class TestPackingHashConses:
+    def test_equal_terms_share_a_node(self):
+        arena = TermArena()
+        assert arena.intern(_deep_trace(12)) == arena.intern(
+            _deep_trace(12)
+        )
+
+    def test_distinct_terms_get_distinct_nodes(self):
+        arena = TermArena()
+        assert arena.intern(const(ITEM_A)) != arena.intern(const(ITEM_B))
+
+    def test_subterms_are_shared(self):
+        arena = TermArena()
+        outer = arena.intern(App(PAIR, (const(ITEM_A), const(ITEM_A))))
+        children = arena.children(outer)
+        assert children[0] == children[1]
+        assert children[0] == arena.intern(const(ITEM_A))
+
+    def test_kinds_and_arity(self):
+        arena = TermArena()
+        var = arena.intern(Var("arena_x", ITEM))
+        app = arena.intern(App(PAIR, (const(ITEM_A), const(ITEM_B))))
+        assert arena.kind(var) == KIND_VAR
+        assert arena.kind(app) == KIND_APP
+        assert arena.arity(var) == 0
+        assert arena.arity(app) == 2
+
+    def test_deep_traces_pack_iteratively(self):
+        # Far past the recursion limit a naive recursive intern
+        # would hit.
+        arena = TermArena()
+        node = arena.intern(_deep_trace(5000))
+        assert len(arena) >= 5000
+        assert arena.term(node) is _deep_trace(5000)
+
+    def test_packed_app_matches_interned_object(self):
+        arena = TermArena()
+        tail = arena.intern(const(INITIATE))
+        item = arena.intern(const(ITEM_A))
+        sid = arena.symbol_id(PUSH)
+        packed = arena.app(sid, (item, tail))
+        assert packed == arena.intern(App(PUSH, (const(ITEM_A), const(INITIATE))))
+
+
+class TestViewsAreInternedTerms:
+    def test_view_is_the_identical_object(self):
+        arena = TermArena()
+        term = _deep_trace(6)
+        assert arena.term(arena.intern(term)) is term
+
+    def test_view_materializes_after_release(self):
+        arena = TermArena()
+        node = arena.intern(_deep_trace(6))
+        arena.release_views()
+        # Rebuilt bottom-up from the packed tables, the view re-interns
+        # to the identical live object.
+        assert arena.term(node) is _deep_trace(6)
+
+    def test_var_view_survives_release(self):
+        arena = TermArena()
+        var = Var("arena_y", ITEM)
+        node = arena.intern(var)
+        arena.release_views()
+        assert arena.term(node) is var
+
+    def test_release_preserves_node_ids(self):
+        arena = TermArena()
+        node = arena.intern(_deep_trace(4))
+        arena.release_views()
+        assert arena.intern(_deep_trace(4)) == node
+
+
+class TestBatchConstructors:
+    def test_intern_many_agrees_with_intern(self):
+        arena = TermArena()
+        terms = [_deep_trace(d) for d in (2, 3, 2)]
+        nodes = arena.intern_many(terms)
+        assert nodes == [arena.intern(t) for t in terms]
+        assert nodes[0] == nodes[2]
+
+    def test_apply_batch_matches_object_construction(self):
+        arena = TermArena()
+        item = arena.intern(const(ITEM_A))
+        tails = arena.intern_many([_deep_trace(d) for d in (0, 1, 2)])
+        sid = arena.symbol_id(PUSH)
+        batch = arena.apply_batch(sid, (item,), tails)
+        expected = [
+            arena.intern(App(PUSH, (const(ITEM_A), _deep_trace(d))))
+            for d in (0, 1, 2)
+        ]
+        assert batch == expected
+
+
+class TestPickleAndFork:
+    def test_round_trip_preserves_numbering_and_views(self):
+        arena = TermArena()
+        node = arena.intern(_deep_trace(9))
+        single = arena.intern(const(ITEM_A))
+        clone = pickle.loads(pickle.dumps(arena))
+        assert len(clone) == len(arena)
+        assert clone.term(node) is _deep_trace(9)
+        assert clone.term(single) is const(ITEM_A)
+
+    def test_round_trip_rebuilds_hash_consing(self):
+        arena = TermArena()
+        node = arena.intern(_deep_trace(5))
+        clone = pickle.loads(pickle.dumps(arena))
+        # New interns against the clone dedup against shipped nodes.
+        assert clone.intern(_deep_trace(5)) == node
+        assert len(clone) == len(arena)
+
+    def test_arena_survives_worker_round_trip(self):
+        from repro.parallel.executor import ParallelExecutor
+
+        with ParallelExecutor(2, context=None) as executor:
+            results = executor.map(_pack_chunk, [7, 7, 3])
+        for depth, (length, view_ok) in zip((7, 7, 3), results):
+            assert length >= depth
+            assert view_ok
+
+
+class TestArenaStats:
+    def test_stats_count_this_arena(self):
+        before = arena_stats()
+        arena = TermArena()
+        arena.intern(_deep_trace(10))
+        after = arena_stats()
+        assert after["arenas"] >= before["arenas"] + 1
+        assert after["terms"] >= before["terms"] + 10
+        assert after["bytes"] > before["bytes"]
+        assert arena.stats()["terms"] == len(arena)
+        assert arena.stats()["bytes"] == arena.nbytes
+
+
+def _pack_chunk(context, depth):
+    """Worker chunk: build an arena in the forked worker, pack a trace,
+    and ship the arena home through pickle."""
+    arena = TermArena()
+    node = arena.intern(_deep_trace(depth))
+    clone = pickle.loads(pickle.dumps(arena))
+    return (len(clone), clone.term(node) is _deep_trace(depth)), {"items": 1}

@@ -65,7 +65,7 @@ class TestRecorder:
         right.record_hyperrule("schema")
         left.merge(right)
         assert left.dispatch[("offered", "offer")] == 3
-        assert left.fired[("offered", "offer")] == {0, 1}
+        assert left.fire_set("offered", "offer") == {0, 1}
         assert left.hyperrules["schema"] == 2
 
     def test_merge_is_commutative(self):
@@ -91,6 +91,37 @@ class TestRecorder:
         recorder.record_explore({"states": 1})
         recorder.record_explore({"states": 99})
         assert recorder.explore == {"states": 1}
+
+
+class TestFireSetAPI:
+    def test_fire_sets_are_defensive_copies(self):
+        recorder = _sample_recorder()
+        fires = recorder.fire_set("offered", "offer")
+        assert fires == frozenset({0})
+        assert recorder.fire_sets()[("offered", "offer")] == fires
+        assert recorder.u_fire_set("enroll") == frozenset({5})
+        assert recorder.u_fire_sets()["enroll"] == frozenset({5})
+        # Mutating a returned mapping never touches the recorder.
+        recorder.fire_sets().clear()
+        assert recorder.fire_set("offered", "offer") == frozenset({0})
+
+    def test_unknown_pair_is_empty(self):
+        recorder = _sample_recorder()
+        assert recorder.fire_set("nope", "nothing") == frozenset()
+        assert recorder.u_fire_set("nothing") == frozenset()
+
+    def test_dict_access_is_deprecated(self):
+        import warnings
+
+        recorder = _sample_recorder()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            recorder.fired
+            recorder.fired_u
+        assert len(caught) == 2
+        assert all(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
 
 
 # ---------------------------------------------------------------------
@@ -153,10 +184,10 @@ class TestInstrumentation:
             result = framework.verify_pipeline(only=["completeness"])
         assert result.ok
         assert recorder.dispatch
-        assert recorder.fired
+        assert recorder.fire_sets()
         # Fired indices name actual Q-equations of the spec.
         spec = framework.algebraic
-        for indices in recorder.fired.values():
+        for indices in recorder.fire_sets().values():
             for index in indices:
                 assert spec.equations[index].is_q_equation
 

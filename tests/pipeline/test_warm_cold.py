@@ -112,6 +112,79 @@ class TestInvalidation:
         warm = _verify("courses", 1, ResultCache(tmp_path))
         assert str(warm) == str(cold)
 
+    def test_equation_edit_gets_delta_exploration(self, tmp_path):
+        """An equation edit re-verified against a warm cache re-uses
+        the stored edge artifact: only never-seen states are
+        re-explored, and the report is byte-identical to an uncached
+        run of the edited specification at every worker count."""
+        from repro.algebraic.equations import ConditionalEquation
+        from repro.algebraic.exploration import delta_counters
+        from repro.algebraic.spec import AlgebraicSpec
+        from repro.applications import bank as app
+        from repro.core.framework import DesignFramework
+
+        cache = ResultCache(tmp_path)
+        APPLICATIONS["bank"]().verify(cache=cache)
+        artifacts = [
+            path
+            for path in tmp_path.glob("explore-edges-*.json")
+        ]
+        assert len(artifacts) == 1
+
+        spec = app.bank_algebraic()
+        victim = spec.equations_for("open", "close_account")[0]
+        edited = ConditionalEquation(
+            victim.lhs,
+            spec.signature.true(),
+            victim.condition,
+            f"{victim.label}-edited",
+        )
+        equations = tuple(
+            edited if equation is victim else equation
+            for equation in spec.equations
+        )
+
+        def framework():
+            from repro.rpr.parser import parse_schema
+
+            algebraic = AlgebraicSpec(
+                spec.signature, equations, name=spec.name
+            )
+            source = app.bank_schema_source()
+            schema = parse_schema(source)
+            return DesignFramework(
+                information=app.bank_information(),
+                algebraic=algebraic,
+                schema=schema,
+                carriers=app.bank_carriers(),
+                schema_source=source,
+                interpretation=app.bank_interpretation(
+                    algebraic.signature
+                ),
+                representation=app.bank_representation_map(
+                    algebraic.signature, schema
+                ),
+                name="edited bank",
+            )
+
+        plain = framework().verify()
+        before = delta_counters()
+        warm_w1 = framework().verify(cache=cache)
+        after = delta_counters()
+        assert after["delta_runs"] == before["delta_runs"] + 1
+        reexplored = (
+            after["reexplored_states"] - before["reexplored_states"]
+        )
+        from repro.algebraic.algebra import TraceAlgebra
+
+        graph_size = len(
+            TraceAlgebra(framework().algebraic).explore().states
+        )
+        assert reexplored / graph_size < 0.2
+        assert str(warm_w1) == str(plain)
+        warm_w2 = framework().verify(cache=cache, workers=2)
+        assert str(warm_w2) == str(plain)
+
     def test_failing_checks_are_never_cached(self, tmp_path):
         from repro.algebraic.equations import ConditionalEquation
         from repro.algebraic.spec import AlgebraicSpec
@@ -146,6 +219,11 @@ class TestInvalidation:
         assert not report.ok
         for path in tmp_path.glob("*.json"):
             entry = json.loads(path.read_text(encoding="utf-8"))
+            if entry["kind"] == "artifact":
+                # Edge artifacts are not check results; they carry no
+                # report at all (and no witnesses: only value rows).
+                assert "report" not in entry
+                continue
             # Every stored result-bearing entry must be clean.
             if entry["kind"] is not None:
                 assert entry["report"] is not None, entry["node"]
