@@ -1,0 +1,113 @@
+"""E19 — the relational backend: SQL transactions and the oracle.
+
+Each benchmark drives the SQLite realization produced by
+:mod:`repro.relational` and records its batch size in ``extra_info``
+so throughput is recoverable as ``batch / mean`` from the
+pytest-benchmark JSON.  The acceptance floor — at least 2k guarded
+SQL transactions/s on the bank — is enforced by
+``check_relational_regression.py``; the point is not to race the
+in-memory closure runtime (three orders of magnitude faster) but to
+pin the lowering's constant factors so a quadratic slip in program
+shape or staging shows up immediately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import build_database
+from repro.relational.oracle import DifferentialOracle
+
+#: Transactions per measured batch (deposit/withdraw pairs stay
+#: admissible forever, like the runtime benchmarks).
+BATCH = 400
+
+
+@pytest.fixture(scope="module")
+def bank_db():
+    """A warmed bank realization (programs compiled, account open)."""
+    db = build_database("bank", with_guard=False)
+    db.apply("open_account", "a1")
+    db.apply("deposit", "a1")
+    db.apply("withdraw", "a1")
+    yield db
+    db.close()
+
+
+def bench_bank_sql_transactions(benchmark, bank_db):
+    """The gated number: guarded two-phase transactions on SQLite."""
+
+    def run():
+        apply = bank_db.apply
+        for _ in range(BATCH // 2):
+            apply("deposit", "a1")
+            apply("withdraw", "a1")
+
+    benchmark(run)
+    benchmark.extra_info["batch"] = BATCH
+    benchmark.extra_info["kind"] = "transactions"
+
+
+def bench_bank_sql_noops(benchmark, bank_db):
+    """Precondition-false updates: one guard query, no transaction."""
+
+    def run():
+        apply = bank_db.apply
+        for _ in range(BATCH):
+            apply("open_account", "a1")  # already open: no-op
+
+    benchmark(run)
+    benchmark.extra_info["batch"] = BATCH
+    benchmark.extra_info["kind"] = "noops"
+
+
+def bench_courses_sql_snapshot(benchmark):
+    """Full-state observation: every query table back into one
+    interned Snapshot (the oracle's per-step cost)."""
+    db = build_database("courses", with_guard=False)
+    try:
+        benchmark(db.snapshot)
+        benchmark.extra_info["kind"] = "snapshot"
+    finally:
+        db.close()
+
+
+def bench_courses_program_lowering(benchmark):
+    """Cold lowering: ground + compile every update instance of the
+    courses application to its SQL transaction program."""
+    from repro.algebraic.algebra import TraceAlgebra
+    from repro.relational.lowering import TransactionLowerer
+    from repro.runtime.apps import build_app
+
+    app = build_app("courses")
+    spec = app.framework.algebraic
+    instances = list(TraceAlgebra(spec).update_instances())
+
+    def run():
+        lowerer = TransactionLowerer(spec, app.descriptions)
+        for update, params in instances:
+            lowerer.lower(update, params)
+
+    benchmark(run)
+    benchmark.extra_info["batch"] = len(instances)
+    benchmark.extra_info["kind"] = "lowering"
+
+
+def bench_courses_oracle_replay(benchmark):
+    """One full differential run (both semantics, snapshot compare
+    at every step) over a fresh database per round."""
+    steps = 30
+
+    def run():
+        db = build_database("courses", with_guard=False)
+        try:
+            report = DifferentialOracle(db).run(
+                steps=steps, seed=1
+            )
+            assert report.passed
+        finally:
+            db.close()
+
+    benchmark(run)
+    benchmark.extra_info["batch"] = steps
+    benchmark.extra_info["kind"] = "oracle"

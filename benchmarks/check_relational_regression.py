@@ -1,0 +1,210 @@
+"""Gate the relational-backend benchmarks: absolute floor + regression.
+
+Usage::
+
+    python benchmarks/check_relational_regression.py BENCH_relational.json \
+        [--baseline benchmarks/relational_baseline.json] [--factor 2.0] \
+        [--min-throughput 2000]
+
+Two checks over a pytest-benchmark JSON emission of
+``bench_relational.py``:
+
+1. **Absolute floor** — ``bench_bank_sql_transactions`` must sustain
+   at least ``--min-throughput`` SQL transactions per second
+   (throughput is ``extra_info.batch / mean``).  The repo-acceptance
+   number is 2k guarded transactions/s on in-memory SQLite; CI
+   passes a lower floor to leave headroom for slow shared runners.
+2. **Relative regression** — every benchmark's mean must stay within
+   ``--factor`` of the committed baseline.  What this catches is a
+   quadratic slip in program shape (staging the whole table instead
+   of the delta, re-lowering per apply, ...), which shows up as far
+   more than 2x.
+
+Benchmarks present in only one of the two files are reported but do
+not fail, so adding a benchmark does not require regenerating the
+baseline in the same commit.
+
+Regenerate the baseline (after an intentional perf change) with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_relational.py \
+        -q --benchmark-json=BENCH_relational.json
+    python benchmarks/check_relational_regression.py \
+        BENCH_relational.json --write-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "relational_baseline.json"
+
+#: The benchmark the absolute throughput floor applies to.
+FLOOR_BENCHMARK = "bench_bank_sql_transactions"
+
+
+def _records(payload: dict) -> dict[str, dict]:
+    """Map benchmark name -> {mean, batch} from a pytest-benchmark
+    JSON document (or an already-reduced baseline file)."""
+    if "benchmarks" in payload:
+        return {
+            bench["name"]: {
+                "mean": bench["stats"]["mean"],
+                "batch": bench.get("extra_info", {}).get("batch"),
+            }
+            for bench in payload["benchmarks"]
+        }
+    return {
+        name: dict(record)
+        for name, record in payload["records"].items()
+    }
+
+
+def _throughput(record: dict) -> float | None:
+    batch = record.get("batch")
+    if not batch or not record["mean"]:
+        return None
+    return batch / record["mean"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("run", help="pytest-benchmark JSON of the run")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help=(
+            "baseline file (default: "
+            "benchmarks/relational_baseline.json)"
+        ),
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="fail when run mean > factor * baseline mean (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-throughput",
+        type=float,
+        default=2_000.0,
+        help=(
+            f"absolute floor in transactions/s for {FLOOR_BENCHMARK} "
+            "(default 2000)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the run's records to the baseline file and exit",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.run, encoding="utf-8") as handle:
+        run_records = _records(json.load(handle))
+    if not run_records:
+        print("no benchmarks in the run file", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        payload = {
+            "note": (
+                "mean seconds and batch size per relational "
+                "benchmark; regenerate with "
+                "check_relational_regression.py --write-baseline"
+            ),
+            "records": {
+                name: {
+                    "mean": round(record["mean"], 9),
+                    "batch": record["batch"],
+                }
+                for name, record in sorted(run_records.items())
+            },
+        }
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(
+            f"wrote {len(run_records)} baseline records to "
+            f"{args.baseline}"
+        )
+        return 0
+
+    failures: list[str] = []
+
+    floor_record = run_records.get(FLOOR_BENCHMARK)
+    if floor_record is None:
+        failures.append(f"{FLOOR_BENCHMARK} missing from the run")
+    else:
+        throughput = _throughput(floor_record)
+        if throughput is None:
+            failures.append(
+                f"{FLOOR_BENCHMARK} carries no batch extra_info"
+            )
+        else:
+            verdict = (
+                "FAIL" if throughput < args.min_throughput else "ok"
+            )
+            print(
+                f"  [{verdict:>4}] {FLOOR_BENCHMARK}: "
+                f"{throughput / 1000:.1f}k transactions/s "
+                f"(floor {args.min_throughput / 1000:.1f}k)"
+            )
+            if throughput < args.min_throughput:
+                failures.append(
+                    f"{FLOOR_BENCHMARK}: {throughput:.0f} "
+                    f"transactions/s below the "
+                    f"{args.min_throughput:.0f} floor"
+                )
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        base_records = _records(json.load(handle))
+
+    for name in sorted(run_records):
+        record = run_records[name]
+        base = base_records.get(name)
+        if base is None:
+            print(
+                f"  [new]  {name}: {record['mean'] * 1e3:.2f}ms "
+                "(no baseline)"
+            )
+            continue
+        ratio = (
+            record["mean"] / base["mean"]
+            if base["mean"]
+            else float("inf")
+        )
+        verdict = "FAIL" if ratio > args.factor else "ok"
+        throughput = _throughput(record)
+        rate = (
+            f", {throughput / 1000:.1f}k/s"
+            if throughput is not None
+            else ""
+        )
+        print(
+            f"  [{verdict:>4}] {name}: {record['mean'] * 1e3:.2f}ms "
+            f"vs baseline {base['mean'] * 1e3:.2f}ms "
+            f"({ratio:.2f}x{rate})"
+        )
+        if ratio > args.factor:
+            failures.append(f"{name}: {ratio:.2f}x the baseline mean")
+    for name in sorted(set(base_records) - set(run_records)):
+        print(f"  [gone] {name}: in baseline but not in this run")
+
+    if failures:
+        print(
+            f"{len(failures)} relational gate failure(s):",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("relational benchmarks within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

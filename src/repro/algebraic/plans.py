@@ -22,6 +22,16 @@ an unconditional entry and writes nothing (pure frame cells) are
 pruned; cells with an unsealed dispatch are kept even when they never
 write, so the incompleteness error of the trace semantics is
 preserved.
+
+Grounding and closure compilation are two separate stages.
+:meth:`UpdatePlanner.ground` produces a :class:`SymbolicPlan` whose
+dispatch entries keep the grounded *formulas and terms* (each paired
+with its grounding environment and the compiled closure), so plan
+consumers that target a representation other than Python closures —
+the spec→relational compiler in :mod:`repro.relational` lowers the
+same entries to SQL — share one grounding semantics with the serving
+runtime and the packed explorer.  :meth:`UpdatePlanner.compile` is now
+a thin projection of the symbolic plan onto its closures.
 """
 
 from __future__ import annotations
@@ -44,9 +54,87 @@ from repro.logic import formulas as fm
 from repro.logic.sorts import STATE
 from repro.logic.terms import App, Term, Var
 
-__all__ = ["UpdatePlan", "UpdatePlanner"]
+__all__ = [
+    "GroundEntry",
+    "GroundExpr",
+    "SymbolicPlan",
+    "UpdatePlan",
+    "UpdatePlanner",
+]
 
 Value = Hashable
+
+#: A grounding environment, as a sorted tuple of ``(variable, value)``
+#: pairs (hashable so symbolic plans stay frozen).
+Env = tuple[tuple[Var, str], ...]
+
+
+def _freeze_env(env: dict[Var, str]) -> Env:
+    return tuple(sorted(env.items(), key=lambda item: item[0].name))
+
+
+@dataclass(frozen=True)
+class GroundExpr:
+    """A grounded formula or term with its compiled closure.
+
+    Attributes:
+        node: the original L2 formula (conditions, preconditions) or
+            term (right-hand sides) — ground under ``env``.
+        env: values for every non-state free variable of ``node``.
+        closure: the compiled evaluation closure over a cell reader.
+        reads: the store cells the closure may touch.
+    """
+
+    node: object
+    env: Env
+    closure: Callable[[Getter], Value]
+    reads: frozenset[Cell] = frozenset()
+
+
+@dataclass(frozen=True)
+class GroundEntry:
+    """One symbolic dispatch entry of a candidate write cell.
+
+    Attributes:
+        condition: the grounded firing condition; ``None`` means
+            unconditional (no condition, or one that constant-folded
+            to True at grounding time — statically-False conditions
+            are dropped entirely).
+        rhs: the grounded right-hand side; ``None`` marks an identity
+            (frame/otherwise) entry that writes nothing.
+        index: the equation's index in ``spec.equations``.
+    """
+
+    condition: GroundExpr | None
+    rhs: GroundExpr | None
+    index: int
+
+
+@dataclass(frozen=True)
+class SymbolicPlan:
+    """The grounded (but representation-independent) form of one
+    update instance: what :class:`UpdatePlan` compiles to closures and
+    :mod:`repro.relational.lowering` compiles to SQL.
+
+    Attributes:
+        update: the update function's name.
+        params: its ground parameter values.
+        actions: per candidate write cell, the ordered symbolic
+            dispatch entries (declaration order, trimmed and sealed
+            exactly like the closure plan).
+        precondition: the grounded admission predicate from the
+            update's structured description, or ``None``.
+    """
+
+    update: str
+    params: tuple[str, ...]
+    actions: tuple[tuple[Cell, tuple[GroundEntry, ...]], ...]
+    precondition: GroundExpr | None = None
+
+    @property
+    def candidate_cells(self) -> tuple[Cell, ...]:
+        """The cells this plan may write (superset of any delta)."""
+        return tuple(cell for cell, _ in self.actions)
 
 
 @dataclass(frozen=True)
@@ -183,6 +271,22 @@ class UpdatePlanner:
     # ------------------------------------------------------------------
     # compilation
     # ------------------------------------------------------------------
+    def ground(
+        self, update: str, params: tuple[str, ...]
+    ) -> SymbolicPlan:
+        """Ground one update instance into a :class:`SymbolicPlan`.
+
+        Raises:
+            UnsupportedTermError: the equations fall outside the
+                canonical fragment (:meth:`compile` catches this and
+                returns a ``fallback`` plan instead).
+        """
+        params = tuple(params)
+        self.check_params(update, params)
+        precondition = self._ground_precondition(update, params)
+        actions = self._ground_actions(update, params)
+        return SymbolicPlan(update, params, actions, precondition)
+
     def compile(
         self, update: str, params: tuple[str, ...]
     ) -> UpdatePlan:
@@ -190,11 +294,12 @@ class UpdatePlanner:
         ``fallback`` flag marks non-canonical equation sets)."""
         params = tuple(params)
         self.check_params(update, params)
-        precondition, pre_reads, pre_text = self._compile_precondition(
-            update, params
-        )
+        pre = self._ground_precondition(update, params)
+        precondition = pre.closure if pre is not None else None
+        pre_reads = pre.reads if pre is not None else frozenset()
+        pre_text = str(pre.node) if pre is not None else ""
         try:
-            actions = self._compile_actions(update, params)
+            symbolic = self._ground_actions(update, params)
         except UnsupportedTermError:
             return UpdatePlan(
                 update,
@@ -205,6 +310,24 @@ class UpdatePlanner:
                 pre_text,
                 fallback=True,
             )
+        actions = tuple(
+            (
+                cell,
+                tuple(
+                    (
+                        entry.condition.closure
+                        if entry.condition is not None
+                        else None,
+                        entry.rhs.closure
+                        if entry.rhs is not None
+                        else None,
+                        entry.index,
+                    )
+                    for entry in entries
+                ),
+            )
+            for cell, entries in symbolic
+        )
         return UpdatePlan(
             update, params, actions, precondition, pre_reads, pre_text
         )
@@ -236,23 +359,25 @@ class UpdatePlanner:
             equals_hook=self._equals_hook,
         )
 
-    def _compile_precondition(
+    def _ground_precondition(
         self, update: str, params: tuple[str, ...]
-    ):
+    ) -> GroundExpr | None:
         description = self._descriptions.get(update)
         if description is None or description.precondition is None:
-            return None, frozenset(), ""
+            return None
         env = dict(zip(description.params, params))
         closure, reads = self._compile_condition(
             description.precondition, env
         )
-        return closure, reads, str(description.precondition)
+        return GroundExpr(
+            description.precondition, _freeze_env(env), closure, reads
+        )
 
-    def _compile_actions(self, update: str, params: tuple[str, ...]):
+    def _ground_actions(self, update: str, params: tuple[str, ...]):
         """Ground every Q-equation of ``update`` at ``params`` into the
-        per-cell dispatch lists."""
+        per-cell symbolic dispatch lists."""
         signature = self.signature
-        per_cell: dict[Cell, list] = {}
+        per_cell: dict[Cell, list[GroundEntry]] = {}
         for query_symbol in signature.queries:
             equations = self.spec.equations_for(
                 query_symbol.name, update
@@ -271,14 +396,14 @@ class UpdatePlanner:
             live = []
             for entry in entries:
                 live.append(entry)
-                if entry[0] is None:
+                if entry.condition is None:
                     break  # later entries are dead
             # Prune pure frame cells — but only when the dispatch is
             # sealed by an unconditional entry: an unsealed identity
             # cell can still fail to fire, and that incompleteness
             # must surface exactly like the trace semantics.
-            writes = any(rhs is not None for _, rhs, _ in live)
-            sealed = live and live[-1][0] is None
+            writes = any(entry.rhs is not None for entry in live)
+            sealed = live and live[-1].condition is None
             if writes or not sealed:
                 actions.append((cell, tuple(live)))
         return tuple(actions)
@@ -287,7 +412,7 @@ class UpdatePlanner:
         self,
         equation,
         params: tuple[str, ...],
-        per_cell: dict[Cell, list],
+        per_cell: dict[Cell, list[GroundEntry]],
     ) -> None:
         lhs = equation.lhs
         if not isinstance(lhs, App):
@@ -340,7 +465,7 @@ class UpdatePlanner:
             )
             cell: Cell = (query_name, values)
             entries = per_cell.setdefault(cell, [])
-            if entries and entries[-1][0] is None:
+            if entries and entries[-1].condition is None:
                 continue  # dispatch already sealed by an
                 # unconditional entry
             condition = None
@@ -353,11 +478,22 @@ class UpdatePlanner:
                         continue  # statically never fires here
                     # statically always fires: unconditional entry
                 else:
-                    condition = closure
+                    condition = GroundExpr(
+                        equation.condition,
+                        _freeze_env(env),
+                        closure,
+                        reads,
+                    )
             if identity:
                 rhs = None
             else:
-                rhs, _ = compile_ground_term(
+                rhs_closure, rhs_reads = compile_ground_term(
                     equation.rhs, env, self.signature
                 )
-            entries.append((condition, rhs, eq_index))
+                rhs = GroundExpr(
+                    equation.rhs,
+                    _freeze_env(env),
+                    rhs_closure,
+                    rhs_reads,
+                )
+            entries.append(GroundEntry(condition, rhs, eq_index))

@@ -243,6 +243,13 @@ class AlgebraicSignature:
         function, or ``None``."""
         return self._interpreted.get(name)
 
+    @property
+    def interpreted_functions(self) -> tuple[str, ...]:
+        """Names of the declared interpreted parameter functions (the
+        relational compiler materializes each as a stored function
+        table over its finite argument domains)."""
+        return tuple(self._interpreted)
+
     def domain(self, sort: Sort) -> tuple[str, ...]:
         """The declared parameter names (values) of a parameter sort."""
         try:

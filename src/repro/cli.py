@@ -544,6 +544,83 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_compile_sql(args: argparse.Namespace) -> int:
+    """The ``repro compile-sql`` subcommand: emit the relational
+    realization (DDL, initial state, stored guard tables, transaction
+    programs) of one application as portable SQL text."""
+    from repro.errors import RelationalError
+    from repro.relational import build_database
+    from repro.runtime.apps import available_applications
+
+    if args.application not in available_applications():
+        print(f"unknown application {args.application!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+    try:
+        database = build_database(
+            args.application, with_guard=not args.no_guards
+        )
+        try:
+            script = database.compile_sql_script(
+                include_programs=not args.schema_only
+            )
+        finally:
+            database.close()
+    except RelationalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output is None or args.output == "-":
+        print(script, end="")
+        return 0
+    return 0 if _write_text_output(
+        args.output, script, "SQL script"
+    ) else 2
+
+
+def _cmd_diff_oracle(args: argparse.Namespace) -> int:
+    """The ``repro diff-oracle`` subcommand: replay a seeded random
+    trace through the rewrite semantics and the SQL backend and
+    require identical query answers at every step."""
+    import json
+
+    from repro.errors import RelationalError
+    from repro.relational import run_oracle
+    from repro.runtime.apps import available_applications
+
+    known = available_applications()
+    names = (
+        list(known) if args.application == "all"
+        else [args.application]
+    )
+    for name in names:
+        if name not in known:
+            print(f"unknown application {name!r}; try 'list'",
+                  file=sys.stderr)
+            return 2
+    failed = False
+    for name in names:
+        try:
+            report = run_oracle(
+                name, steps=args.steps, seed=args.seed
+            )
+        except RelationalError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(report.to_dict()))
+        else:
+            verdict = "PASS" if report.passed else "FAIL"
+            print(
+                f"{name}: {verdict} ({report.steps} steps, "
+                f"{report.applied} applied, {report.noops} no-ops, "
+                f"backend {report.backend})"
+            )
+            for divergence in report.divergences:
+                print(f"  {divergence}")
+        failed = failed or not report.passed
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -759,6 +836,64 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the chosen port to PATH once bound",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    compile_sql = subparsers.add_parser(
+        "compile-sql",
+        help=(
+            "compile an application's specification to its "
+            "relational realization (schema DDL + transaction "
+            "programs) as portable SQL text"
+        ),
+    )
+    compile_sql.add_argument(
+        "application",
+        help=f"one of {', '.join(APPLICATIONS)}",
+    )
+    compile_sql.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the SQL script to PATH ('-' = stdout, default)",
+    )
+    compile_sql.add_argument(
+        "--schema-only", action="store_true",
+        help=(
+            "emit only the schema and initial state, not the "
+            "per-instance transaction programs"
+        ),
+    )
+    compile_sql.add_argument(
+        "--no-guards", action="store_true",
+        help=(
+            "skip the stored admission decision tables and their "
+            "audit queries"
+        ),
+    )
+    compile_sql.set_defaults(handler=_cmd_compile_sql)
+
+    diff_oracle = subparsers.add_parser(
+        "diff-oracle",
+        help=(
+            "replay a random trace through the rewrite semantics "
+            "and the SQLite backend, requiring identical query "
+            "answers at every step"
+        ),
+    )
+    diff_oracle.add_argument(
+        "application",
+        help=f"one of {', '.join(APPLICATIONS)} or 'all'",
+    )
+    diff_oracle.add_argument(
+        "--steps", type=int, default=60, metavar="N",
+        help="trace length per application (default 60)",
+    )
+    diff_oracle.add_argument(
+        "--seed", type=int, default=0,
+        help="random seed for the trace generator",
+    )
+    diff_oracle.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON report line per application",
+    )
+    diff_oracle.set_defaults(handler=_cmd_diff_oracle)
 
     args = parser.parse_args(argv)
     return args.handler(args)

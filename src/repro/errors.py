@@ -71,6 +71,12 @@ class ServingError(ReproError):
     inconsistent configuration (unknown application, bad cell, ...)."""
 
 
+class RelationalError(ReproError):
+    """The spec→relational compiler could not lower a specification
+    (outside the canonical fragment), or a relational backend failed
+    while executing a lowered program."""
+
+
 class JournalError(ServingError):
     """The write-ahead journal is unusable (unwritable directory,
     corrupt snapshot, ...); corrupt *tail* entries are recovered past,

@@ -1,0 +1,56 @@
+"""Spec→relational compiler: level 3 on a real SQL engine.
+
+The paper's third level realizes a specification as relational
+schemas plus transaction programs.  This package compiles a verified
+algebraic specification (with its structured descriptions and
+admission guards) down to exactly that:
+
+* :mod:`~repro.relational.schema` — observation queries, carriers,
+  interpreted functions and staging space as tables with key, domain
+  and CHECK constraints;
+* :mod:`~repro.relational.sqlgen` — ground L2 terms and formulas as
+  SQL scalar expressions (the closure compiler's SQL twin);
+* :mod:`~repro.relational.lowering` — ground update instances as
+  two-phase transaction programs, §4.4 preconditions as guard
+  queries, admission decision tables as stored relations with audit
+  queries;
+* :mod:`~repro.relational.backend` / :mod:`~repro.relational.sqlite`
+  — the abstract engine surface and its SQLite implementation;
+* :mod:`~repro.relational.oracle` — the differential harness
+  checking, step by step, that the SQL realization answers every
+  observation exactly like the rewrite semantics.
+"""
+
+from repro.relational.backend import (
+    Backend,
+    RelationalDatabase,
+    build_database,
+)
+from repro.relational.lowering import (
+    GuardLowering,
+    TransactionLowerer,
+    TransactionProgram,
+)
+from repro.relational.oracle import (
+    DifferentialOracle,
+    Divergence,
+    OracleReport,
+    run_oracle,
+)
+from repro.relational.schema import RelationalSchema
+from repro.relational.sqlite import SQLiteBackend
+
+__all__ = [
+    "Backend",
+    "DifferentialOracle",
+    "Divergence",
+    "GuardLowering",
+    "OracleReport",
+    "RelationalDatabase",
+    "RelationalSchema",
+    "SQLiteBackend",
+    "TransactionLowerer",
+    "TransactionProgram",
+    "build_database",
+    "run_oracle",
+]

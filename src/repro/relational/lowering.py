@@ -1,0 +1,476 @@
+"""Update instances and admission guards lowered to SQL programs.
+
+Each ground update instance becomes a **two-phase transaction
+program** over the schema of :mod:`repro.relational.schema`:
+
+1. *Guard* — the structured description's §4.4 precondition, lowered
+   to one scalar query evaluated against the pre-state.  False means
+   the update is a no-op (exactly the trace semantics, where a failing
+   precondition leaves the trace unchanged).
+2. *Stage* — one ``INSERT`` per candidate write cell computes the
+   post-state value into the query's ``_stage_`` table as a ``CASE``
+   over the cell's dispatch entries (first matching condition fires,
+   like the rewrite engine).  Every stage statement reads only the
+   live tables, so all reads see the pre-state — the relational twin
+   of the simultaneous-assignment reading the closure plans get from
+   :meth:`~repro.runtime.state.MaterializedState.compute_writes`.
+3. *Check* — an unsealed dispatch (no unconditional final entry) may
+   stage SQL ``NULL``; a count of staged NULLs turns into
+   :class:`~repro.errors.IncompletenessError`, preserving the
+   sufficient-completeness failure of the trace semantics.
+4. *Apply + clean* — each staged table is merged into its live table
+   and emptied, all inside one transaction.
+
+The programs come from the **same symbolic plans**
+(:class:`~repro.algebraic.plans.SymbolicPlan`) the serving runtime
+compiles to closures, so the two realizations cannot drift at the
+grounding stage — only the expression lowering differs, and the
+differential oracle (:mod:`repro.relational.oracle`) checks that.
+
+:class:`GuardLowering` translates the admission guard's decision
+tables (:class:`~repro.runtime.guards.AdmissionGuard`) into stored
+membership tables plus audit queries — the level-1 constraints as
+data, queryable in the backend itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RelationalError
+from repro.algebraic.compiler import UnsupportedTermError
+from repro.algebraic.description import StructuredDescription
+from repro.algebraic.plans import GroundExpr, SymbolicPlan, UpdatePlanner
+from repro.algebraic.spec import AlgebraicSpec
+from repro.relational.schema import RelationalSchema
+from repro.relational.sqlgen import (
+    lower_formula,
+    lower_term,
+    quote_identifier,
+    quote_literal,
+)
+
+__all__ = ["GuardLowering", "TransactionLowerer", "TransactionProgram"]
+
+
+@dataclass(frozen=True)
+class TransactionProgram:
+    """The lowered SQL program of one ground update instance.
+
+    Attributes:
+        update: the update function's name.
+        params: its ground parameter values.
+        precondition_sql: the §4.4 guard as a scalar ``SELECT``
+            returning 1 (admit) or 0 (no-op), or ``None`` when the
+            update has no precondition.
+        precondition_text: the precondition formula, printed (for
+            rejection reporting).
+        stages: ``(query, INSERT statement)`` pairs staging each
+            written query's post-state rows against the pre-state.
+        checks: ``(query, SELECT statement)`` pairs counting staged
+            NULLs — a non-zero count is a sufficient-completeness
+            failure.
+        applies: the ``UPDATE ... FROM stage`` merge statements.
+        cleanups: the ``DELETE FROM stage`` statements.
+        cells: the candidate write cells (for guard re-checking and
+            delta reporting).
+    """
+
+    update: str
+    params: tuple[str, ...]
+    precondition_sql: str | None
+    precondition_text: str
+    stages: tuple[tuple[str, str], ...]
+    checks: tuple[tuple[str, str], ...]
+    applies: tuple[str, ...]
+    cleanups: tuple[str, ...]
+    cells: tuple
+
+    def script(self) -> str:
+        """The whole program as annotated SQL text (what
+        ``repro compile-sql`` prints)."""
+        name = f"{self.update}({', '.join(self.params)})"
+        lines = [f"-- transaction program: {name}"]
+        if self.precondition_sql is not None:
+            lines.append(
+                f"-- guard (precondition: {self.precondition_text});"
+                " 0 means no-op"
+            )
+            lines.append(self.precondition_sql + ";")
+        lines.append("BEGIN;")
+        for query, statement in self.stages:
+            lines.append(f"-- stage {query} against the pre-state")
+            lines.append(statement + ";")
+        for query, statement in self.checks:
+            lines.append(
+                f"-- completeness check for {query}; a non-zero "
+                "count aborts (IncompletenessError)"
+            )
+            lines.append(statement + ";")
+        for statement in self.applies:
+            lines.append(statement + ";")
+        for statement in self.cleanups:
+            lines.append(statement + ";")
+        lines.append("COMMIT;")
+        return "\n".join(lines)
+
+
+class TransactionLowerer:
+    """Compiles ground update instances to SQL transaction programs.
+
+    Args:
+        spec: the algebraic specification (shared with the serving
+            runtime's planner — one grounding semantics).
+        descriptions: the structured descriptions whose preconditions
+            become pre-transaction guard queries; ``None`` lowers
+            guard-free programs (raw trace semantics).
+
+    The expression hooks :meth:`condition_sql` and :meth:`rhs_sql`
+    are the seams the differential oracle's deliberately-wrong
+    fixture overrides — everything else stays identical, proving the
+    oracle detects a lowering bug rather than a harness artifact.
+    """
+
+    def __init__(
+        self,
+        spec: AlgebraicSpec,
+        descriptions: list[StructuredDescription] | None = None,
+    ):
+        self.spec = spec
+        self.schema = RelationalSchema(spec)
+        self.planner = UpdatePlanner(spec, descriptions)
+
+    # ------------------------------------------------------------------
+    # expression hooks (overridable seams)
+    # ------------------------------------------------------------------
+    def condition_sql(self, condition: GroundExpr) -> str:
+        """A dispatch entry's firing condition as a SQL Boolean."""
+        sql, _reads = lower_formula(
+            condition.node, dict(condition.env), self.schema
+        )
+        return sql
+
+    def rhs_sql(self, rhs: GroundExpr) -> str:
+        """A dispatch entry's right-hand side as a SQL scalar."""
+        sql, _reads = lower_term(
+            rhs.node, dict(rhs.env), self.schema
+        )
+        return sql
+
+    def precondition_sql(self, precondition: GroundExpr) -> str:
+        """The §4.4 admission guard as a 0/1 scalar query."""
+        sql, _reads = lower_formula(
+            precondition.node, dict(precondition.env), self.schema
+        )
+        return f"SELECT CASE WHEN {sql} THEN 1 ELSE 0 END"
+
+    # ------------------------------------------------------------------
+    # lowering
+    # ------------------------------------------------------------------
+    def lower(
+        self, update: str, params: tuple[str, ...]
+    ) -> TransactionProgram:
+        """Lower one ground update instance.
+
+        Raises:
+            RelationalError: the instance's equations fall outside the
+                canonical fragment (the closure runtime would fall
+                back to the rewrite engine; SQL has no such escape
+                hatch).
+        """
+        try:
+            plan = self.planner.ground(update, tuple(params))
+        except UnsupportedTermError as exc:
+            raise RelationalError(
+                f"cannot lower {update}{tuple(params)} to SQL: {exc}"
+            ) from exc
+        return self.lower_plan(plan)
+
+    def lower_plan(self, plan: SymbolicPlan) -> TransactionProgram:
+        """Lower an already-grounded symbolic plan."""
+        try:
+            return self._lower_plan(plan)
+        except UnsupportedTermError as exc:
+            raise RelationalError(
+                f"cannot lower {plan.update}{plan.params} to SQL: "
+                f"{exc}"
+            ) from exc
+
+    def _lower_plan(self, plan: SymbolicPlan) -> TransactionProgram:
+        precondition_sql = None
+        precondition_text = ""
+        if plan.precondition is not None:
+            precondition_sql = self.precondition_sql(plan.precondition)
+            precondition_text = str(plan.precondition.node)
+
+        # One staged row per candidate cell; every CASE reads only
+        # live tables, so all reads see the pre-state.
+        stages: list[tuple[str, str]] = []
+        unsealed: set[str] = set()
+        staged_queries: list[str] = []
+        for cell, entries in plan.actions:
+            query, values = cell
+            if query not in staged_queries:
+                staged_queries.append(query)
+            dispatch, sealed = self._dispatch_sql(cell, entries)
+            if not sealed:
+                unsealed.add(query)
+            table = self.schema.stage_table_for(query)
+            key_columns = self.schema.key_columns(query)
+            columns = ", ".join(
+                quote_identifier(c)
+                for c in (*key_columns, "value")
+            )
+            row = [quote_literal(v) for v in values] + [dispatch]
+            stages.append(
+                (
+                    query,
+                    f"INSERT INTO {quote_identifier(table)} "
+                    f"({columns}) VALUES ({', '.join(row)})",
+                )
+            )
+
+        checks = tuple(
+            (
+                query,
+                "SELECT COUNT(*) FROM "
+                + quote_identifier(self.schema.stage_table_for(query))
+                + " WHERE value IS NULL",
+            )
+            for query in staged_queries
+            if query in unsealed
+        )
+        applies = tuple(
+            self._apply_sql(query) for query in staged_queries
+        )
+        cleanups = tuple(
+            "DELETE FROM "
+            + quote_identifier(self.schema.stage_table_for(query))
+            for query in staged_queries
+        )
+        return TransactionProgram(
+            plan.update,
+            plan.params,
+            precondition_sql,
+            precondition_text,
+            tuple(stages),
+            checks,
+            applies,
+            cleanups,
+            plan.candidate_cells,
+        )
+
+    def _dispatch_sql(self, cell, entries) -> tuple[str, bool]:
+        """The staged value of one cell as a ``CASE`` over its
+        dispatch entries; returns ``(sql, sealed)``."""
+
+        def value_of(entry) -> str:
+            if entry.rhs is None:
+                # identity entry: keep the pre-state value
+                return self.schema.cell_subquery(cell)
+            return self.rhs_sql(entry.rhs)
+
+        sealed = bool(entries) and entries[-1].condition is None
+        if len(entries) == 1 and sealed:
+            return value_of(entries[0]), True
+        parts = ["CASE"]
+        for entry in entries:
+            if entry.condition is None:
+                parts.append(f"ELSE {value_of(entry)}")
+                break
+            parts.append(
+                f"WHEN {self.condition_sql(entry.condition)} "
+                f"THEN {value_of(entry)}"
+            )
+        if not sealed:
+            parts.append("ELSE NULL")
+        parts.append("END")
+        return " ".join(parts), sealed
+
+    def _apply_sql(self, query: str) -> str:
+        live = quote_identifier(query)
+        stage = quote_identifier(self.schema.stage_table_for(query))
+        keys = self.schema.key_columns(query)
+        match = " AND ".join(
+            f"s.{quote_identifier(k)} = {live}.{quote_identifier(k)}"
+            for k in keys
+        )
+        where = f" WHERE {match}" if match else ""
+        return (
+            f"UPDATE {live} SET value = "
+            f"(SELECT s.value FROM {stage} s{where}) "
+            f"WHERE EXISTS (SELECT 1 FROM {stage} s{where})"
+        )
+
+
+#: Prefixes of the lowered guard membership tables.
+STATIC_GUARD_PREFIX = "_guard_s"
+TRANSITION_GUARD_PREFIX = "_guard_t"
+
+
+class GuardLowering:
+    """Admission decision tables lowered to membership tables.
+
+    The guard's tabulation stage (:mod:`repro.runtime.guards`) already
+    turned every small read-set group of constraint instances into an
+    explicit set of allowed cell valuations.  Those sets are plain
+    finite relations, so the relational backend stores them: static
+    table *i* becomes ``_guard_s<i>`` with one row per allowed
+    valuation, transition table *j* becomes ``_guard_t<j>`` with one
+    row per allowed ``(before, after)`` pair.  An **audit query** per
+    table then checks the live state by membership — ``EXISTS`` over a
+    join of scalar subqueries — turning "the database is consistent"
+    into a query the backend itself can answer (transition tables are
+    audited on the identity step, the induction base the incremental
+    admission path relies on).
+
+    Groups whose valuation space exceeded the tabulation limit have no
+    stored relation; they are exposed via :attr:`fallback_static` /
+    :attr:`fallback_transition` and the backend checks them with the
+    original instance closures over a SQL-backed cell reader.
+
+    Args:
+        guard: the compiled admission guard.
+        schema: the relational schema naming the observation tables.
+    """
+
+    def __init__(self, guard, schema: RelationalSchema):
+        self.guard = guard
+        self.schema = schema
+        self.static_tables = tuple(
+            t for t in guard.static_tables if t.allowed is not None
+        )
+        self.transition_tables = tuple(
+            t
+            for t in guard.transition_tables
+            if t.allowed is not None
+        )
+        self.fallback_static = tuple(
+            t for t in guard.static_tables if t.allowed is None
+        )
+        self.fallback_transition = tuple(
+            t
+            for t in guard.transition_tables
+            if t.allowed is None
+        )
+
+    def _column(self, prefix: str, index: int, cell) -> str:
+        affinity = (
+            "INTEGER" if self.schema.is_boolean(cell[0]) else "TEXT"
+        )
+        return (
+            f"{quote_identifier(f'{prefix}{index}')} {affinity} "
+            "NOT NULL"
+        )
+
+    def _encode(self, cell, value) -> str:
+        encoded = self.schema.encode(cell[0], value)
+        if isinstance(encoded, int):
+            return str(encoded)
+        return quote_literal(encoded)
+
+    def ddl(self) -> tuple[str, ...]:
+        """``CREATE TABLE`` statements for the stored decision
+        tables."""
+        statements: list[str] = []
+        for i, table in enumerate(self.static_tables):
+            columns = ",\n".join(
+                "  " + self._column("c", j, cell)
+                for j, cell in enumerate(table.cells)
+            )
+            name = quote_identifier(STATIC_GUARD_PREFIX + str(i))
+            statements.append(
+                f"-- static decision table {i}: allowed valuations "
+                f"of {len(table.cells)} cell(s)\n"
+                f"CREATE TABLE {name} (\n{columns}\n)"
+            )
+        for i, table in enumerate(self.transition_tables):
+            columns = ",\n".join(
+                ["  " + self._column("b", j, cell)
+                 for j, cell in enumerate(table.cells)]
+                + ["  " + self._column("a", j, cell)
+                   for j, cell in enumerate(table.cells)]
+            )
+            name = quote_identifier(
+                TRANSITION_GUARD_PREFIX + str(i)
+            )
+            statements.append(
+                f"-- transition decision table {i}: allowed "
+                f"(before, after) pairs over {len(table.cells)} "
+                "cell(s)\n"
+                f"CREATE TABLE {name} (\n{columns}\n)"
+            )
+        return tuple(statements)
+
+    def seed_sql(self) -> tuple[str, ...]:
+        """``INSERT`` statements storing the allowed valuations."""
+        statements: list[str] = []
+        for i, table in enumerate(self.static_tables):
+            name = quote_identifier(STATIC_GUARD_PREFIX + str(i))
+            for values in sorted(table.allowed, key=repr):
+                row = ", ".join(
+                    self._encode(cell, value)
+                    for cell, value in zip(table.cells, values)
+                )
+                statements.append(
+                    f"INSERT INTO {name} VALUES ({row})"
+                )
+        for i, table in enumerate(self.transition_tables):
+            name = quote_identifier(
+                TRANSITION_GUARD_PREFIX + str(i)
+            )
+            for before, after in sorted(table.allowed, key=repr):
+                row = ", ".join(
+                    [
+                        self._encode(cell, value)
+                        for cell, value in zip(table.cells, before)
+                    ]
+                    + [
+                        self._encode(cell, value)
+                        for cell, value in zip(table.cells, after)
+                    ]
+                )
+                statements.append(
+                    f"INSERT INTO {name} VALUES ({row})"
+                )
+        return tuple(statements)
+
+    def audit_queries(self) -> tuple[tuple[str, int, str], ...]:
+        """``(kind, index, sql)`` triples; each scalar query returns
+        1 when the live state satisfies the stored table (transition
+        tables audited on the identity step)."""
+        audits: list[tuple[str, int, str]] = []
+        for i, table in enumerate(self.static_tables):
+            name = quote_identifier(STATIC_GUARD_PREFIX + str(i))
+            match = " AND ".join(
+                f"g.{quote_identifier(f'c{j}')} = "
+                + self.schema.cell_subquery(cell)
+                for j, cell in enumerate(table.cells)
+            )
+            audits.append(
+                (
+                    "static",
+                    i,
+                    "SELECT CASE WHEN EXISTS (SELECT 1 FROM "
+                    f"{name} g WHERE {match}) THEN 1 ELSE 0 END",
+                )
+            )
+        for i, table in enumerate(self.transition_tables):
+            name = quote_identifier(
+                TRANSITION_GUARD_PREFIX + str(i)
+            )
+            match = " AND ".join(
+                f"g.{quote_identifier(f'{half}{j}')} = "
+                + self.schema.cell_subquery(cell)
+                for half in ("b", "a")
+                for j, cell in enumerate(table.cells)
+            )
+            audits.append(
+                (
+                    "transition",
+                    i,
+                    "SELECT CASE WHEN EXISTS (SELECT 1 FROM "
+                    f"{name} g WHERE {match}) THEN 1 ELSE 0 END",
+                )
+            )
+        return tuple(audits)

@@ -1,0 +1,269 @@
+"""Ground L2 terms and formulas lowered to SQL scalar expressions.
+
+This is the SQL twin of :mod:`repro.algebraic.compiler`: the same
+canonical fragment, the same grounding environments, but the target
+representation is a SQL expression over the relational schema of
+:mod:`repro.relational.schema` instead of a Python closure over a cell
+reader.  The correspondence is exact:
+
+=====================================  ==============================
+closure compiler                       SQL lowering
+=====================================  ==============================
+``get((query, values))``               scalar subquery on the query's
+                                       table, ``WHERE`` pinned to the
+                                       ground parameter values
+Boolean constants ``True``/``False``   the integers ``1``/``0``
+connectives / equality tests           ``AND``/``OR``/``NOT``/``=``
+interpreted parameter functions        scalar subquery on the stored
+                                       function table (the shipped
+                                       bank realizes arithmetic as a
+                                       stored ``NEXT`` relation — the
+                                       lowering generalizes exactly
+                                       that move)
+quantifiers                            unrolled over the finite
+                                       parameter domains into
+                                       ``AND``/``OR`` chains
+=====================================  ==============================
+
+Because every query table is total (one row per ground cell, value
+column ``NOT NULL``), the scalar subqueries can never produce SQL
+``NULL``, so three-valued logic never diverges from the two-valued
+closure semantics.
+
+Anything outside the fragment raises
+:class:`~repro.algebraic.compiler.UnsupportedTermError`, exactly like
+the closure compiler — callers translate it into a
+:class:`~repro.errors.RelationalError`.
+"""
+
+from __future__ import annotations
+
+from repro.algebraic.compiler import (
+    Cell,
+    DomainOf,
+    UnsupportedTermError,
+    compile_ground_term,
+)
+from repro.algebraic.signature import AlgebraicSignature
+from repro.logic import formulas as fm
+from repro.logic.sorts import BOOLEAN, STATE
+from repro.logic.terms import App, Term, Var
+
+__all__ = [
+    "lower_formula",
+    "lower_term",
+    "quote_identifier",
+    "quote_literal",
+]
+
+
+def quote_identifier(name: str) -> str:
+    """Quote a SQL identifier (doubling embedded double quotes)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def quote_literal(value: str) -> str:
+    """Quote a SQL text literal (doubling embedded single quotes)."""
+    return "'" + value.replace("'", "''") + "'"
+
+
+def _encode_value(value) -> str:
+    """A Python carrier value as a SQL literal: booleans become the
+    integers the value columns store, strings become text literals."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return quote_literal(str(value))
+
+
+def lower_term(
+    term: Term,
+    env: dict[Var, str],
+    schema,
+) -> tuple[str, frozenset[Cell]]:
+    """Lower a ground-under-``env`` L2 term to a SQL expression.
+
+    Args:
+        term: a term of parameter or Boolean sort, in the canonical
+            fragment (query applications at the bare pre-state
+            variable, read-free query arguments).
+        env: values for every non-state free variable of ``term``.
+        schema: the :class:`~repro.relational.schema.RelationalSchema`
+            naming the tables the expression reads.
+
+    Returns:
+        ``(sql, reads)`` — the scalar SQL expression (Boolean-sorted
+        terms evaluate to the integers 0/1) and the cells it reads.
+
+    Raises:
+        UnsupportedTermError: outside the canonical fragment.
+    """
+    sql, reads = _lower_term(term, env, schema)
+    return sql, frozenset(reads)
+
+
+def _lower_term(
+    term: Term, env: dict[Var, str], schema
+) -> tuple[str, set[Cell]]:
+    signature: AlgebraicSignature = schema.signature
+    if isinstance(term, Var):
+        if term.sort == STATE:
+            raise UnsupportedTermError(
+                "a bare state variable is not a value term"
+            )
+        try:
+            value = env[term]
+        except KeyError:
+            raise UnsupportedTermError(
+                f"unbound variable {term} in SQL lowering"
+            ) from None
+        return _encode_value(value), set()
+    if not isinstance(term, App):
+        raise UnsupportedTermError(f"not a lowerable term: {term!r}")
+
+    symbol = term.symbol
+    name = symbol.name
+    if symbol.result_sort == BOOLEAN and name in ("True", "False"):
+        return ("1" if name == "True" else "0"), set()
+
+    if signature.is_query(symbol):
+        state_arg = term.args[-1]
+        if not isinstance(state_arg, Var) or state_arg.sort != STATE:
+            raise UnsupportedTermError(
+                f"query {name} is not applied to the pre-state "
+                "variable; only single-state right-hand sides lower"
+            )
+        values = []
+        for arg in term.args[:-1]:
+            # Parameter arguments must be read-free (the closure
+            # compiler enforces the same), so the cell — and hence the
+            # subquery's WHERE clause — is known at lowering time.
+            closure, reads = compile_ground_term(arg, env, signature)
+            if reads:
+                raise UnsupportedTermError(
+                    f"query {name} has a state-dependent parameter "
+                    "argument; its cell is not statically known"
+                )
+            values.append(str(closure(None)))
+        cell: Cell = (name, tuple(values))
+        return schema.cell_subquery(cell), {cell}
+
+    if signature.is_connective(symbol):
+        if name == "not":
+            one, reads = _lower_term(term.args[0], env, schema)
+            return f"(NOT {one})", reads
+        lhs, lreads = _lower_term(term.args[0], env, schema)
+        rhs, rreads = _lower_term(term.args[1], env, schema)
+        return _combine_sql(name, lhs, rhs), lreads | rreads
+
+    if signature.is_equality_test(symbol):
+        lhs, lreads = _lower_term(term.args[0], env, schema)
+        rhs, rreads = _lower_term(term.args[1], env, schema)
+        return f"({lhs} = {rhs})", lreads | rreads
+
+    if signature.interpretation(name) is not None:
+        parts = [_lower_term(arg, env, schema) for arg in term.args]
+        reads: set[Cell] = set()
+        for _, sub_reads in parts:
+            reads |= sub_reads
+        return (
+            schema.function_subquery(name, [sql for sql, _ in parts]),
+            reads,
+        )
+
+    if symbol.is_constant and symbol.result_sort != STATE:
+        return _encode_value(name), set()
+
+    raise UnsupportedTermError(
+        f"cannot lower {term}: {name} is neither a connective, "
+        "equality test, interpreted function, parameter name, nor "
+        "query on the pre-state"
+    )
+
+
+def _combine_sql(name: str, lhs: str, rhs: str) -> str:
+    if name == "and":
+        return f"({lhs} AND {rhs})"
+    if name == "or":
+        return f"({lhs} OR {rhs})"
+    if name == "implies":
+        return f"((NOT {lhs}) OR {rhs})"
+    if name == "iff":
+        return f"(({lhs}) = ({rhs}))"
+    raise UnsupportedTermError(f"unknown connective {name!r}")
+
+
+def lower_formula(
+    formula: fm.Formula,
+    env: dict[Var, str],
+    schema,
+    domain_of: DomainOf | None = None,
+) -> tuple[str, frozenset[Cell]]:
+    """Lower a (single-state) formula to a SQL Boolean expression.
+
+    Quantifiers are unrolled over ``domain_of(var.sort)`` (defaulting
+    to the signature's parameter domains) exactly like
+    :func:`~repro.algebraic.compiler.compile_ground_formula`;
+    equalities are over L2 terms and lower through :func:`lower_term`.
+
+    Returns ``(sql, reads)``.
+    """
+    domain_of = domain_of or schema.signature.domain
+    sql, reads = _lower_formula(formula, env, schema, domain_of)
+    return sql, frozenset(reads)
+
+
+def _lower_formula(
+    formula: fm.Formula,
+    env: dict[Var, str],
+    schema,
+    domain_of: DomainOf,
+) -> tuple[str, set[Cell]]:
+    if isinstance(formula, fm.TrueF):
+        return "1", set()
+    if isinstance(formula, fm.FalseF):
+        return "0", set()
+    if isinstance(formula, fm.Equals):
+        lhs, lreads = _lower_term(formula.lhs, env, schema)
+        rhs, rreads = _lower_term(formula.rhs, env, schema)
+        return f"({lhs} = {rhs})", lreads | rreads
+    if isinstance(formula, fm.Not):
+        body, reads = _lower_formula(
+            formula.body, env, schema, domain_of
+        )
+        return f"(NOT {body})", reads
+    if isinstance(formula, (fm.And, fm.Or, fm.Implies, fm.Iff)):
+        lhs, lreads = _lower_formula(
+            formula.lhs, env, schema, domain_of
+        )
+        rhs, rreads = _lower_formula(
+            formula.rhs, env, schema, domain_of
+        )
+        name = {
+            fm.And: "and",
+            fm.Or: "or",
+            fm.Implies: "implies",
+            fm.Iff: "iff",
+        }[type(formula)]
+        return _combine_sql(name, lhs, rhs), lreads | rreads
+    if isinstance(formula, (fm.Forall, fm.Exists)):
+        var = formula.var
+        conjunctive = isinstance(formula, fm.Forall)
+        parts: list[str] = []
+        reads: set[Cell] = set()
+        for value in domain_of(var.sort):
+            inner = dict(env)
+            inner[var] = value
+            sql, sub_reads = _lower_formula(
+                formula.body, inner, schema, domain_of
+            )
+            parts.append(sql)
+            reads |= sub_reads
+        if not parts:
+            return ("1" if conjunctive else "0"), set()
+        if len(parts) == 1:
+            return parts[0], reads
+        joiner = " AND " if conjunctive else " OR "
+        return f"({joiner.join(parts)})", reads
+    raise UnsupportedTermError(
+        f"cannot lower formula construct {formula!r}"
+    )

@@ -1,0 +1,79 @@
+"""SQLite as the first concrete relational backend.
+
+The standard library's :mod:`sqlite3` in autocommit mode
+(``isolation_level=None``) with explicit ``BEGIN`` / ``COMMIT`` /
+``ROLLBACK`` — the orchestrator, not the driver, decides transaction
+boundaries, because a lowered transaction program *is* a transaction
+(stage, check, apply, clean must be atomic).  Foreign-key enforcement
+is switched on so the schema's domain references are live
+constraints, not documentation.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.errors import RelationalError
+from repro.relational.backend import Backend
+
+__all__ = ["SQLiteBackend"]
+
+
+class SQLiteBackend(Backend):
+    """A SQLite connection implementing the :class:`Backend` surface.
+
+    Args:
+        path: database location; the default ``":memory:"`` is a
+            fresh private database (what the oracle and the tests
+            use).
+
+    Raises:
+        RelationalError: the database file could not be opened.
+    """
+
+    name = "sqlite"
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        try:
+            self._connection = sqlite3.connect(
+                path, isolation_level=None
+            )
+        except sqlite3.Error as exc:
+            raise RelationalError(
+                f"cannot open SQLite database {path!r}: {exc}"
+            ) from exc
+        self._connection.execute("PRAGMA foreign_keys = ON")
+
+    def execute(self, sql: str) -> None:
+        """Run one statement for effect."""
+        self._connection.execute(sql)
+
+    def query_value(self, sql: str) -> object:
+        """Run one scalar query and return the single value."""
+        row = self._connection.execute(sql).fetchone()
+        if row is None:
+            raise RelationalError(
+                f"scalar query returned no row: {sql}"
+            )
+        return row[0]
+
+    def query_rows(self, sql: str) -> list[tuple]:
+        """Run a query and return all result rows."""
+        return self._connection.execute(sql).fetchall()
+
+    def begin(self) -> None:
+        """Open an explicit transaction."""
+        self._connection.execute("BEGIN")
+
+    def commit(self) -> None:
+        """Commit the open transaction."""
+        self._connection.execute("COMMIT")
+
+    def rollback(self) -> None:
+        """Abort the open transaction."""
+        self._connection.execute("ROLLBACK")
+
+    def close(self) -> None:
+        """Close the connection."""
+        self._connection.close()

@@ -490,6 +490,18 @@ class AdmissionGuard:
     # checking
     # ------------------------------------------------------------------
     @property
+    def static_tables(self) -> tuple[_Table, ...]:
+        """The static decision tables (tautologies already dropped) —
+        the unit the relational compiler lowers to membership
+        tables."""
+        return tuple(self._static_tables)
+
+    @property
+    def transition_tables(self) -> tuple[_Table, ...]:
+        """The transition decision tables."""
+        return tuple(self._transition_tables)
+
+    @property
     def static_instances(self) -> int:
         """Number of grounded static-constraint instances."""
         return len(self._static)

@@ -1,0 +1,1 @@
+"""Tests for the spec→relational compiler and its backends."""

@@ -1,0 +1,218 @@
+"""Tests for transaction-program and guard lowering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.algebraic.equations import ConditionalEquation
+from repro.algebraic.signature import AlgebraicSignature
+from repro.algebraic.spec import AlgebraicSpec
+from repro.logic.sorts import STATE
+from repro.logic.terms import Var
+from repro.relational.lowering import (
+    GuardLowering,
+    TransactionLowerer,
+)
+from repro.relational.schema import RelationalSchema
+from repro.runtime.apps import build_app
+from repro.runtime.guards import AdmissionGuard
+
+
+def _app(name):
+    return build_app(name)
+
+
+class TestTransactionPrograms:
+    def test_guard_query_present_iff_precondition(self):
+        app = _app("courses")
+        lowerer = TransactionLowerer(
+            app.framework.algebraic, app.descriptions
+        )
+        program = lowerer.lower("enroll", ("s1", "c1"))
+        assert program.precondition_sql is not None
+        assert program.precondition_sql.startswith(
+            "SELECT CASE WHEN"
+        )
+        # "offer" has no precondition; a description-free lowerer
+        # never has one.
+        assert lowerer.lower("offer", ("c1",)).precondition_sql is None
+        bare = TransactionLowerer(app.framework.algebraic)
+        assert (
+            bare.lower("enroll", ("s1", "c1")).precondition_sql
+            is None
+        )
+
+    def test_two_phase_shape(self):
+        # Stage INSERTs come before the apply UPDATEs, and every
+        # staged table is cleaned, so the program is re-runnable.
+        app = _app("courses")
+        lowerer = TransactionLowerer(
+            app.framework.algebraic, app.descriptions
+        )
+        program = lowerer.lower("cancel", ("c1",))
+        assert program.stages
+        staged = {query for query, _ in program.stages}
+        assert len(program.applies) == len(staged)
+        assert len(program.cleanups) == len(staged)
+        script = program.script()
+        assert script.index("BEGIN;") < script.index("UPDATE")
+        assert script.rstrip().endswith("COMMIT;")
+
+    def test_stage_reads_only_live_tables(self):
+        # Pre-state semantics: no stage statement may read another
+        # staging table.
+        app = _app("projects")
+        lowerer = TransactionLowerer(
+            app.framework.algebraic, app.descriptions
+        )
+        for update, params in [
+            ("dissolve", ("p1",)),
+            ("assign", ("e1", "p1")),
+        ]:
+            program = lowerer.lower(update, params)
+            for _query, statement in program.stages:
+                body = statement.split("VALUES", 1)[1]
+                assert '"_stage_' not in body
+
+    def test_sealed_dispatch_needs_no_completeness_check(self):
+        # The shipped apps synthesize sealed dispatches (otherwise
+        # branch), so no staged NULL is possible.
+        app = _app("library")
+        lowerer = TransactionLowerer(
+            app.framework.algebraic, app.descriptions
+        )
+        program = lowerer.lower("acquire", ("b1",))
+        assert program.checks == ()
+
+    def test_unsealed_dispatch_emits_completeness_check(self):
+        signature = AlgebraicSignature("partial")
+        item = signature.add_parameter_sort("item")
+        signature.add_parameter_values(item, ["i1"])
+        signature.add_query("flag", [item])
+        signature.add_initial()
+        signature.add_update("poke", [item])
+        c = Var("c", item)
+        u = Var("U", STATE)
+        poked = signature.apply_update("poke", c, u)
+        # Only a conditional equation: when flag(i1) is already True
+        # nothing fires — a sufficient-completeness hole.
+        spec = AlgebraicSpec(
+            signature,
+            (
+                ConditionalEquation(
+                    signature.apply_query(
+                        "flag", c, signature.initial_term()
+                    ),
+                    signature.false(),
+                ),
+                ConditionalEquation(
+                    signature.apply_query("flag", c, poked),
+                    signature.true(),
+                    condition=fm_equals_false(signature, c, u),
+                ),
+            ),
+            name="partial",
+        )
+        program = TransactionLowerer(spec).lower("poke", ("i1",))
+        assert program.checks
+        assert "ELSE NULL" in program.stages[0][1]
+
+    def test_condition_hook_is_an_override_seam(self):
+        app = _app("courses")
+
+        class Negating(TransactionLowerer):
+            def condition_sql(self, condition):
+                return f"(NOT {super().condition_sql(condition)})"
+
+        spec = app.framework.algebraic
+        honest = TransactionLowerer(spec, app.descriptions)
+        wrong = Negating(spec, app.descriptions)
+        assert honest.lower("cancel", ("c1",)).stages != wrong.lower(
+            "cancel", ("c1",)
+        ).stages
+
+    def test_unknown_update_is_a_serving_error(self):
+        from repro.errors import ServingError
+
+        app = _app("courses")
+        lowerer = TransactionLowerer(
+            app.framework.algebraic, app.descriptions
+        )
+        with pytest.raises(ServingError):
+            lowerer.lower("nope", ())
+
+    def test_outside_fragment_raises_relational_error(self):
+        # A query with no equation over an update cannot be lowered.
+        signature = AlgebraicSignature("holey")
+        item = signature.add_parameter_sort("item")
+        signature.add_parameter_values(item, ["i1"])
+        signature.add_query("flag", [item])
+        signature.add_initial()
+        signature.add_update("poke", [item])
+        c = Var("c", item)
+        spec = AlgebraicSpec(
+            signature,
+            (
+                ConditionalEquation(
+                    signature.apply_query(
+                        "flag", c, signature.initial_term()
+                    ),
+                    signature.false(),
+                ),
+            ),
+            name="holey",
+        )
+        with pytest.raises(RelationalError):
+            TransactionLowerer(spec).lower("poke", ("i1",))
+
+
+def fm_equals_false(signature, c, u):
+    from repro.logic import formulas as fm
+
+    return fm.Equals(
+        signature.apply_query("flag", c, u), signature.false()
+    )
+
+
+class TestGuardLowering:
+    @pytest.fixture(scope="class")
+    def lowered(self):
+        app = _app("courses")
+        framework = app.framework
+        guard = AdmissionGuard(
+            framework.information,
+            framework.algebraic,
+            framework.carriers,
+            framework.interpretation,
+        )
+        schema = RelationalSchema(framework.algebraic)
+        return guard, GuardLowering(guard, schema)
+
+    def test_one_stored_table_per_tabulated_group(self, lowered):
+        guard, lowering = lowered
+        tabulated = [
+            t for t in guard.static_tables if t.allowed is not None
+        ] + [
+            t
+            for t in guard.transition_tables
+            if t.allowed is not None
+        ]
+        assert len(lowering.ddl()) == len(tabulated)
+
+    def test_seed_rows_match_allowed_valuations(self, lowered):
+        guard, lowering = lowered
+        inserts = lowering.seed_sql()
+        expected = sum(
+            len(t.allowed) for t in lowering.static_tables
+        ) + sum(len(t.allowed) for t in lowering.transition_tables)
+        assert len(inserts) == expected
+
+    def test_audit_queries_cover_every_stored_table(self, lowered):
+        _guard, lowering = lowered
+        audits = lowering.audit_queries()
+        assert len(audits) == len(lowering.static_tables) + len(
+            lowering.transition_tables
+        )
+        for _kind, _index, sql in audits:
+            assert sql.startswith("SELECT CASE WHEN EXISTS")

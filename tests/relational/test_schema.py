@@ -1,0 +1,133 @@
+"""Tests for the schema mapping: tables, keys, totality, encoding."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational.schema import RelationalSchema
+from repro.relational.sqlite import SQLiteBackend
+from repro.relational import build_database
+from repro.runtime.apps import build_app
+
+
+def _spec(name):
+    return build_app(name).framework.algebraic
+
+
+class TestTableMapping:
+    def test_one_table_per_query_plus_stage(self):
+        spec = _spec("courses")
+        schema = RelationalSchema(spec)
+        names = {t.name for t in schema.tables}
+        for symbol in spec.signature.queries:
+            assert symbol.name in names
+            assert f"_stage_{symbol.name}" in names
+        for sort in spec.signature.parameter_sorts:
+            assert f"_dom_{sort.name}" in names
+
+    def test_primary_key_is_the_parameter_tuple(self):
+        schema = RelationalSchema(_spec("courses"))
+        takes = schema.table_for_query("takes")
+        assert takes.primary_key == ("student", "course")
+        assert schema.key_columns("offered") == ("course",)
+
+    def test_duplicate_sort_columns_are_renamed(self):
+        # library's "waits" query takes two members: the second
+        # column must not collide with the first.
+        schema = RelationalSchema(_spec("library"))
+        for symbol in schema.signature.queries:
+            table = schema.table_for_query(symbol.name)
+            names = [c.name for c in table.columns]
+            assert len(names) == len(set(names)), names
+
+    def test_unknown_query_raises(self):
+        schema = RelationalSchema(_spec("courses"))
+        with pytest.raises(RelationalError):
+            schema.table_for_query("nope")
+
+    def test_function_tables_for_interpreted_functions(self):
+        spec = _spec("bank")
+        schema = RelationalSchema(spec)
+        names = {t.name for t in schema.tables}
+        for fn in spec.signature.interpreted_functions:
+            assert f"_fn_{fn}" in names
+        assert spec.signature.interpreted_functions  # bank has inc/dec
+
+
+class TestEncoding:
+    def test_boolean_roundtrip(self):
+        schema = RelationalSchema(_spec("courses"))
+        assert schema.encode("offered", True) == 1
+        assert schema.encode("offered", False) == 0
+        assert schema.decode("offered", 1) is True
+        assert schema.decode("offered", 0) is False
+
+    def test_domain_valued_roundtrip(self):
+        schema = RelationalSchema(_spec("bank"))
+        assert schema.encode("balance", "m2") == "m2"
+        assert schema.decode("balance", "m2") == "m2"
+
+    def test_cell_subquery_pins_every_key(self):
+        schema = RelationalSchema(_spec("courses"))
+        sql = schema.cell_subquery(("takes", ("s1", "c2")))
+        assert '"student" = \'s1\'' in sql
+        assert '"course" = \'c2\'' in sql
+
+
+class TestSeededState:
+    def test_query_tables_are_total(self):
+        # One row per ground cell: |table| = product of the domains.
+        db = build_database("courses", with_guard=False)
+        try:
+            signature = db.schema.signature
+            for symbol in signature.queries:
+                expected = 1
+                for sort in symbol.arg_sorts[:-1]:
+                    expected *= len(signature.domain(sort))
+                count = db.backend.query_value(
+                    f'SELECT COUNT(*) FROM "{symbol.name}"'
+                )
+                assert count == expected, symbol.name
+        finally:
+            db.close()
+
+    def test_function_table_stores_the_interpretation(self):
+        db = build_database("bank", with_guard=False)
+        try:
+            inc = db.backend.query_value(
+                "SELECT value FROM \"_fn_inc\" WHERE a0 = 'm0'"
+            )
+            assert inc == "m1"
+        finally:
+            db.close()
+
+    def test_value_check_constraint_rejects_garbage(self):
+        # The CHECK constraint is live, not documentation: writing a
+        # value outside the result domain must fail.
+        db = build_database("courses", with_guard=False)
+        try:
+            with pytest.raises(sqlite3.IntegrityError):
+                db.backend.execute(
+                    "UPDATE \"offered\" SET value = 7 "
+                    "WHERE course = 'c1'"
+                )
+        finally:
+            db.close()
+
+    def test_foreign_keys_pin_parameters_to_domains(self):
+        db = build_database("courses", with_guard=False)
+        try:
+            with pytest.raises(sqlite3.IntegrityError):
+                db.backend.execute(
+                    "INSERT INTO \"offered\" (course, value) "
+                    "VALUES ('c999', 0)"
+                )
+        finally:
+            db.close()
+
+    def test_bad_path_raises_relational_error(self):
+        with pytest.raises(RelationalError):
+            SQLiteBackend("/nonexistent-dir/db.sqlite")
