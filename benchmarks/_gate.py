@@ -1,0 +1,236 @@
+"""Shared machinery for the ``check_*_regression.py`` benchmark gates.
+
+Every gate script does the same four things: load a pytest-benchmark
+JSON emission (or an already-reduced committed baseline), optionally
+rewrite that baseline, compare run means against baseline means with
+a headroom factor, and apply an absolute throughput floor to one
+named benchmark.  This module holds those pieces once; the scripts
+keep only their defaults (baseline path, floor benchmark, units) and
+any gate that is genuinely theirs (the kernel's within-run
+exploration speedup, the pipeline's cold/warm ratio).
+
+Schemas understood:
+
+* pytest-benchmark documents — ``{"benchmarks": [{"name", "stats":
+  {"mean"}, "extra_info": {"batch"}}, ...]}``;
+* reduced mean baselines — ``{"means": {name: seconds}}``;
+* reduced record baselines — ``{"records": {name: {"mean",
+  "batch"}}}``.
+
+Exit-code convention (shared by every gate): 0 ok, 1 gate failure,
+2 unusable input.  :func:`fail_input` implements the exit-2 path.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def fail_input(message: str) -> None:
+    """Exit 2 (unusable input) with ``message`` on stderr."""
+    print(message, file=sys.stderr)
+    sys.exit(2)
+
+
+def _load_payload(path: str, role: str, regenerate_hint: str | None) -> dict:
+    """Parse ``path`` as a JSON object, exiting 2 with a readable
+    message (plus the gate's regenerate recipe for a missing
+    baseline) on anything unusable."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        if role == "baseline" and regenerate_hint:
+            fail_input(
+                f"error: baseline file not found: {path}\n"
+                f"{regenerate_hint}"
+            )
+        fail_input(f"error: {role} file not found: {path}")
+    except json.JSONDecodeError as exc:
+        fail_input(f"error: {role} file {path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        fail_input(f"error: {role} file {path} is not a JSON object")
+    return payload
+
+
+def load_means(
+    path: str, role: str, regenerate_hint: str | None = None
+) -> dict[str, float]:
+    """Load ``name -> mean seconds`` from a pytest-benchmark document
+    or a reduced ``means`` baseline."""
+    payload = _load_payload(path, role, regenerate_hint)
+    if "benchmarks" in payload:
+        try:
+            return {
+                bench["name"]: float(bench["stats"]["mean"])
+                for bench in payload["benchmarks"]
+            }
+        except (TypeError, KeyError) as exc:
+            fail_input(
+                f"error: {role} file {path} is not pytest-benchmark "
+                f"JSON (missing {exc} under 'benchmarks')"
+            )
+    if "means" in payload and isinstance(payload["means"], dict):
+        try:
+            return {
+                name: float(mean)
+                for name, mean in payload["means"].items()
+            }
+        except (TypeError, ValueError):
+            fail_input(
+                f"error: {role} file {path} has non-numeric entries "
+                "under 'means'"
+            )
+    fail_input(
+        f"error: {role} file {path} has a stale or unknown schema "
+        "(expected a pytest-benchmark document with 'benchmarks' or "
+        "a reduced baseline with 'means')."
+        + (f"\n{regenerate_hint}" if regenerate_hint else "")
+    )
+
+
+def load_records(
+    path: str, role: str, regenerate_hint: str | None = None
+) -> dict[str, dict]:
+    """Load ``name -> {"mean", "batch"}`` from a pytest-benchmark
+    document or a reduced ``records`` baseline."""
+    payload = _load_payload(path, role, regenerate_hint)
+    if "benchmarks" in payload:
+        try:
+            return {
+                bench["name"]: {
+                    "mean": float(bench["stats"]["mean"]),
+                    "batch": bench.get("extra_info", {}).get("batch"),
+                }
+                for bench in payload["benchmarks"]
+            }
+        except (TypeError, KeyError) as exc:
+            fail_input(
+                f"error: {role} file {path} is not pytest-benchmark "
+                f"JSON (missing {exc} under 'benchmarks')"
+            )
+    if "records" in payload and isinstance(payload["records"], dict):
+        try:
+            return {
+                name: {
+                    "mean": float(record["mean"]),
+                    "batch": record.get("batch"),
+                }
+                for name, record in payload["records"].items()
+            }
+        except (TypeError, KeyError, ValueError):
+            fail_input(
+                f"error: {role} file {path} has malformed entries "
+                "under 'records'"
+            )
+    fail_input(
+        f"error: {role} file {path} has a stale or unknown schema "
+        "(expected a pytest-benchmark document with 'benchmarks' or "
+        "a reduced baseline with 'records')."
+        + (f"\n{regenerate_hint}" if regenerate_hint else "")
+    )
+
+
+def throughput(record: dict) -> float | None:
+    """``batch / mean`` in operations per second, when the record
+    carries a batch size."""
+    batch = record.get("batch")
+    if not batch or not record["mean"]:
+        return None
+    return batch / record["mean"]
+
+
+def write_baseline(path: str, note: str, key: str, entries: dict) -> None:
+    """Write a reduced baseline file: ``{"note": ..., key: entries}``
+    with sorted keys and a trailing newline (stable diffs)."""
+    payload = {"note": note, key: dict(sorted(entries.items()))}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def _format_mean(mean: float, unit: str) -> str:
+    if unit == "us":
+        return f"{mean * 1e6:.1f}us"
+    return f"{mean * 1e3:.2f}ms"
+
+
+def check_floor(
+    run_records: dict[str, dict],
+    benchmark: str,
+    min_throughput: float,
+    rate_noun: str,
+    floor_decimals: int = 0,
+) -> list[str]:
+    """Apply the absolute throughput floor to one benchmark.  Prints
+    the verdict line; returns the (possibly empty) failure list."""
+    record = run_records.get(benchmark)
+    if record is None:
+        return [f"{benchmark} missing from the run"]
+    rate = throughput(record)
+    if rate is None:
+        return [f"{benchmark} carries no batch extra_info"]
+    verdict = "FAIL" if rate < min_throughput else "ok"
+    floor_text = f"{min_throughput / 1000:.{floor_decimals}f}k"
+    print(
+        f"  [{verdict:>4}] {benchmark}: "
+        f"{rate / 1000:.1f}k {rate_noun} "
+        f"(floor {floor_text})"
+    )
+    if rate < min_throughput:
+        return [
+            f"{benchmark}: {rate:.0f} {rate_noun} below the "
+            f"{min_throughput:.0f} floor"
+        ]
+    return []
+
+
+def compare_to_baseline(
+    run: dict,
+    baseline: dict,
+    factor: float,
+    unit: str = "us",
+    show_rate: bool = False,
+) -> list[tuple[str, float]]:
+    """Compare run means against baseline means benchmark by
+    benchmark, printing one verdict line each (plus ``[new]`` /
+    ``[gone]`` notes for one-sided names, which never fail the gate).
+
+    Entries may be bare mean floats or ``{"mean", "batch"}`` records;
+    with ``show_rate`` each line also carries the record's
+    throughput.  Returns ``(name, ratio)`` for every benchmark whose
+    mean exceeded ``factor`` times its baseline.
+    """
+
+    def mean_of(entry) -> float:
+        return entry["mean"] if isinstance(entry, dict) else entry
+
+    failures: list[tuple[str, float]] = []
+    for name in sorted(run):
+        mean = mean_of(run[name])
+        base_entry = baseline.get(name)
+        if base_entry is None:
+            print(
+                f"  [new]  {name}: {_format_mean(mean, unit)} "
+                "(no baseline)"
+            )
+            continue
+        base = mean_of(base_entry)
+        ratio = mean / base if base else float("inf")
+        verdict = "FAIL" if ratio > factor else "ok"
+        rate = ""
+        if show_rate and isinstance(run[name], dict):
+            ops = throughput(run[name])
+            if ops is not None:
+                rate = f", {ops / 1000:.1f}k/s"
+        print(
+            f"  [{verdict:>4}] {name}: {_format_mean(mean, unit)} "
+            f"vs baseline {_format_mean(base, unit)} "
+            f"({ratio:.2f}x{rate})"
+        )
+        if ratio > factor:
+            failures.append((name, ratio))
+    for name in sorted(set(baseline) - set(run)):
+        print(f"  [gone] {name}: in baseline but not in this run")
+    return failures

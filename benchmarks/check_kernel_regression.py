@@ -37,74 +37,28 @@ Regenerate the baseline (after an intentional perf change) with::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
+from _gate import (
+    compare_to_baseline,
+    fail_input,
+    load_means,
+    write_baseline,
+)
+
 DEFAULT_BASELINE = Path(__file__).parent / "kernel_baseline.json"
+
+REGENERATE_HINT = (
+    "Regenerate it with:\n"
+    "  PYTHONPATH=src python -m pytest benchmarks/bench_terms.py"
+    " benchmarks/bench_rewriting.py -q --benchmark-json=run.json\n"
+    "  python benchmarks/check_kernel_regression.py run.json"
+    " --write-baseline"
+)
 
 EXPLORE_OBJECT = "bench_exploration_packed[object]"
 EXPLORE_ARENA = "bench_exploration_packed[arena]"
-
-
-def _fail_input(message: str) -> None:
-    """Exit 2 (unusable input) with ``message`` on stderr."""
-    print(message, file=sys.stderr)
-    sys.exit(2)
-
-
-def _load_means(path: str, role: str) -> dict[str, float]:
-    """Load ``name -> mean seconds`` from a pytest-benchmark JSON
-    document or an already-reduced baseline file, exiting 2 with a
-    readable message when the file is missing or its schema is not
-    one of the two this script understands."""
-    try:
-        with open(path, encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except FileNotFoundError:
-        if role == "baseline":
-            _fail_input(
-                f"error: baseline file not found: {path}\n"
-                "Regenerate it with:\n"
-                "  PYTHONPATH=src python -m pytest benchmarks/bench_terms.py"
-                " benchmarks/bench_rewriting.py -q --benchmark-json=run.json\n"
-                "  python benchmarks/check_kernel_regression.py run.json"
-                " --write-baseline"
-            )
-        _fail_input(f"error: run file not found: {path}")
-    except json.JSONDecodeError as exc:
-        _fail_input(f"error: {role} file {path} is not valid JSON: {exc}")
-    if not isinstance(payload, dict):
-        _fail_input(f"error: {role} file {path} is not a JSON object")
-    if "benchmarks" in payload:
-        try:
-            return {
-                bench["name"]: float(bench["stats"]["mean"])
-                for bench in payload["benchmarks"]
-            }
-        except (TypeError, KeyError) as exc:
-            _fail_input(
-                f"error: {role} file {path} is not pytest-benchmark "
-                f"JSON (missing {exc} under 'benchmarks')"
-            )
-    if "means" in payload and isinstance(payload["means"], dict):
-        try:
-            return {
-                name: float(mean)
-                for name, mean in payload["means"].items()
-            }
-        except (TypeError, ValueError):
-            _fail_input(
-                f"error: {role} file {path} has non-numeric entries "
-                "under 'means'"
-            )
-    _fail_input(
-        f"error: {role} file {path} has a stale or unknown schema "
-        "(expected a pytest-benchmark document with 'benchmarks' or a "
-        "reduced baseline with 'means').\n"
-        "Regenerate the baseline with "
-        "check_kernel_regression.py --write-baseline"
-    )
 
 
 def _check_explore_speedup(
@@ -118,7 +72,7 @@ def _check_explore_speedup(
         if name not in run_means
     ]
     if missing:
-        _fail_input(
+        fail_input(
             "error: --explore-speedup needs both exploration benchmarks "
             f"in the run file; missing: {', '.join(missing)}\n"
             "Run benchmarks/bench_terms.py (both modes are collected "
@@ -173,47 +127,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    run_means = _load_means(args.run, "run")
+    run_means = load_means(args.run, "run")
     if not run_means:
         print("no benchmarks in the run file", file=sys.stderr)
         return 2
 
     if args.write_baseline:
-        payload = {
-            "note": (
+        write_baseline(
+            args.baseline,
+            note=(
                 "mean seconds per kernel benchmark; regenerate with "
                 "check_kernel_regression.py --write-baseline"
             ),
-            "means": {
+            key="means",
+            entries={
                 name: round(mean, 9)
-                for name, mean in sorted(run_means.items())
+                for name, mean in run_means.items()
             },
-        }
-        with open(args.baseline, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        )
         print(f"wrote {len(run_means)} baseline means to {args.baseline}")
         return 0
 
-    base_means = _load_means(args.baseline, "baseline")
+    base_means = load_means(args.baseline, "baseline", REGENERATE_HINT)
 
-    failures = []
-    for name in sorted(run_means):
-        mean = run_means[name]
-        base = base_means.get(name)
-        if base is None:
-            print(f"  [new]  {name}: {mean * 1e6:.1f}us (no baseline)")
-            continue
-        ratio = mean / base if base else float("inf")
-        verdict = "FAIL" if ratio > args.factor else "ok"
-        print(
-            f"  [{verdict:>4}] {name}: {mean * 1e6:.1f}us "
-            f"vs baseline {base * 1e6:.1f}us ({ratio:.2f}x)"
-        )
-        if ratio > args.factor:
-            failures.append((name, ratio))
-    for name in sorted(set(base_means) - set(run_means)):
-        print(f"  [gone] {name}: in baseline but not in this run")
+    failures = compare_to_baseline(
+        run_means, base_means, args.factor, unit="us"
+    )
 
     speedup_ok = True
     if args.explore_speedup is not None:

@@ -22,8 +22,9 @@ The full warm verify ratio is reported for context but not gated
 from __future__ import annotations
 
 import argparse
-import json
 import sys
+
+from _gate import load_means
 
 #: The gated pair: (cold baseline, warm variant).
 GATED_PAIR = (
@@ -36,14 +37,6 @@ REPORTED_PAIR = (
     "bench_pipeline_cold_verify",
     "bench_pipeline_warm_verify",
 )
-
-
-def _means(payload: dict) -> dict[str, float]:
-    """Map benchmark name -> mean seconds."""
-    return {
-        bench["name"]: bench["stats"]["mean"]
-        for bench in payload["benchmarks"]
-    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -62,8 +55,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    with open(args.run, encoding="utf-8") as handle:
-        means = _means(json.load(handle))
+    means = load_means(args.run, "run")
 
     cold_name, warm_name = GATED_PAIR
     try:

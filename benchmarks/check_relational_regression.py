@@ -24,6 +24,8 @@ Benchmarks present in only one of the two files are reported but do
 not fail, so adding a benchmark does not require regenerating the
 baseline in the same commit.
 
+Exit codes: 0 ok, 1 gate failure, 2 unusable input.
+
 Regenerate the baseline (after an intentional perf change) with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_relational.py \
@@ -35,38 +37,28 @@ Regenerate the baseline (after an intentional perf change) with::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
+from _gate import (
+    check_floor,
+    compare_to_baseline,
+    load_records,
+    write_baseline,
+)
+
 DEFAULT_BASELINE = Path(__file__).parent / "relational_baseline.json"
+
+REGENERATE_HINT = (
+    "Regenerate it with:\n"
+    "  PYTHONPATH=src python -m pytest benchmarks/bench_relational.py"
+    " -q --benchmark-json=BENCH_relational.json\n"
+    "  python benchmarks/check_relational_regression.py"
+    " BENCH_relational.json --write-baseline"
+)
 
 #: The benchmark the absolute throughput floor applies to.
 FLOOR_BENCHMARK = "bench_bank_sql_transactions"
-
-
-def _records(payload: dict) -> dict[str, dict]:
-    """Map benchmark name -> {mean, batch} from a pytest-benchmark
-    JSON document (or an already-reduced baseline file)."""
-    if "benchmarks" in payload:
-        return {
-            bench["name"]: {
-                "mean": bench["stats"]["mean"],
-                "batch": bench.get("extra_info", {}).get("batch"),
-            }
-            for bench in payload["benchmarks"]
-        }
-    return {
-        name: dict(record)
-        for name, record in payload["records"].items()
-    }
-
-
-def _throughput(record: dict) -> float | None:
-    batch = record.get("batch")
-    if not batch or not record["mean"]:
-        return None
-    return batch / record["mean"]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -103,30 +95,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    with open(args.run, encoding="utf-8") as handle:
-        run_records = _records(json.load(handle))
+    run_records = load_records(args.run, "run")
     if not run_records:
         print("no benchmarks in the run file", file=sys.stderr)
         return 2
 
     if args.write_baseline:
-        payload = {
-            "note": (
+        write_baseline(
+            args.baseline,
+            note=(
                 "mean seconds and batch size per relational "
                 "benchmark; regenerate with "
                 "check_relational_regression.py --write-baseline"
             ),
-            "records": {
+            key="records",
+            entries={
                 name: {
                     "mean": round(record["mean"], 9),
                     "batch": record["batch"],
                 }
-                for name, record in sorted(run_records.items())
+                for name, record in run_records.items()
             },
-        }
-        with open(args.baseline, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        )
         print(
             f"wrote {len(run_records)} baseline records to "
             f"{args.baseline}"
@@ -134,65 +124,22 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     failures: list[str] = []
+    failures += check_floor(
+        run_records,
+        FLOOR_BENCHMARK,
+        args.min_throughput,
+        rate_noun="transactions/s",
+        floor_decimals=1,
+    )
 
-    floor_record = run_records.get(FLOOR_BENCHMARK)
-    if floor_record is None:
-        failures.append(f"{FLOOR_BENCHMARK} missing from the run")
-    else:
-        throughput = _throughput(floor_record)
-        if throughput is None:
-            failures.append(
-                f"{FLOOR_BENCHMARK} carries no batch extra_info"
-            )
-        else:
-            verdict = (
-                "FAIL" if throughput < args.min_throughput else "ok"
-            )
-            print(
-                f"  [{verdict:>4}] {FLOOR_BENCHMARK}: "
-                f"{throughput / 1000:.1f}k transactions/s "
-                f"(floor {args.min_throughput / 1000:.1f}k)"
-            )
-            if throughput < args.min_throughput:
-                failures.append(
-                    f"{FLOOR_BENCHMARK}: {throughput:.0f} "
-                    f"transactions/s below the "
-                    f"{args.min_throughput:.0f} floor"
-                )
-
-    with open(args.baseline, encoding="utf-8") as handle:
-        base_records = _records(json.load(handle))
-
-    for name in sorted(run_records):
-        record = run_records[name]
-        base = base_records.get(name)
-        if base is None:
-            print(
-                f"  [new]  {name}: {record['mean'] * 1e3:.2f}ms "
-                "(no baseline)"
-            )
-            continue
-        ratio = (
-            record["mean"] / base["mean"]
-            if base["mean"]
-            else float("inf")
+    base_records = load_records(args.baseline, "baseline", REGENERATE_HINT)
+    failures += [
+        f"{name}: {ratio:.2f}x the baseline mean"
+        for name, ratio in compare_to_baseline(
+            run_records, base_records, args.factor,
+            unit="ms", show_rate=True,
         )
-        verdict = "FAIL" if ratio > args.factor else "ok"
-        throughput = _throughput(record)
-        rate = (
-            f", {throughput / 1000:.1f}k/s"
-            if throughput is not None
-            else ""
-        )
-        print(
-            f"  [{verdict:>4}] {name}: {record['mean'] * 1e3:.2f}ms "
-            f"vs baseline {base['mean'] * 1e3:.2f}ms "
-            f"({ratio:.2f}x{rate})"
-        )
-        if ratio > args.factor:
-            failures.append(f"{name}: {ratio:.2f}x the baseline mean")
-    for name in sorted(set(base_records) - set(run_records)):
-        print(f"  [gone] {name}: in baseline but not in this run")
+    ]
 
     if failures:
         print(

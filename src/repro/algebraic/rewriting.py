@@ -251,6 +251,36 @@ class RewriteEngine:
         }
 
     # ------------------------------------------------------------------
+    # pickling (context bundles for the executor backends)
+    # ------------------------------------------------------------------
+    #: Lazily compiled state: closures and memo tables built on first
+    #: use.  None of it pickles (closures) and none of it belongs in a
+    #: context bundle — a bundled engine is a *cold* engine, whatever
+    #: the parent had warmed, so every executor backend prices its
+    #: virtual workers from the same starting point.
+    _COMPILED_SLOTS = (
+        "_cache",
+        "_dispatch",
+        "_equation_tables",
+        "_acache",
+        "_ahandlers",
+        "_atables",
+        "_obs_programs",
+        "_obs_terms",
+    )
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        for slot in self._COMPILED_SLOTS:
+            state[slot] = {}
+        state["_equation_index"] = None
+        state["_arena"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def evaluate(self, term: Term) -> Value:

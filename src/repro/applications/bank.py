@@ -25,6 +25,8 @@ never crossed.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.algebraic.description import (
     STATE_VAR,
     Effect,
@@ -90,6 +92,16 @@ def _dec(value: str) -> str:
     return f"m{int(value[1:]) - 1}"
 
 
+# Module-level (not lambdas): interpreted functions are part of the
+# signature, which travels to executor-backend workers by pickle.
+def _inc_clamped(top: str, value: str) -> str:
+    return value if value == top else _inc(value)
+
+
+def _dec_clamped(value: str) -> str:
+    return value if value == "m0" else _dec(value)
+
+
 def bank_information(levels: int = 4) -> InformationSpec:
     """T1 for the bank.
 
@@ -152,13 +164,13 @@ def bank_signature(
         "inc",
         [money],
         money,
-        lambda m: m if m == top else _inc(m),
+        partial(_inc_clamped, top),
     )
     signature.add_parameter_function(
         "dec",
         [money],
         money,
-        lambda m: m if m == "m0" else _dec(m),
+        _dec_clamped,
     )
     signature.add_query("open", [account])
     signature.add_query("balance", [account], result_sort=money)

@@ -193,11 +193,42 @@ def _coverage_document_of(
     )
 
 
+def _resolve_backend_args(
+    args: argparse.Namespace,
+) -> tuple[str | None, list[str] | None] | None:
+    """Validate ``--backend``/``--workers-addr`` into the
+    ``(backend, worker_addresses)`` pair :meth:`verify` takes.
+    Returns ``None`` (after printing the error) on a bad combination."""
+    addresses = args.workers_addr or None
+    backend = args.backend
+    if addresses and backend is None:
+        backend = "socket"
+    if backend == "socket" and not addresses:
+        print(
+            "error: --backend socket needs at least one "
+            "--workers-addr HOST:PORT",
+            file=sys.stderr,
+        )
+        return None
+    if backend != "socket" and addresses:
+        print(
+            f"error: --workers-addr only applies to the socket "
+            f"backend, not {backend!r}",
+            file=sys.stderr,
+        )
+        return None
+    return backend, addresses
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     names = (
         list(APPLICATIONS) if args.application == "all"
         else [args.application]
     )
+    backend_args = _resolve_backend_args(args)
+    if backend_args is None:
+        return 2
+    backend, worker_addresses = backend_args
     collect_stats = (
         args.stats
         or args.stats_json is not None
@@ -245,6 +276,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
             from repro.errors import SpecificationError
             from repro.obs.tracer import activate
+            from repro.parallel.backends import ExecutorBackendError
 
             activation = (
                 activate(tracer) if tracer is not None else nullcontext()
@@ -271,8 +303,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                         only=only,
                         skip=skip,
                         fail_fast=args.fail_fast,
+                        backend=backend,
+                        worker_addresses=worker_addresses,
                     )
-            except SpecificationError as exc:
+            except (SpecificationError, ExecutorBackendError) as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
             elapsed = time.perf_counter() - started
@@ -309,14 +343,22 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                     )
                 )
         else:
-            report = framework.verify(
-                completeness_depth=args.depth,
-                congruence_depth=args.depth,
-                workers=args.workers,
-                collect_stats=collect_stats,
-                tracer=tracer,
-                cache=cache,
-            )
+            from repro.parallel.backends import ExecutorBackendError
+
+            try:
+                report = framework.verify(
+                    completeness_depth=args.depth,
+                    congruence_depth=args.depth,
+                    workers=args.workers,
+                    collect_stats=collect_stats,
+                    tracer=tracer,
+                    cache=cache,
+                    backend=backend,
+                    worker_addresses=worker_addresses,
+                )
+            except ExecutorBackendError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
             elapsed = time.perf_counter() - started
             ok = report.ok
             verdict = "OK" if ok else "FAILED"
@@ -544,6 +586,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """The ``repro worker`` subcommand: serve chunk execution to
+    ``verify --backend socket`` clients."""
+    from repro.parallel.worker import WorkerServer
+
+    server = WorkerServer(
+        host=args.host,
+        port=args.port,
+        allow_shutdown=args.allow_shutdown,
+    )
+    # The flushed ready line lets harnesses learn the chosen port
+    # without racing the bind (mirrors 'repro serve').
+    print(f"worker listening on {server.host}:{server.port}", flush=True)
+    if args.port_file is not None:
+        if not _write_text_output(
+            args.port_file, str(server.port), "port file"
+        ):
+            return 2
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """The ``repro watch`` subcommand: incremental re-verification."""
+    from repro.errors import SpecificationError
+    from repro.pipeline.watch import watch
+
+    try:
+        return watch(
+            args.target,
+            cache_dir=args.cache_dir,
+            depth=args.depth,
+            workers=args.workers,
+            interval=args.interval,
+            max_cycles=args.max_cycles,
+            timeout=args.timeout,
+            once=args.once,
+        )
+    except SpecificationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_compile_sql(args: argparse.Namespace) -> int:
     """The ``repro compile-sql`` subcommand: emit the relational
     realization (DDL, initial state, stored guard tables, transaction
@@ -656,6 +744,25 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "fan the bounded sweeps out over N worker processes "
             "(default 1 = serial; reports are identical either way)"
+        ),
+    )
+    verify.add_argument(
+        "--backend", choices=["inline", "fork", "socket"],
+        default=None, metavar="NAME",
+        help=(
+            "where the fanned-out chunks execute: 'inline' "
+            "(in-process), 'fork' (forked worker processes, the "
+            "default), or 'socket' (running 'repro worker' "
+            "processes; needs --workers-addr).  Reports are "
+            "identical on every backend"
+        ),
+    )
+    verify.add_argument(
+        "--workers-addr", action="append", metavar="HOST:PORT",
+        default=None,
+        help=(
+            "address of a running 'repro worker' process "
+            "(repeatable; implies --backend socket)"
         ),
     )
     verify.add_argument(
@@ -836,6 +943,87 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the chosen port to PATH once bound",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help=(
+            "serve chunk execution over TCP for 'verify --backend "
+            "socket' (trusted networks only: chunk payloads are "
+            "pickled)"
+        ),
+    )
+    worker.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    worker.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0 = pick a free port)",
+    )
+    worker.add_argument(
+        "--allow-shutdown", action="store_true",
+        help=(
+            "honor the 'shutdown' protocol operation (CI smoke runs; "
+            "otherwise stop with SIGINT/SIGTERM)"
+        ),
+    )
+    worker.add_argument(
+        "--port-file", metavar="PATH", default=None,
+        help="also write the chosen port to PATH once bound",
+    )
+    worker.set_defaults(handler=_cmd_worker)
+
+    watch = subparsers.add_parser(
+        "watch",
+        help=(
+            "watch a specification for edits and re-verify "
+            "incrementally: only the checks an edit invalidated "
+            "re-run; the rest replay from the cache"
+        ),
+    )
+    watch.add_argument(
+        "target",
+        help=(
+            f"one of {', '.join(APPLICATIONS)}, or FILE.py:FACTORY "
+            "naming a zero-argument DesignFramework factory in an "
+            "arbitrary spec file"
+        ),
+    )
+    watch.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help=(
+            "result-cache directory (default: a private temporary "
+            "directory for the watch session)"
+        ),
+    )
+    watch.add_argument(
+        "--depth", type=int, default=2,
+        help="trace depth for completeness/congruence checks",
+    )
+    watch.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the fanned-out sweeps",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="poll the watched files every SECONDS (default 0.5)",
+    )
+    watch.add_argument(
+        "--max-cycles", type=int, default=None, metavar="N",
+        help=(
+            "exit after N verification cycles (harness use; "
+            "default: watch until interrupted)"
+        ),
+    )
+    watch.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="exit after SECONDS even if idle (harness use)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="verify once and exit (equivalent to --max-cycles 1)",
+    )
+    watch.set_defaults(handler=_cmd_watch)
 
     compile_sql = subparsers.add_parser(
         "compile-sql",

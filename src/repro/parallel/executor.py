@@ -1,23 +1,28 @@
-"""Process-backed chunk executor with a deterministic merge order.
+"""Chunk executor with a deterministic merge order over pluggable
+backends.
 
 The executor runs a *chunk function* over a list of chunk arguments
 and returns the per-chunk results **in argument order**, so callers
 can merge by concatenation and reproduce their serial iteration
 exactly.
 
-Worker processes are created with the ``fork`` start method: the
-parent stashes the (arbitrarily large, possibly unpicklable) shared
-*context* — specs, algebras, state graphs — in a module-level slot
-right before forking, and children inherit it by copy-on-write.  Only
-the chunk arguments (index ranges, small term lists) and the chunk
-results travel through pickling.  Each forked child therefore carries
-its own :class:`~repro.algebraic.rewriting.RewriteEngine` memo cache,
-pre-warmed with whatever the parent had evaluated before the fork.
+*Where* the chunks run is delegated to an
+:class:`~repro.parallel.backends.ExecutorBackend` — in-process
+(``inline``), forked worker processes (``fork``, the default), or
+remote ``repro worker`` processes over TCP (``socket``).  All
+backends follow the same virtual-worker model: chunk ``i`` goes to
+virtual worker ``i mod workers`` and each virtual worker starts from
+its own unpickled copy of the shared *context* (specs, algebras,
+state graphs), so both results **and** the per-chunk counter stats
+are identical across backends for a given worker count.  See
+:mod:`repro.parallel.backends` for the model and its two ambient
+exceptions (``wall_time``, ``interned_terms``).
 
-Where ``fork`` is unavailable (non-POSIX platforms) or process
-creation fails, the executor degrades to an in-process loop over the
-same chunks — identical results, no parallelism — so ``workers=N`` is
-always safe to request.
+Where no pool can be opened (``fork`` unavailable on the platform,
+process creation failed, or an unpicklable context under ``inline``)
+the executor degrades to an in-process loop over the same chunks
+against the live context — identical results, no parallelism — so
+``workers=N`` is always safe to request.
 
 Chunk functions must be module-level (they are sent to workers by
 reference) and have the signature::
@@ -32,12 +37,12 @@ The counter dict may omit keys; missing counters default to zero.
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from typing import Any, Callable, Sequence
 
 from repro.obs.coverage import COV_STATE, capture_coverage
 from repro.obs.tracer import OBS_STATE, Span, capture
+from repro.parallel.backends import ExecutorBackend, resolve_backend
 from repro.parallel.stats import WorkerStats
 
 __all__ = ["ParallelExecutor", "run_chunked"]
@@ -45,22 +50,32 @@ __all__ = ["ParallelExecutor", "run_chunked"]
 #: The shared context slot worker processes inherit through fork.
 _CONTEXT: Any = None
 
+#: Sentinel: "read the module slot" (the fork/in-process paths).
+_INHERITED = object()
+
 
 def _get_context() -> Any:
     return _CONTEXT
 
 
-def _run_chunk(payload):
+def _run_chunk(payload, context: Any = _INHERITED):
     """Worker-side trampoline: time the chunk and shape its stats.
 
-    When tracing is enabled (the flag is inherited through fork) the
-    chunk runs under its own span buffer rooted at a ``chunk`` span
-    carrying the chunk index as the ``worker`` attribute; the buffer
-    travels back serialized on :attr:`WorkerStats.spans` and the
-    chunk's counters are recorded on the chunk span, so per-worker
-    rewrite activity is visible in the exported trace.
+    ``context`` defaults to the module slot (inherited through fork or
+    set by the executor's context manager); backends running several
+    virtual workers in one process pass each worker's own context
+    explicitly instead.
+
+    When tracing is enabled (the flag is inherited through fork, or
+    activated per request by the socket worker) the chunk runs under
+    its own span buffer rooted at a ``chunk`` span carrying the chunk
+    index as the ``worker`` attribute; the buffer travels back
+    serialized on :attr:`WorkerStats.spans` and the chunk's counters
+    are recorded on the chunk span, so per-worker rewrite activity is
+    visible in the exported trace.
     """
     fn, index, arg = payload
+    chunk_context = _CONTEXT if context is _INHERITED else context
     started = time.perf_counter()
     spans: tuple = ()
     coverage_payload: dict | None = None
@@ -71,14 +86,14 @@ def _run_chunk(payload):
     with capture_coverage(merge=False) as chunk_cov:
         if OBS_STATE.enabled:
             with capture("chunk", worker=index) as chunk_tracer:
-                result, counters = fn(_CONTEXT, arg)
+                result, counters = fn(chunk_context, arg)
             for root in chunk_tracer.roots:
                 root.record(
                     {k: v for k, v in counters.items() if isinstance(v, int)}
                 )
             spans = tuple(root.to_dict() for root in chunk_tracer.roots)
         else:
-            result, counters = fn(_CONTEXT, arg)
+            result, counters = fn(chunk_context, arg)
     if COV_STATE.enabled:
         coverage_payload = chunk_cov.to_payload()
     elapsed = time.perf_counter() - started
@@ -98,14 +113,20 @@ def _run_chunk(payload):
 
 
 class ParallelExecutor:
-    """A pool of workers sharing one forked context.
+    """A pool of virtual workers sharing one context.
 
     Args:
         workers: requested degree of parallelism; ``1`` (or less)
             means in-process execution with no pool.
         context: the shared read-only context chunk functions receive
-            as their first argument.  Inherited by workers through
-            fork — it is never pickled.
+            as their first argument.  Backends ship it to workers as a
+            pickle bundle (one cold copy per virtual worker); the fork
+            backend falls back to copy-on-write inheritance when it
+            does not pickle.
+        backend: an :class:`~repro.parallel.backends.ExecutorBackend`,
+            a backend name, or ``None`` for the scope-active backend
+            (see :func:`~repro.parallel.backends.use_backend`; the
+            default is ``fork``).
 
     Use as a context manager::
 
@@ -114,12 +135,21 @@ class ParallelExecutor:
         stats = executor.worker_stats
 
     :meth:`map` may be called repeatedly (e.g. once per BFS level);
-    the pool and the workers' warm caches persist across calls.
+    the pool and the workers' warm caches persist across calls.  On
+    exit the executor drops its context reference — a sweep must not
+    pin a large spec or state graph in memory for the executor's
+    lifetime.
     """
 
-    def __init__(self, workers: int = 1, context: Any = None):
+    def __init__(
+        self,
+        workers: int = 1,
+        context: Any = None,
+        backend: "ExecutorBackend | str | None" = None,
+    ):
         self.workers = max(1, int(workers))
         self.context = context
+        self.backend = backend
         #: Per-chunk :class:`WorkerStats`, in submission order across
         #: all :meth:`map` calls.
         self.worker_stats: list[WorkerStats] = []
@@ -134,23 +164,25 @@ class ParallelExecutor:
         _CONTEXT = self.context
         self._entered = True
         if self.workers > 1:
-            try:
-                mp_context = multiprocessing.get_context("fork")
-                self._pool = mp_context.Pool(processes=self.workers)
-            except (ValueError, OSError):
-                # No fork on this platform / process creation failed:
-                # fall back to the in-process loop.
-                self._pool = None
+            # The backend resolves at entry so a surrounding
+            # use_backend() scope (the scheduler's) takes effect.
+            self._pool = resolve_backend(self.backend).open_pool(
+                self.workers, self.context
+            )
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         global _CONTEXT
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            self._pool.close()
             self._pool = None
         _CONTEXT = self._saved_context
         self._saved_context = None
+        # Drop the context reference: the executor object routinely
+        # outlives its with-block (callers read worker_stats off it),
+        # and holding on would pin large specs/state graphs in parent
+        # memory after the sweep.
+        self.context = None
         self._entered = False
 
     # ------------------------------------------------------------------
@@ -171,8 +203,9 @@ class ParallelExecutor:
         inline; call :meth:`PendingMap.collect` to block, absorb the
         per-chunk stats, and graft worker span buffers (still in
         submission order) under the *then-active* span.  With no pool
-        (``workers=1`` or fork unavailable) the chunks run in-process
-        at collect time instead — identical results, no overlap.
+        (``workers=1`` or no backend pool available) the chunks run
+        in-process at collect time instead — identical results, no
+        overlap.
         """
         if not self._entered:
             raise RuntimeError(
@@ -181,7 +214,7 @@ class ParallelExecutor:
         payloads = [(fn, index, arg) for index, arg in enumerate(args)]
         handle = None
         if self._pool is not None:
-            handle = self._pool.map_async(_run_chunk, payloads)
+            handle = self._pool.submit(payloads)
         return PendingMap(self, payloads, handle)
 
     def _absorb(self, outcomes: list[tuple]) -> list[Any]:
@@ -229,7 +262,7 @@ class PendingMap:
             raise RuntimeError("PendingMap.collect called twice")
         self._collected = True
         if self._handle is not None:
-            outcomes = self._handle.get()
+            outcomes = self._handle.wait()
         else:
             outcomes = [
                 _run_chunk(payload) for payload in self._payloads
@@ -242,11 +275,17 @@ def run_chunked(
     context: Any,
     args: Sequence[Any],
     workers: int,
+    backend: "ExecutorBackend | str | None" = None,
 ) -> tuple[list[Any], list[WorkerStats]]:
     """One-shot convenience: execute ``fn`` over ``args`` chunks.
 
     Returns ``(results in args order, per-chunk WorkerStats)``.
+    ``backend=None`` dispatches through the scope-active backend, so
+    deep callers (the bounded sweeps) need no signature changes when
+    the scheduler selects one.
     """
-    with ParallelExecutor(workers, context=context) as executor:
+    with ParallelExecutor(
+        workers, context=context, backend=backend
+    ) as executor:
         results = executor.map(fn, args)
     return results, executor.worker_stats

@@ -1,0 +1,116 @@
+"""Length-prefixed JSON frames: the worker-pool wire protocol.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON::
+
+    +----------------+----------------------------+
+    | length (u32 BE)| UTF-8 JSON payload         |
+    +----------------+----------------------------+
+
+Every payload is a JSON object with an ``"op"`` key on requests and an
+``"ok"`` key on replies (``{"ok": false, "error": "..."}`` reports a
+failure without killing the connection).  Binary values — pickled
+chunk arguments, spec bundles, chunk outcomes — travel base64-encoded
+under their own keys, so a frame is always printable and the protocol
+stays debuggable with a terminal.
+
+The frame reader enforces :data:`MAX_FRAME` so a corrupt or hostile
+length prefix cannot make the peer allocate unbounded memory.  The
+protocol is versioned through :data:`PROTOCOL_VERSION`, exchanged in
+the ``hello`` op; both sides refuse to proceed on a mismatch rather
+than mis-parse each other.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from typing import BinaryIO
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME",
+    "WireError",
+    "send_frame",
+    "recv_frame",
+    "encode_bytes",
+    "decode_bytes",
+]
+
+#: Bumped on incompatible frame/op changes; exchanged in ``hello``.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's JSON payload (bundles for the shipped
+#: applications are a few KB; 512 MiB leaves room for huge state
+#: graphs while still bounding a corrupt length prefix).
+MAX_FRAME = 512 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class WireError(ConnectionError):
+    """A malformed frame or a violated protocol invariant."""
+
+
+def send_frame(stream: BinaryIO, payload: dict) -> None:
+    """Write one frame (length prefix + JSON body) and flush."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise WireError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    stream.write(_LENGTH.pack(len(body)))
+    stream.write(body)
+    stream.flush()
+
+
+def _read_exactly(stream: BinaryIO, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise WireError(
+                f"connection closed mid-frame ({remaining} of {count} "
+                "bytes missing)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(stream: BinaryIO) -> dict | None:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    prefix = stream.read(_LENGTH.size)
+    if not prefix:
+        return None
+    if len(prefix) < _LENGTH.size:
+        prefix += _read_exactly(stream, _LENGTH.size - len(prefix))
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME:
+        raise WireError(
+            f"peer announced a {length}-byte frame "
+            f"(MAX_FRAME is {MAX_FRAME})"
+        )
+    body = _read_exactly(stream, length)
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise WireError("frame body must be a JSON object")
+    return payload
+
+
+def encode_bytes(data: bytes) -> str:
+    """Binary payload -> its base64 text form for a JSON frame."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def decode_bytes(text: str) -> bytes:
+    """Base64 text from a frame -> the binary payload."""
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise WireError(f"invalid base64 payload: {exc}") from exc

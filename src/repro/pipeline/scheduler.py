@@ -44,6 +44,7 @@ from repro.obs.tracer import (
     count as _count,
     span as _span,
 )
+from repro.parallel.backends import use_backend
 from repro.parallel.executor import ParallelExecutor
 from repro.parallel.stats import VerificationStats
 from repro.pipeline.cache import ResultCache, deserialize_result, serialize_result
@@ -62,13 +63,17 @@ class PipelineContext:
         framework: the :class:`~repro.core.framework.DesignFramework`
             under verification.
         workers: worker-process budget for the fanned sweeps.
+        backend: the :class:`~repro.parallel.backends.ExecutorBackend`
+            (or backend name) every sweep of the run dispatches
+            through; ``None`` keeps the scope-active default.
         resources: keyed products of resource nodes (the ``explore``
             node deposits the state graph under ``"graph"``).
     """
 
-    def __init__(self, framework, workers: int = 1):
+    def __init__(self, framework, workers: int = 1, backend=None):
         self.framework = framework
         self.workers = max(1, int(workers))
+        self.backend = backend
         self.resources: dict[str, Any] = {}
         self._algebra = None
         self._interpretation = None
@@ -314,7 +319,23 @@ class Scheduler:
             overrides: per-check parameter overrides (budgets), merged
                 into each check's ``params`` — and therefore into its
                 fingerprint.
+
+        The whole selection executes under the context's executor
+        backend (``use_backend``): fan-out dispatch here and every
+        internally chunked sweep deep inside the checks resolve their
+        chunk dispatch through it, without signature changes along
+        the way.
         """
+        with use_backend(ctx.backend):
+            return self._run_selection(ctx, only, skip, overrides)
+
+    def _run_selection(
+        self,
+        ctx: PipelineContext,
+        only: Iterable[str] | None,
+        skip: Iterable[str] | None,
+        overrides: dict[str, dict] | None,
+    ) -> PipelineResult:
         cache = self.cache
         if cache is not None:
             # Resource nodes may thread non-report artifacts (the
@@ -455,13 +476,13 @@ class Scheduler:
 
             if fanout:
                 # Dispatched only after the inline (graph-bound,
-                # internally chunked) checks finish: the fanned checks
-                # overlap each other, never the inline worker pools —
-                # CPU contention there would perturb which pool worker
-                # runs which chunk, and with it the per-chunk
-                # rewrite-cache deltas the stats replay pins down.
-                # Forking now also hands the children the fully warmed
-                # parent memo, like the old sequential order did.
+                # internally chunked) checks finish, so the fanned
+                # checks overlap each other, never the inline worker
+                # pools.  The executor resolves to the run's backend
+                # (the use_backend scope around this selection); the
+                # virtual-worker model prices each fanned check from
+                # a cold bundle of this context, keeping the stats
+                # replayed by the cache backend-independent.
                 executor = ParallelExecutor(
                     min(ctx.workers, len(fanout)),
                     context=(ctx, checks, want_counters),

@@ -1,0 +1,86 @@
+"""Tests for the length-prefixed JSON frame protocol."""
+
+import io
+import struct
+
+import pytest
+
+from repro.parallel import wire
+
+
+def _roundtrip(payload: dict) -> dict:
+    buffer = io.BytesIO()
+    wire.send_frame(buffer, payload)
+    buffer.seek(0)
+    return wire.recv_frame(buffer)
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        payload = {"op": "chunk", "index": 3, "arg": "aGk="}
+        assert _roundtrip(payload) == payload
+
+    def test_roundtrip_unicode(self):
+        payload = {"op": "hello", "note": "trädgård"}
+        assert _roundtrip(payload) == payload
+
+    def test_eof_at_frame_boundary_is_none(self):
+        assert wire.recv_frame(io.BytesIO(b"")) is None
+
+    def test_truncated_length_prefix_raises(self):
+        with pytest.raises(wire.WireError):
+            wire.recv_frame(io.BytesIO(b"\x00\x00"))
+
+    def test_truncated_body_raises(self):
+        buffer = io.BytesIO()
+        wire.send_frame(buffer, {"op": "bye"})
+        data = buffer.getvalue()
+        with pytest.raises(wire.WireError):
+            wire.recv_frame(io.BytesIO(data[:-2]))
+
+    def test_oversized_frame_rejected(self):
+        prefix = struct.pack(">I", wire.MAX_FRAME + 1)
+        with pytest.raises(wire.WireError):
+            wire.recv_frame(io.BytesIO(prefix))
+
+    def test_oversized_send_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.send_frame(
+                io.BytesIO(), {"data": "x" * (wire.MAX_FRAME + 1)}
+            )
+
+    def test_non_object_frame_rejected(self):
+        body = b"[1, 2, 3]"
+        data = struct.pack(">I", len(body)) + body
+        with pytest.raises(wire.WireError):
+            wire.recv_frame(io.BytesIO(data))
+
+    def test_invalid_json_rejected(self):
+        body = b"{not json"
+        data = struct.pack(">I", len(body)) + body
+        with pytest.raises(wire.WireError):
+            wire.recv_frame(io.BytesIO(data))
+
+    def test_back_to_back_frames(self):
+        buffer = io.BytesIO()
+        wire.send_frame(buffer, {"n": 1})
+        wire.send_frame(buffer, {"n": 2})
+        buffer.seek(0)
+        assert wire.recv_frame(buffer) == {"n": 1}
+        assert wire.recv_frame(buffer) == {"n": 2}
+        assert wire.recv_frame(buffer) is None
+
+
+class TestBytesCodec:
+    def test_roundtrip(self):
+        data = bytes(range(256))
+        assert wire.decode_bytes(wire.encode_bytes(data)) == data
+
+    def test_encoded_is_json_safe_text(self):
+        encoded = wire.encode_bytes(b"\x00\xff")
+        assert isinstance(encoded, str)
+        assert encoded.isascii()
+
+    def test_invalid_base64_rejected(self):
+        with pytest.raises(Exception):
+            wire.decode_bytes("!!not base64!!")
