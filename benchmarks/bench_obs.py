@@ -13,6 +13,13 @@ an explicit opt-in).
 Expected shape: plain ~= noop_spans (the gate); traced costs a few
 percent more (span allocation per coarse unit); Chrome export is
 linear in span count and far from any hot path.
+
+The serving pair ``bench_serving_tel_off`` / ``bench_serving_tel_on``
+gates the *enabled* live-telemetry cost of the runtime serving stack
+(``repro serve`` always turns telemetry on): the same mixed
+update/query/reject workload through ``RuntimeServer.handle_request``
+— JSON decode/encode included — must stay within 5% with telemetry
+recording.
 """
 
 from repro.algebraic.algebra import TraceAlgebra
@@ -138,3 +145,92 @@ def bench_export_chrome(benchmark):
                     with tracer.span("unit") as unit:
                         unit.count("items", 3)
     benchmark(to_chrome_json, tracer)
+
+
+def _serving_setup():
+    """A journaled bank runtime behind a :class:`RuntimeServer` and a
+    round-stable mixed workload, pre-encoded as JSON lines.
+
+    Each round opens, queries, and closes a fresh-per-index account
+    (the open/close toggle returns the state to its starting shape,
+    so every benchmark round does identical work) and drives one
+    precondition rejection.  ``json.loads``/``json.dumps`` stay in
+    the measured loop — the asyncio layer does its encoding outside
+    ``handle_request``, so the round mirrors a full request cycle.
+    """
+    import json
+    import tempfile
+
+    from repro.runtime.apps import build_app
+    from repro.runtime.server import RuntimeServer
+    from repro.runtime.service import SpecRuntime
+
+    app = build_app("bank")
+    tmp = tempfile.TemporaryDirectory(prefix="bench-serving-")
+    runtime = SpecRuntime(
+        app.framework,
+        app.descriptions,
+        data_dir=tmp.name,
+        fsync=False,
+    )
+    server = RuntimeServer(runtime)
+    requests = []
+    for index in range(8):
+        account = f"b{index}"
+        requests.append(
+            {
+                "op": "update",
+                "update": "open_account",
+                "params": [account],
+            }
+        )
+        requests.append(
+            {"op": "query", "query": "open", "params": [account]}
+        )
+        requests.append(
+            {
+                "op": "update",
+                "update": "close_account",
+                "params": [account],
+            }
+        )
+        requests.append(
+            {"op": "update", "update": "deposit", "params": ["zz"]}
+        )
+    encoded = [json.dumps(request) for request in requests]
+    return server, encoded, tmp
+
+
+def _serve_round(server, encoded):
+    import json
+
+    for line in encoded:
+        response, _ = server.handle_request(json.loads(line))
+        json.dumps(response)
+
+
+def bench_serving_tel_off(benchmark):
+    """Baseline: the serving workload with telemetry disabled (each
+    instrumentation point costs one ``TEL_STATE.enabled`` branch)."""
+    from repro.obs.telemetry import disable_telemetry
+
+    server, encoded, tmp = _serving_setup()
+    disable_telemetry()
+    try:
+        benchmark(_serve_round, server, encoded)
+    finally:
+        tmp.cleanup()
+
+
+def bench_serving_tel_on(benchmark):
+    """The identical workload with telemetry ON — the pair gated at
+    <= 5% by ``check_obs_overhead.py`` (``repro serve`` always
+    enables telemetry, so its *enabled* cost is the contract)."""
+    from repro.obs.telemetry import activate_telemetry
+
+    server, encoded, tmp = _serving_setup()
+    try:
+        with activate_telemetry():
+            benchmark(_serve_round, server, encoded)
+    finally:
+        tmp.cleanup()

@@ -18,6 +18,12 @@ The tracing-ON ratios (``bench_snapshot_traced``,
 ``bench_explore_traced``) are reported for context but never gated —
 recording is an explicit opt-in.
 
+The same emission also carries the serving-telemetry pair:
+``bench_serving_tel_on`` must stay within ``--telemetry-factor``
+(default 1.05) of ``bench_serving_tel_off`` — ``repro serve`` always
+enables live telemetry, so its *enabled* overhead is part of the
+contract.
+
 With ``--coverage-run BENCH_coverage.json`` the same gate logic also
 checks the coverage-enabled pair of :mod:`benchmarks.bench_coverage`:
 ``bench_snapshot_cov_on`` must stay within ``--coverage-factor``
@@ -33,6 +39,9 @@ import sys
 
 #: The gated pair: (baseline benchmark, instrumented benchmark).
 GATED_PAIR = ("bench_snapshot_plain", "bench_snapshot_noop_spans")
+
+#: The telemetry-enabled serving pair (gated in the same run).
+TELEMETRY_PAIR = ("bench_serving_tel_off", "bench_serving_tel_on")
 
 #: The coverage-enabled gated pair of ``bench_coverage.py``.
 COVERAGE_PAIR = ("bench_snapshot_cov_off", "bench_snapshot_cov_on")
@@ -62,6 +71,16 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "fail when noop-span mean > factor * plain mean "
             "(default 1.05 = the 5%% disabled-overhead contract)"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry-factor",
+        type=float,
+        default=1.05,
+        help=(
+            "fail when tel_on mean > factor * tel_off mean "
+            "(default 1.05 = the 5%% telemetry-enabled serving "
+            "contract)"
         ),
     )
     parser.add_argument(
@@ -110,6 +129,23 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     failed = ratio > args.factor
+
+    tel_off_name, tel_on_name = TELEMETRY_PAIR
+    try:
+        tel_off, tel_on = means[tel_off_name], means[tel_on_name]
+    except KeyError as missing:
+        print(f"benchmark {missing} missing from the run",
+              file=sys.stderr)
+        return 2
+    tel_ratio = tel_on / tel_off
+    tel_verdict = "OK" if tel_ratio <= args.telemetry_factor else "FAIL"
+    print(
+        f"[{tel_verdict}] telemetry-on serving overhead: "
+        f"{tel_off_name} {tel_off * 1e3:.3f}ms vs {tel_on_name} "
+        f"{tel_on * 1e3:.3f}ms -> x{tel_ratio:.4f} "
+        f"(gate x{args.telemetry_factor})"
+    )
+    failed = failed or tel_ratio > args.telemetry_factor
 
     if args.coverage_run is not None:
         with open(args.coverage_run, encoding="utf-8") as handle:

@@ -1,0 +1,166 @@
+"""End-to-end smoke of live telemetry: ``repro top`` vs ``repro serve``.
+
+Usage::
+
+    python benchmarks/check_top_smoke.py
+
+Spawns ``python -m repro serve bank`` as a real subprocess (serving
+always enables telemetry), drives a small mixed workload through the
+JSON-lines protocol (admitted updates, a precondition rejection,
+queries), then runs ``python -m repro top HOST:PORT --once --json``
+— the scripting form — and asserts the snapshot document reports the
+load: non-zero admit/reject totals and 10s rates, p50/p99 latency
+percentiles for the admission histograms, and the rejection-kind
+counter.  Finally the same snapshot must render through the
+Prometheus exporter.
+
+Exit code 0 on success; 1 with a diagnostic on any failed
+expectation.  Keeps to the stdlib so it runs anywhere the repo does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.export import prometheus_text  # noqa: E402
+from repro.runtime.client import wait_until_ready  # noqa: E402
+
+
+def fail(process: subprocess.Popen, message: str) -> int:
+    print(f"top smoke FAILED: {message}", file=sys.stderr)
+    process.kill()
+    out, err = process.communicate(timeout=10)
+    if err:
+        print(f"server stderr:\n{err}", file=sys.stderr)
+    if out:
+        print(f"server stdout:\n{out}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "bank",
+            "--allow-shutdown",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=str(REPO),
+    )
+    ready = process.stdout.readline().strip()
+    print(f"server: {ready}")
+    if " on " not in ready:
+        return fail(process, f"unexpected ready line {ready!r}")
+    host, _, port = ready.rpartition(" on ")[2].rpartition(":")
+    client = wait_until_ready(host, int(port), timeout=30)
+
+    # Drive load: three admits, one precondition rejection, queries.
+    for account in ("a1", "a2"):
+        reply = client.update("open_account", account)
+        if not reply.get("accepted"):
+            return fail(process, f"open_account refused: {reply}")
+        if client.query("open", account).get("value") is not True:
+            return fail(process, f"query after open: {account}")
+    deposit = client.update("deposit", "a1")
+    if not deposit.get("accepted"):
+        return fail(process, f"deposit refused: {deposit}")
+    # Re-opening an open account violates the precondition.
+    rejected = client.update("open_account", "a1")
+    if rejected.get("accepted") is not False:
+        return fail(process, f"violating update admitted: {rejected}")
+
+    top = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "top",
+            f"{host}:{port}",
+            "--once",
+            "--json",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO),
+        timeout=60,
+    )
+    if top.returncode != 0:
+        return fail(
+            process,
+            f"repro top exit {top.returncode}: {top.stderr or top.stdout}",
+        )
+    snapshot = json.loads(top.stdout)
+
+    try:
+        counters = snapshot["counters"]
+        accepted = counters["runtime.updates.accepted"]
+        rejected_counter = counters["runtime.updates.rejected"]
+        if accepted["total"] < 3:
+            return fail(process, f"accepted total: {accepted}")
+        if rejected_counter["total"] < 1:
+            return fail(process, f"rejected total: {rejected_counter}")
+        # The load was driven seconds ago: the 10s window sees it.
+        if accepted["rate_10s"] <= 0 or rejected_counter["rate_10s"] <= 0:
+            return fail(
+                process,
+                f"zero 10s rates under load: {accepted} "
+                f"{rejected_counter}",
+            )
+        kinds = counters["runtime.rejected.precondition"]
+        if kinds["total"] < 1:
+            return fail(process, f"rejection-kind counter: {kinds}")
+        admit = snapshot["histograms"]["runtime.update.open_account.admit"]
+        if admit["count"] < 2:
+            return fail(process, f"admit histogram count: {admit}")
+        if not (0 < admit["p50_ms"] <= admit["p99_ms"]):
+            return fail(process, f"admit percentiles: {admit}")
+        reject = snapshot["histograms"][
+            "runtime.update.open_account.reject"
+        ]
+        if reject["count"] < 1 or reject["p99_ms"] <= 0:
+            return fail(process, f"reject histogram: {reject}")
+        if snapshot["uptime_seconds"] < 0:
+            return fail(process, f"uptime: {snapshot['uptime_seconds']}")
+    except KeyError as missing:
+        return fail(process, f"snapshot key missing: {missing}")
+
+    exposition = prometheus_text(snapshot)
+    if "repro_runtime_updates_accepted_total" not in exposition:
+        return fail(process, "Prometheus exposition lacks counters")
+    if 'le="+Inf"' not in exposition:
+        return fail(process, "Prometheus exposition lacks histograms")
+
+    bye = client.shutdown()
+    if not bye.get("bye"):
+        return fail(process, f"shutdown refused: {bye}")
+    client.close()
+    code = process.wait(timeout=30)
+    if code != 0:
+        return fail(process, f"server exit code {code}")
+    print(
+        "top smoke OK: "
+        f"accepted={accepted['total']} rejected={rejected_counter['total']}, "
+        f"open_account p50={admit['p50_ms']}ms p99={admit['p99_ms']}ms, "
+        "Prometheus exposition rendered"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -221,6 +221,27 @@ def _resolve_backend_args(
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    """The ``repro verify`` subcommand, with optional scoped live
+    telemetry (``--telemetry-json``) around the verification run."""
+    if args.telemetry_json is None:
+        return _run_verify(args)
+    import json
+
+    from repro.obs.telemetry import activate_telemetry
+
+    with activate_telemetry() as telemetry:
+        code = _run_verify(args)
+        payload = json.dumps(
+            telemetry.snapshot(), indent=2, sort_keys=True
+        )
+    if not _write_text_output(
+        args.telemetry_json, payload, "telemetry JSON"
+    ):
+        return 2
+    return code
+
+
+def _run_verify(args: argparse.Namespace) -> int:
     names = (
         list(APPLICATIONS) if args.application == "all"
         else [args.application]
@@ -458,7 +479,12 @@ def _write_observability(
     from repro.obs.metrics import MetricsRegistry
 
     if args.trace is not None:
-        text = json.dumps(to_chrome_json(tracer))
+        # Pin chunk spans to stable virtual-worker tid rows: chunk
+        # spans carry the chunk index, so without the worker count
+        # the socket backend's rows would grow with the chunk count.
+        text = json.dumps(
+            to_chrome_json(tracer, workers=args.workers)
+        )
         if not _write_text_output(args.trace, text, "Chrome trace"):
             return False
         if args.trace != "-":
@@ -577,13 +603,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 args.port_file, str(server.port), "port file"
             )
 
-    return serve(
-        runtime,
-        host=args.host,
-        port=args.port,
-        allow_shutdown=args.allow_shutdown,
-        ready=_ready,
-    )
+    # Serving always runs with live telemetry: the overhead is gated
+    # at <= 5% by benchmarks/check_obs_overhead.py, and the
+    # 'telemetry' op plus 'repro top' depend on it being there.
+    from repro.obs.telemetry import activate_telemetry
+
+    with activate_telemetry() as telemetry:
+        code = serve(
+            runtime,
+            host=args.host,
+            port=args.port,
+            allow_shutdown=args.allow_shutdown,
+            ready=_ready,
+        )
+        if args.telemetry_json is not None:
+            import json
+
+            if not _write_text_output(
+                args.telemetry_json,
+                json.dumps(
+                    telemetry.snapshot(), indent=2, sort_keys=True
+                ),
+                "telemetry JSON",
+            ):
+                return 2
+    return code
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
@@ -608,6 +652,17 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
+    if args.telemetry_json is not None:
+        import json
+
+        if not _write_text_output(
+            args.telemetry_json,
+            json.dumps(
+                server.telemetry.snapshot(), indent=2, sort_keys=True
+            ),
+            "telemetry JSON",
+        ):
+            return 2
     return 0
 
 
@@ -628,6 +683,26 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             once=args.once,
         )
     except SpecificationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """The ``repro top`` subcommand: live telemetry of a serving
+    process (runtime server or worker)."""
+    from repro.errors import ServingError
+    from repro.obs.top import top
+
+    try:
+        return top(
+            args.address,
+            worker=args.worker,
+            interval=args.interval,
+            once=args.once,
+            as_json=args.json,
+            events=args.events,
+        )
+    except ServingError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -843,6 +918,14 @@ def main(argv: list[str] | None = None) -> int:
             "write the self-contained HTML coverage report to PATH"
         ),
     )
+    verify.add_argument(
+        "--telemetry-json", metavar="PATH", default=None,
+        help=(
+            "run with live telemetry enabled and write the final "
+            "snapshot (latency histograms, rate counters, recent "
+            "events) as JSON to PATH ('-' for stdout)"
+        ),
+    )
     verify.set_defaults(handler=_cmd_verify)
 
     cache_parser = subparsers.add_parser(
@@ -942,6 +1025,14 @@ def main(argv: list[str] | None = None) -> int:
         "--port-file", metavar="PATH", default=None,
         help="also write the chosen port to PATH once bound",
     )
+    serve.add_argument(
+        "--telemetry-json", metavar="PATH", default=None,
+        help=(
+            "write the final telemetry snapshot as JSON to PATH on "
+            "shutdown (telemetry is always live while serving; "
+            "query it with the 'telemetry' op or 'repro top')"
+        ),
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     worker = subparsers.add_parser(
@@ -970,6 +1061,14 @@ def main(argv: list[str] | None = None) -> int:
     worker.add_argument(
         "--port-file", metavar="PATH", default=None,
         help="also write the chosen port to PATH once bound",
+    )
+    worker.add_argument(
+        "--telemetry-json", metavar="PATH", default=None,
+        help=(
+            "write the worker's final telemetry snapshot as JSON to "
+            "PATH on shutdown (also queryable live via the "
+            "'telemetry' op or 'repro top --worker')"
+        ),
     )
     worker.set_defaults(handler=_cmd_worker)
 
@@ -1024,6 +1123,46 @@ def main(argv: list[str] | None = None) -> int:
         help="verify once and exit (equivalent to --max-cycles 1)",
     )
     watch.set_defaults(handler=_cmd_watch)
+
+    top = subparsers.add_parser(
+        "top",
+        help=(
+            "live telemetry view of a running 'repro serve' or "
+            "'repro worker' process: rates, latency percentiles, "
+            "guard rejection breakdown, recent slow ops"
+        ),
+    )
+    top.add_argument(
+        "address", metavar="HOST:PORT",
+        help="address of the serving process to poll",
+    )
+    top.add_argument(
+        "--worker", action="store_true",
+        help=(
+            "poll a 'repro worker' (frame protocol) instead of a "
+            "runtime server (JSON lines)"
+        ),
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh every SECONDS (default 2.0)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single screen and exit",
+    )
+    top.add_argument(
+        "--json", action="store_true",
+        help=(
+            "with --once, print the raw telemetry snapshot document "
+            "instead of the rendered screen (scripting and CI)"
+        ),
+    )
+    top.add_argument(
+        "--events", type=int, default=32, metavar="N",
+        help="recent events to request per poll (default 32)",
+    )
+    top.set_defaults(handler=_cmd_top)
 
     compile_sql = subparsers.add_parser(
         "compile-sql",

@@ -24,6 +24,14 @@ flag; their per-chunk span buffers are merged back **in deterministic
 chunk order**, so traces are structurally identical for every worker
 count.
 
+Live telemetry for the long-running serving processes
+(:mod:`repro.obs.telemetry`) follows the same one-branch switch
+discipline under its own ``TEL_STATE`` flag: mergeable log-bucketed
+latency histograms, windowed rate counters and a structured event
+ring, queryable over the ``telemetry`` op of ``repro serve`` and
+``repro worker``, rendered by ``repro top``, and exportable as
+Prometheus text exposition (:func:`~repro.obs.export.prometheus_text`).
+
 Proof-coverage recording (:mod:`repro.obs.coverage`) follows the same
 switch discipline under its own flag: a
 :class:`~repro.obs.coverage.CoverageRecorder` collects which equation
@@ -52,11 +60,22 @@ from repro.obs.export import (
     chrome_trace_events,
     format_tree,
     iter_flat_events,
+    prometheus_text,
     to_chrome_json,
     write_chrome_trace,
     write_jsonl,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    TEL_STATE,
+    LatencyHistogram,
+    Telemetry,
+    activate_telemetry,
+    current_telemetry,
+    disable_telemetry,
+    enable_telemetry,
+    telemetry_enabled,
+)
 from repro.obs.provenance import (
     counterexamples_of,
     pipeline_provenance,
@@ -92,12 +111,21 @@ __all__ = [
     "activate",
     "capture",
     "MetricsRegistry",
+    "TEL_STATE",
+    "LatencyHistogram",
+    "Telemetry",
+    "telemetry_enabled",
+    "enable_telemetry",
+    "disable_telemetry",
+    "activate_telemetry",
+    "current_telemetry",
     "chrome_trace_events",
     "to_chrome_json",
     "write_chrome_trace",
     "iter_flat_events",
     "write_jsonl",
     "format_tree",
+    "prometheus_text",
     "COV_STATE",
     "CoverageRecorder",
     "coverage_enabled",

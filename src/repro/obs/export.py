@@ -1,6 +1,7 @@
-"""Trace exporters: Chrome tracing JSON, flat JSONL, summary tree.
+"""Trace exporters: Chrome tracing JSON, flat JSONL, summary tree,
+Prometheus text exposition.
 
-Three views of one span tree, for three audiences:
+Four views for four audiences:
 
 * :func:`write_chrome_trace` — the Trace Event Format consumed by
   ``chrome://tracing`` / Perfetto: one complete (``"ph": "X"``) event
@@ -12,16 +13,22 @@ Three views of one span tree, for three audiences:
   streamable into any log pipeline.
 * :func:`format_tree` — the human ``--stats``-style summary: an
   indented tree of span names, durations, attributes and counters.
+* :func:`prometheus_text` — a live :class:`~repro.obs.telemetry.
+  Telemetry` snapshot in the Prometheus text exposition format
+  (histograms with cumulative ``le`` buckets in seconds, counter
+  totals, uptime), ready to serve from a metrics endpoint or dump
+  with ``--telemetry-json``-style tooling.
 
-All exporters accept either a :class:`~repro.obs.tracer.Tracer` or a
-list of root :class:`~repro.obs.tracer.Span` objects.
+The trace exporters accept either a :class:`~repro.obs.tracer.Tracer`
+or a list of root :class:`~repro.obs.tracer.Span` objects.
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable, Iterator
+from typing import IO, Iterable, Iterator, Mapping
 
+from repro.obs.telemetry import LatencyHistogram, Telemetry
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
@@ -31,6 +38,7 @@ __all__ = [
     "iter_flat_events",
     "write_jsonl",
     "format_tree",
+    "prometheus_text",
 ]
 
 
@@ -47,7 +55,9 @@ def _earliest_start(roots: list[Span]) -> float:
     return min(starts) if starts else 0.0
 
 
-def chrome_trace_events(trace: Tracer | Iterable[Span]) -> list[dict]:
+def chrome_trace_events(
+    trace: Tracer | Iterable[Span], workers: int | None = None
+) -> list[dict]:
     """The span forest as Trace Event Format complete events.
 
     Timestamps are microseconds relative to the earliest span, so the
@@ -56,6 +66,12 @@ def chrome_trace_events(trace: Tracer | Iterable[Span]) -> list[dict]:
     attribute (chunk spans) is emitted on ``tid = worker + 1``; all
     other spans share ``tid = 0`` — Chrome renders nesting per ``tid``
     from the timestamps alone, so rows stay readable.
+
+    ``workers`` pins the ``tid`` rows for pool backends whose chunk
+    spans carry the *chunk index* as the ``worker`` attribute (the
+    socket backend's virtual workers): with ``workers=W`` the tid is
+    the stable virtual-worker index ``(worker % W) + 1``, never a
+    pid and never unbounded in the chunk count.
     """
     roots = _roots(trace)
     epoch = _earliest_start(roots)
@@ -65,7 +81,10 @@ def chrome_trace_events(trace: Tracer | Iterable[Span]) -> list[dict]:
         own_tid = tid
         worker = current.attrs.get("worker")
         if isinstance(worker, int):
-            own_tid = worker + 1
+            if workers is not None and workers > 0:
+                own_tid = (worker % workers) + 1
+            else:
+                own_tid = worker + 1
         end = current.end if current.end is not None else current.start
         args: dict = {}
         if current.attrs:
@@ -92,20 +111,24 @@ def chrome_trace_events(trace: Tracer | Iterable[Span]) -> list[dict]:
     return events
 
 
-def to_chrome_json(trace: Tracer | Iterable[Span]) -> dict:
+def to_chrome_json(
+    trace: Tracer | Iterable[Span], workers: int | None = None
+) -> dict:
     """The full ``chrome://tracing``-loadable document."""
     return {
-        "traceEvents": chrome_trace_events(trace),
+        "traceEvents": chrome_trace_events(trace, workers=workers),
         "displayTimeUnit": "ms",
         "otherData": {"producer": "repro.obs"},
     }
 
 
 def write_chrome_trace(
-    trace: Tracer | Iterable[Span], target: str | IO[str]
+    trace: Tracer | Iterable[Span],
+    target: str | IO[str],
+    workers: int | None = None,
 ) -> None:
     """Write the Chrome tracing JSON document to a path or stream."""
-    document = to_chrome_json(trace)
+    document = to_chrome_json(trace, workers=workers)
     if isinstance(target, str):
         with open(target, "w", encoding="utf-8") as handle:
             json.dump(document, handle)
@@ -159,6 +182,60 @@ def write_jsonl(
         for event in iter_flat_events(trace):
             target.write(json.dumps(event))
             target.write("\n")
+
+
+def _prom_name(name: str) -> str:
+    """A dotted telemetry name as a legal Prometheus metric name."""
+    return "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+
+
+def prometheus_text(
+    telemetry: "Telemetry | Mapping",
+) -> str:
+    """A telemetry snapshot in Prometheus text exposition format.
+
+    Accepts a live :class:`~repro.obs.telemetry.Telemetry` or a
+    snapshot dict (as returned by the servers' ``telemetry`` op).
+    Histograms are exposed as ``repro_<name>_seconds`` with
+    cumulative ``le`` buckets (bucket upper bounds converted from
+    nanoseconds to seconds) plus ``_sum`` and ``_count``; rate
+    counters as ``repro_<name>_total``; uptime as the
+    ``repro_uptime_seconds`` gauge.
+    """
+    if isinstance(telemetry, Telemetry):
+        snapshot = telemetry.snapshot(events=0)
+    else:
+        snapshot = telemetry
+    lines: list[str] = []
+    uptime = snapshot.get("uptime_seconds", 0.0)
+    lines.append(
+        "# HELP repro_uptime_seconds Seconds since telemetry started."
+    )
+    lines.append("# TYPE repro_uptime_seconds gauge")
+    lines.append(f"repro_uptime_seconds {uptime}")
+    for name, payload in snapshot.get("histograms", {}).items():
+        metric = f"repro_{_prom_name(name)}_seconds"
+        histogram = LatencyHistogram.from_dict(payload)
+        lines.append(f"# HELP {metric} Latency of {name}.")
+        lines.append(f"# TYPE {metric} histogram")
+        for upper_ns, cumulative in histogram.cumulative_buckets():
+            lines.append(
+                f'{metric}_bucket{{le="{upper_ns / 1e9:.9f}"}} '
+                f"{cumulative}"
+            )
+        lines.append(
+            f'{metric}_bucket{{le="+Inf"}} {histogram.count}'
+        )
+        lines.append(f"{metric}_sum {histogram.sum_ns / 1e9:.9f}")
+        lines.append(f"{metric}_count {histogram.count}")
+    for name, payload in snapshot.get("counters", {}).items():
+        metric = f"repro_{_prom_name(name)}_total"
+        lines.append(f"# HELP {metric} Total {name} events.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {payload['total']}")
+    return "\n".join(lines) + "\n"
 
 
 def format_tree(

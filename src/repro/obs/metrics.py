@@ -112,6 +112,32 @@ class MetricsRegistry:
                 self.inc(prefix + name, getattr(part, field))
             self.set_gauge(prefix + "wall_time", part.wall_time)
 
+    def record_runtime(self, stats: Mapping) -> None:
+        """Subsume a :attr:`~repro.runtime.service.SpecRuntime.stats`
+        dict under the ``runtime.*`` namespace.
+
+        Counters: ``runtime.updates.accepted`` / ``.rejected``,
+        ``runtime.queries``, and ``runtime.journal.*`` when the
+        runtime journals.  Gauges: ``runtime.seq``, ``runtime.cells``,
+        ``runtime.uptime_seconds`` — the one schema shared by
+        ``--metrics-json`` files and the server's ``stats`` op.
+        """
+        self.inc("runtime.updates.accepted", stats.get("accepted", 0))
+        self.inc("runtime.updates.rejected", stats.get("rejected", 0))
+        self.inc("runtime.queries", stats.get("queries", 0))
+        journal = stats.get("journal")
+        if journal:
+            self.inc("runtime.journal.appends", journal["appends"])
+            self.inc("runtime.journal.syncs", journal["syncs"])
+            self.inc(
+                "runtime.journal.compactions", journal["compactions"]
+            )
+        self.set_gauge("runtime.seq", stats.get("seq", 0))
+        self.set_gauge("runtime.cells", stats.get("cells", 0))
+        self.set_gauge(
+            "runtime.uptime_seconds", stats.get("uptime_seconds", 0.0)
+        )
+
     def record_kernel(self) -> None:
         """Gauge the live term-kernel intern tables, the packed term
         arenas, and the delta-exploration totals."""

@@ -1,0 +1,267 @@
+"""``repro top``: a live single-screen view of a serving process.
+
+The subcommand polls the ``telemetry`` op of a running ``repro
+serve`` (JSON-lines protocol) or ``repro worker`` (length-prefixed
+frame protocol, with ``--worker``) and renders one refreshing
+screen: uptime, per-counter rates, latency percentile rows per
+histogram, the guard rejection breakdown, and the newest slow-op
+events.  ``--once`` renders a single screen and exits; ``--once
+--json`` prints the raw snapshot document instead — the scripting
+and CI form (the smoke-distributed job asserts its keys).
+
+Only the standard library is used, so ``repro top`` works anywhere
+the CLI does; rendering degrades to plain text when the output is
+not a terminal (no ANSI clear).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import IO
+
+from repro.errors import ServingError
+
+__all__ = [
+    "fetch_runtime_snapshot",
+    "fetch_worker_snapshot",
+    "render_snapshot",
+    "top",
+]
+
+#: ANSI: clear screen and home the cursor (refreshing display only).
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Split ``HOST:PORT`` (the form ``repro top`` takes).
+
+    Raises:
+        ServingError: when the port part is missing or non-numeric.
+    """
+    host, sep, port_text = address.rpartition(":")
+    if not sep or not host:
+        raise ServingError(
+            f"address {address!r} is not of the form HOST:PORT"
+        )
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ServingError(
+            f"address {address!r} has a non-numeric port"
+        ) from exc
+    return host, port
+
+
+def fetch_runtime_snapshot(
+    host: str, port: int, events: int = 32, timeout: float = 10.0
+) -> dict:
+    """One ``telemetry`` response from a runtime server.
+
+    Raises:
+        ServingError: when the server refuses (telemetry disabled)
+            or the connection fails.
+    """
+    from repro.runtime.client import RuntimeClient
+
+    try:
+        with RuntimeClient(host, port, timeout=timeout) as client:
+            response = client.telemetry(events=events)
+    except OSError as exc:
+        raise ServingError(
+            f"cannot reach runtime server at {host}:{port}: {exc}"
+        ) from exc
+    if not response.get("ok"):
+        raise ServingError(
+            f"server at {host}:{port} refused the telemetry op: "
+            f"{response.get('error', 'unknown error')}"
+        )
+    snapshot = response["telemetry"]
+    if "application" in response:
+        snapshot = {
+            "application": response["application"],
+            **snapshot,
+        }
+    return snapshot
+
+
+def fetch_worker_snapshot(
+    host: str, port: int, events: int = 32, timeout: float = 10.0
+) -> dict:
+    """One ``telemetry`` response from a ``repro worker`` process
+    (hello handshake, then the telemetry frame).
+
+    Raises:
+        ServingError: on connection, protocol, or refusal errors.
+    """
+    from repro.parallel import wire
+
+    try:
+        with socket.create_connection(
+            (host, port), timeout=timeout
+        ) as sock:
+            stream = sock.makefile("rwb")
+            wire.send_frame(
+                stream,
+                {"op": "hello", "version": wire.PROTOCOL_VERSION},
+            )
+            hello = wire.recv_frame(stream)
+            if hello is None or not hello.get("ok"):
+                raise ServingError(
+                    f"worker at {host}:{port} refused the handshake: "
+                    f"{(hello or {}).get('error', 'closed')}"
+                )
+            wire.send_frame(
+                stream, {"op": "telemetry", "events": events}
+            )
+            reply = wire.recv_frame(stream)
+            wire.send_frame(stream, {"op": "bye"})
+    except (OSError, wire.WireError) as exc:
+        raise ServingError(
+            f"cannot reach worker at {host}:{port}: {exc}"
+        ) from exc
+    if reply is None or not reply.get("ok"):
+        raise ServingError(
+            f"worker at {host}:{port} refused the telemetry op: "
+            f"{(reply or {}).get('error', 'closed')}"
+        )
+    return reply["telemetry"]
+
+
+def _rejection_breakdown(counters: dict) -> list[tuple[str, dict]]:
+    """The ``runtime.rejected.<kind>`` counter rows, by total."""
+    rows = [
+        (name.rpartition(".")[2], payload)
+        for name, payload in counters.items()
+        if name.startswith("runtime.rejected.")
+    ]
+    rows.sort(key=lambda row: -row[1]["total"])
+    return rows
+
+
+def render_snapshot(snapshot: dict, address: str = "") -> str:
+    """One snapshot as the plain-text ``repro top`` screen."""
+    lines: list[str] = []
+    application = snapshot.get("application")
+    heading = "repro top"
+    if address:
+        heading += f" — {address}"
+    if application:
+        heading += f" ({application})"
+    uptime = snapshot.get("uptime_seconds", 0.0)
+    lines.append(
+        f"{heading}   up {uptime:.1f}s   "
+        f"slow-op threshold {snapshot.get('slow_ms', 0):.0f}ms"
+    )
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append(
+            f"  {'counter':34s} {'total':>10s} "
+            f"{'rate/10s':>10s} {'rate/60s':>10s}"
+        )
+        for name, payload in counters.items():
+            lines.append(
+                f"  {name:34s} {payload['total']:>10d} "
+                f"{payload['rate_10s']:>10.2f} "
+                f"{payload['rate_60s']:>10.2f}"
+            )
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append(
+            f"  {'latency (ms)':34s} {'count':>8s} {'p50':>8s} "
+            f"{'p90':>8s} {'p99':>8s} {'max':>8s}"
+        )
+        for name, payload in histograms.items():
+            if not payload.get("count"):
+                continue
+            lines.append(
+                f"  {name:34s} {payload['count']:>8d} "
+                f"{payload['p50_ms']:>8.3f} {payload['p90_ms']:>8.3f} "
+                f"{payload['p99_ms']:>8.3f} {payload['max_ms']:>8.3f}"
+            )
+    rejections = _rejection_breakdown(counters)
+    if rejections:
+        lines.append("")
+        lines.append("  guard rejections:")
+        for kind, payload in rejections:
+            lines.append(
+                f"    {kind:20s} {payload['total']:>8d} "
+                f"({payload['rate_60s']:.2f}/s over 60s)"
+            )
+    events = snapshot.get("events", [])
+    slow = [e for e in events if e.get("level") == "slow"]
+    if slow:
+        lines.append("")
+        lines.append("  recent slow ops:")
+        for event in slow[-8:]:
+            fields = event.get("fields", {})
+            rendered = " ".join(
+                f"{key}={value}" for key, value in fields.items()
+            )
+            lines.append(
+                f"    +{event.get('uptime', 0):.1f}s "
+                f"{event.get('op', '?'):30s} "
+                f"{event.get('duration_ms', 0):>9.2f}ms "
+                f"{rendered}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def top(
+    address: str,
+    worker: bool = False,
+    interval: float = 2.0,
+    once: bool = False,
+    as_json: bool = False,
+    events: int = 32,
+    out: IO[str] | None = None,
+) -> int:
+    """The ``repro top`` loop; returns the process exit code.
+
+    Args:
+        address: ``HOST:PORT`` of the serving process.
+        worker: poll a ``repro worker`` instead of a runtime server.
+        interval: seconds between refreshes.
+        once: render a single screen and exit.
+        as_json: with ``once``, print the raw snapshot document.
+        events: recent events to request per poll.
+        out: output stream (defaults to stdout).
+    """
+    import sys
+
+    stream = out if out is not None else sys.stdout
+    host, port = parse_address(address)
+    fetch = fetch_worker_snapshot if worker else fetch_runtime_snapshot
+    refreshing = (
+        not once
+        and out is None
+        and hasattr(stream, "isatty")
+        and stream.isatty()
+    )
+    while True:
+        try:
+            snapshot = fetch(host, port, events=events)
+        except ServingError as exc:
+            print(f"repro top: {exc}", file=stream, flush=True)
+            return 2
+        if once and as_json:
+            print(
+                json.dumps(snapshot, indent=2, sort_keys=True),
+                file=stream,
+                flush=True,
+            )
+            return 0
+        screen = render_snapshot(snapshot, address)
+        if refreshing:
+            stream.write(_CLEAR)
+        stream.write(screen)
+        stream.flush()
+        if once:
+            return 0
+        try:
+            time.sleep(max(0.1, interval))
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0

@@ -22,6 +22,12 @@ listens on a TCP port, speaks the length-prefixed JSON frames of
     request carries the client's tracing/coverage flags; span buffers
     and coverage payloads travel back inside the pickled
     :class:`~repro.parallel.stats.WorkerStats`.
+``telemetry``
+    The worker's live telemetry snapshot (per-op and bundle-load
+    latency histograms, chunk rates, bundle cache hit/miss counters,
+    recent slow ops) — always on, held per worker process, so
+    harnesses and ``repro top --worker`` can watch a pool member
+    without touching the process-wide telemetry switch.
 ``bye`` / ``shutdown``
     End the session / stop the whole worker (the latter only with
     ``--allow-shutdown``, for harnesses).
@@ -37,11 +43,13 @@ import importlib
 import pickle
 import socketserver
 import threading
+import time
 import traceback
 from collections import OrderedDict
 from contextlib import nullcontext
 from typing import Callable
 
+from repro.obs.telemetry import Telemetry
 from repro.parallel import wire
 
 __all__ = ["WorkerServer"]
@@ -89,6 +97,7 @@ class _SessionHandler(socketserver.StreamRequestHandler):
             if frame is None:
                 return
             op = frame.get("op")
+            t0 = time.perf_counter_ns()
             try:
                 if op == "hello":
                     version = frame.get("version")
@@ -110,9 +119,11 @@ class _SessionHandler(socketserver.StreamRequestHandler):
                     fingerprint = frame["fingerprint"]
                     data = server.bundles.get(fingerprint)
                     if data is None:
+                        server.telemetry.inc("worker.bundle.misses")
                         self._reply({"ok": True, "have": False})
                     else:
-                        context = pickle.loads(data)
+                        server.telemetry.inc("worker.bundle.hits")
+                        context = server.load_bundle(data)
                         bound = True
                         self._reply({"ok": True, "have": True})
                 elif op == "bundle":
@@ -130,9 +141,19 @@ class _SessionHandler(socketserver.StreamRequestHandler):
                         )
                         continue
                     server.bundles.put(actual, data)
-                    context = pickle.loads(data)
+                    context = server.load_bundle(data)
                     bound = True
                     self._reply({"ok": True, "fingerprint": actual})
+                elif op == "telemetry":
+                    self._reply(
+                        {
+                            "ok": True,
+                            "server": "repro-worker",
+                            "telemetry": server.telemetry.snapshot(
+                                events=frame.get("events", 32)
+                            ),
+                        }
+                    )
                 elif op == "chunk":
                     if not bound:
                         self._reply_error(
@@ -168,6 +189,12 @@ class _SessionHandler(socketserver.StreamRequestHandler):
                     )
                 except (OSError, wire.WireError):
                     return
+            finally:
+                server.telemetry.observe(
+                    "worker.op."
+                    + (op if isinstance(op, str) else "invalid"),
+                    time.perf_counter_ns() - t0,
+                )
 
     def _reply(self, payload: dict) -> None:
         wire.send_frame(self.wfile, payload)
@@ -193,9 +220,26 @@ class _Server(socketserver.ThreadingTCPServer):
         self.allow_shutdown = allow_shutdown
         self.module_prefixes = module_prefixes
         self.bundles = _BundleStore(bundle_cache)
+        # Server-local and always on: worker telemetry never touches
+        # the process-wide TEL_STATE switch, so in-thread harness
+        # workers cannot leak state across tests.
+        self.telemetry = Telemetry()
         # Chunk execution is serialized: one worker process is one
         # compute slot, however many sessions it serves.
         self.exec_lock = threading.Lock()
+
+    def load_bundle(self, data: bytes):
+        """Unpickle a fresh context from bundle bytes, timing the
+        load into the ``worker.bundle.load`` histogram."""
+        t0 = time.perf_counter_ns()
+        context = pickle.loads(data)
+        self.telemetry.observe(
+            "worker.bundle.load",
+            time.perf_counter_ns() - t0,
+            counter="worker.bundle.loads",
+            bytes=len(data),
+        )
+        return context
 
     # ------------------------------------------------------------------
     def resolve_chunk_fn(self, spec: str) -> Callable:
@@ -246,8 +290,16 @@ class _Server(socketserver.ThreadingTCPServer):
             else nullcontext()
         )
         try:
+            t0 = time.perf_counter_ns()
             with self.exec_lock, tracing, covering:
                 outcome = _run_chunk((fn, index, arg), context=context)
+            self.telemetry.observe(
+                "worker.chunk",
+                time.perf_counter_ns() - t0,
+                counter="worker.chunks",
+                fn=frame["fn"],
+                index=index,
+            )
             payload = pickle.dumps(
                 outcome, protocol=pickle.HIGHEST_PROTOCOL
             )
@@ -303,6 +355,11 @@ class WorkerServer:
     def address(self) -> str:
         """``host:port``, the form ``--workers-addr`` takes."""
         return f"{self.host}:{self.port}"
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """This worker's live telemetry registry (always on)."""
+        return self._server.telemetry
 
     def serve_forever(self) -> None:
         """Serve sessions until :meth:`shutdown` (blocking)."""

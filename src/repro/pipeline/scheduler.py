@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.obs.coverage import COV_STATE, capture_coverage
+from repro.obs.telemetry import TEL_STATE as _TEL
 from repro.obs.tracer import (
     OBS_STATE,
     Tracer,
@@ -466,6 +467,13 @@ class Scheduler:
                             check, ctx, want_counters
                         )
                         statuses[name] = "ran"
+                        if _TEL.enabled:
+                            _TEL.telemetry.observe(
+                                f"pipeline.check.{name}",
+                                int(runs[name].wall_time * 1e9),
+                                counter="pipeline.checks",
+                                check=name,
+                            )
                         self._store(
                             check, fingerprints.get(name), runs[name]
                         )
@@ -494,6 +502,13 @@ class Scheduler:
                         _count("pipeline.cache.misses", 1)
                     runs[name] = run
                     statuses[name] = "ran"
+                    if _TEL.enabled:
+                        _TEL.telemetry.observe(
+                            f"pipeline.check.{name}",
+                            int(run.wall_time * 1e9),
+                            counter="pipeline.checks",
+                            check=name,
+                        )
                     self._store(
                         checks[name], fingerprints.get(name), run
                     )

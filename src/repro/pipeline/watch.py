@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Callable, TextIO
 
 from repro.errors import SpecificationError
+from repro.obs.telemetry import TEL_STATE as _TEL, activate_telemetry
 from repro.pipeline.cache import ResultCache
 from repro.pipeline.fingerprint import framework_parts
 
@@ -236,6 +237,16 @@ class WatchSession:
             f"[cycle {cycle}] {overall} — {ran} ran, {hit} cached "
             f"({elapsed:.2f}s)"
         )
+        if _TEL.enabled:
+            _TEL.telemetry.observe(
+                "pipeline.cycle",
+                int(elapsed * 1e9),
+                counter="pipeline.cycles",
+                cycle=cycle,
+                ran=ran,
+                hit=hit,
+                ok=result.ok,
+            )
         self.last_ok = result.ok
         return result.ok
 
@@ -266,32 +277,38 @@ def watch(
     else:
         cache_root = Path(cache_dir)
     try:
-        session = WatchSession(
-            resolved,
-            ResultCache(cache_root),
-            depth=depth,
-            workers=workers,
-            out=out,
-        )
-        session._emit(
-            f"watching {resolved.label} "
-            f"({', '.join(str(p) for p in resolved.paths)}; "
-            f"cache: {cache_root})"
-        )
-        session.run_cycle()
-        deadline = (
-            time.monotonic() + timeout if timeout is not None else None
-        )
-        try:
-            while (limit is None or session.cycles < limit) and (
-                deadline is None or time.monotonic() < deadline
-            ):
-                time.sleep(max(0.01, interval))
-                if session.poll():
-                    session.run_cycle()
-        except KeyboardInterrupt:
-            pass
-        return 0 if session.last_ok else 1
+        # Scoped, not global: the watch loop records per-check and
+        # per-cycle histograms for its own lifetime, then restores
+        # whatever telemetry state the caller had.
+        with activate_telemetry():
+            session = WatchSession(
+                resolved,
+                ResultCache(cache_root),
+                depth=depth,
+                workers=workers,
+                out=out,
+            )
+            session._emit(
+                f"watching {resolved.label} "
+                f"({', '.join(str(p) for p in resolved.paths)}; "
+                f"cache: {cache_root})"
+            )
+            session.run_cycle()
+            deadline = (
+                time.monotonic() + timeout
+                if timeout is not None
+                else None
+            )
+            try:
+                while (limit is None or session.cycles < limit) and (
+                    deadline is None or time.monotonic() < deadline
+                ):
+                    time.sleep(max(0.01, interval))
+                    if session.poll():
+                        session.run_cycle()
+            except KeyboardInterrupt:
+                pass
+            return 0 if session.last_ok else 1
     finally:
         if private_dir is not None:
             private_dir.cleanup()

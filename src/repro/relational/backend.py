@@ -19,6 +19,7 @@ the property the differential oracle leans on.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from typing import Iterable
 
@@ -27,6 +28,7 @@ from repro.algebraic.algebra import Snapshot
 from repro.algebraic.compiler import Cell
 from repro.algebraic.description import StructuredDescription
 from repro.algebraic.spec import AlgebraicSpec
+from repro.obs.telemetry import TEL_STATE as _TEL
 from repro.obs.tracer import OBS_STATE as _OBS, span as _span
 from repro.relational.lowering import (
     GuardLowering,
@@ -216,6 +218,7 @@ class RelationalDatabase:
                         "relational.noops.precondition"
                     )
                 return False
+        t0 = time.perf_counter_ns() if _TEL.enabled else 0
         self.backend.begin()
         try:
             for _query, statement in program.stages:
@@ -245,6 +248,14 @@ class RelationalDatabase:
         self.stats["transactions"] += 1
         if _OBS.enabled:
             _OBS.tracer.count("relational.transactions")
+        if t0:
+            _TEL.telemetry.observe(
+                f"relational.txn.{update}",
+                time.perf_counter_ns() - t0,
+                counter="relational.transactions",
+                update=update,
+                backend=self.backend.name,
+            )
         return True
 
     # ------------------------------------------------------------------

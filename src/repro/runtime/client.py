@@ -71,6 +71,10 @@ class RuntimeClient:
         """``{"op": "stats"}``."""
         return self.request({"op": "stats"})
 
+    def telemetry(self, events: int = 32) -> dict:
+        """``{"op": "telemetry"}`` — the live telemetry snapshot."""
+        return self.request({"op": "telemetry", "events": events})
+
     def shutdown(self) -> dict:
         """Ask the server to stop (needs ``allow_shutdown``)."""
         return self.request({"op": "shutdown"})

@@ -35,11 +35,13 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping
 
 from repro.errors import JournalError
+from repro.obs.telemetry import TEL_STATE as _TEL
 from repro.obs.tracer import OBS_STATE as _OBS
 
 __all__ = ["Journal", "RecoveredLog"]
@@ -136,6 +138,7 @@ class Journal:
         self, seq: int, update: str, params: tuple[str, ...]
     ) -> None:
         """Record one admitted update; flushes every ``fsync_batch``."""
+        t0 = time.perf_counter_ns() if _TEL.enabled else 0
         body = {"seq": seq, "update": update, "params": list(params)}
         body["crc"] = _crc(body)
         self._file.write(
@@ -146,18 +149,33 @@ class Journal:
         self._pending += 1
         if self._pending >= self._fsync_batch:
             self.flush()
+        if t0:
+            _TEL.telemetry.observe(
+                "journal.append",
+                time.perf_counter_ns() - t0,
+                counter="journal.appends",
+            )
 
     def flush(self) -> None:
         """Flush buffered appends and fsync (unless fsync is off)."""
         if self._file.closed:
             return
+        batch = self._pending
+        t0 = time.perf_counter_ns() if _TEL.enabled and batch else 0
         self._file.flush()
         if self._fsync:
             os.fsync(self._file.fileno())
-        if self._pending:
+        if batch:
             self.syncs += 1
             if _OBS.enabled:
                 _OBS.tracer.count("runtime.journal.syncs")
+            if t0:
+                _TEL.telemetry.observe(
+                    "journal.fsync",
+                    time.perf_counter_ns() - t0,
+                    counter="journal.syncs",
+                    batch=batch,
+                )
         self._pending = 0
 
     def compact(self, cells: Mapping[Cell, Value], seq: int) -> None:
@@ -165,6 +183,7 @@ class Journal:
         journal.  Crash-safe: the snapshot replaces atomically, and
         stale journal entries surviving a crash before truncation are
         filtered by sequence number on recovery."""
+        t0 = time.perf_counter_ns() if _TEL.enabled else 0
         self.flush()
         body = {
             "seq": seq,
@@ -187,6 +206,23 @@ class Journal:
         self.compactions += 1
         if _OBS.enabled:
             _OBS.tracer.count("runtime.journal.compactions")
+        if t0:
+            elapsed = time.perf_counter_ns() - t0
+            telemetry = _TEL.telemetry
+            telemetry.observe(
+                "journal.compaction",
+                elapsed,
+                counter="journal.compactions",
+                seq=seq,
+                cells=len(cells),
+            )
+            telemetry.event(
+                "info",
+                "journal.compaction",
+                elapsed / 1e6,
+                seq=seq,
+                cells=len(cells),
+            )
 
     def close(self) -> None:
         """Flush and close the journal file."""

@@ -9,6 +9,7 @@ to drive from any language, ``nc``, or the blocking client in
     {"op": "update", "update": "deposit", "params": ["a1"]}
     {"op": "state"}
     {"op": "stats"}
+    {"op": "telemetry"}         # live histograms/rates/events
     {"op": "compact"}
     {"op": "shutdown"}          # honored only with allow_shutdown
 
@@ -32,6 +33,7 @@ import json
 import signal
 
 from repro.errors import ReproError
+from repro.obs.telemetry import TEL_STATE as _TEL
 from repro.obs.tracer import OBS_STATE as _OBS
 from repro.runtime.service import SpecRuntime
 
@@ -103,7 +105,27 @@ class RuntimeServer:
                     "cells": cells,
                 }, False
             if op == "stats":
-                return {"ok": True, "stats": self.runtime.stats}, False
+                return {
+                    "ok": True,
+                    "stats": self.runtime.stats,
+                    "metrics": (
+                        self.runtime.metrics_registry().to_dict()
+                    ),
+                }, False
+            if op == "telemetry":
+                if not _TEL.enabled:
+                    return {
+                        "ok": False,
+                        "error": "telemetry is not enabled",
+                    }, False
+                events = request.get("events", 32)
+                return {
+                    "ok": True,
+                    "application": self.runtime.name,
+                    "telemetry": _TEL.telemetry.snapshot(
+                        events=events
+                    ),
+                }, False
             if op == "compact":
                 self.runtime.compact()
                 return {"ok": True, "seq": self.runtime.seq}, False

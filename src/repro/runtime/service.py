@@ -27,10 +27,12 @@ the induction base for the incremental guard skipping (see
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable
 
 from repro.errors import ServingError
+from repro.obs.telemetry import TEL_STATE as _TEL
 from repro.obs.tracer import OBS_STATE as _OBS, span as _span
 from repro.algebraic.description import StructuredDescription
 from repro.core.framework import DesignFramework
@@ -170,6 +172,10 @@ class SpecRuntime:
         self._admission: dict[
             tuple[str, tuple[str, ...]], tuple
         ] = {}
+        #: Cached ``runtime.update.<kind>.<outcome>`` histogram names
+        #: so the telemetry hot path never formats strings.
+        self._tel_names: dict[tuple[str, str], str] = {}
+        self._started = time.monotonic()
         self.recovery_warnings: list[str] = []
         if self.journal is not None:
             self._recover()
@@ -211,7 +217,25 @@ class SpecRuntime:
         self.query_count += 1
         if _OBS.enabled:
             _OBS.tracer.count("runtime.queries")
+        if _TEL.enabled:
+            t0 = time.perf_counter_ns()
+            value = self.store.query(name, tuple(params))
+            _TEL.telemetry.observe(
+                "runtime.query",
+                time.perf_counter_ns() - t0,
+                counter="runtime.queries",
+            )
+            return value
         return self.store.query(name, tuple(params))
+
+    def _tel_name(self, update: str, outcome: str) -> str:
+        """The cached histogram name for one (update, outcome)."""
+        key = (update, outcome)
+        name = self._tel_names.get(key)
+        if name is None:
+            name = f"runtime.update.{update}.{outcome}"
+            self._tel_names[key] = name
+        return name
 
     def _admission_of(self, plan) -> tuple:
         """The cached admission artifacts for one plan: the
@@ -254,6 +278,7 @@ class SpecRuntime:
         """Admit or reject one update request (the five-stage
         pipeline described in the module docstring)."""
         params = tuple(params)
+        started = time.perf_counter_ns() if _TEL.enabled else 0
         store = self.store
         plan = store.plan(update, params)
         get = store.getter
@@ -268,13 +293,21 @@ class SpecRuntime:
             else:
                 holds = bool(plan.precondition(get))
             if not holds:
-                return self._reject(update, params, witness)
+                return self._reject(update, params, witness, started)
 
         writes = store.compute_writes(plan)
         if not writes:
             self.accepted_count += 1
             if _OBS.enabled:
                 _OBS.tracer.count("runtime.updates.noop")
+            if started:
+                _TEL.telemetry.observe(
+                    self._tel_name(update, "admit"),
+                    time.perf_counter_ns() - started,
+                    counter="runtime.updates.accepted",
+                    update=update,
+                    outcome="noop",
+                )
             return ExecutionResult(True, self.seq, update, params)
 
         missing = _MISSING
@@ -296,13 +329,19 @@ class SpecRuntime:
             if allowed is not None:
                 if tuple(map(after, table.cells)) not in allowed:
                     return self._reject(
-                        update, params, table.static_witness(after)
+                        update,
+                        params,
+                        table.static_witness(after),
+                        started,
                     )
             else:
                 for instance in table.members:
                     if not instance.closure(after):
                         return self._reject(
-                            update, params, instance.violation()
+                            update,
+                            params,
+                            instance.violation(),
+                            started,
                         )
         if transitions:
             gets = (get, after)
@@ -318,12 +357,16 @@ class SpecRuntime:
                             update,
                             params,
                             table.transition_witness(gets),
+                            started,
                         )
                 else:
                     for instance in table.members:
                         if not instance.closure(gets):
                             return self._reject(
-                                update, params, instance.violation()
+                                update,
+                                params,
+                                instance.violation(),
+                                started,
                             )
 
         store.commit(writes)
@@ -339,6 +382,14 @@ class SpecRuntime:
                 self.compact()
         if _OBS.enabled:
             _OBS.tracer.count("runtime.updates.accepted")
+        if started:
+            _TEL.telemetry.observe(
+                self._tel_name(update, "admit"),
+                time.perf_counter_ns() - started,
+                counter="runtime.updates.accepted",
+                update=update,
+                outcome="commit",
+            )
         return ExecutionResult(True, self.seq, update, params, writes)
 
     def _reject(
@@ -346,6 +397,7 @@ class SpecRuntime:
         update: str,
         params: tuple[str, ...],
         violation: GuardViolation,
+        started: int = 0,
     ) -> ExecutionResult:
         self.rejected_count += 1
         if _OBS.enabled:
@@ -353,6 +405,16 @@ class SpecRuntime:
             _OBS.tracer.count(
                 f"runtime.updates.rejected.{violation.kind}"
             )
+        if started:
+            telemetry = _TEL.telemetry
+            telemetry.observe(
+                self._tel_name(update, "reject"),
+                time.perf_counter_ns() - started,
+                counter="runtime.updates.rejected",
+                update=update,
+                violation=violation.kind,
+            )
+            telemetry.inc(f"runtime.rejected.{violation.kind}")
         return ExecutionResult(
             False, self.seq, update, params, {}, violation
         )
@@ -391,6 +453,9 @@ class SpecRuntime:
         out = {
             "application": self.name,
             "seq": self.seq,
+            "uptime_seconds": round(
+                time.monotonic() - self._started, 3
+            ),
             "accepted": self.accepted_count,
             "rejected": self.rejected_count,
             "queries": self.query_count,
@@ -406,3 +471,14 @@ class SpecRuntime:
                 "compactions": self.journal.compactions,
             }
         return out
+
+    def metrics_registry(self):
+        """The serving counters folded into the ``runtime.*``
+        namespace of a :class:`~repro.obs.metrics.MetricsRegistry`
+        — the one schema shared by ``--metrics-json`` and the
+        server's ``stats`` op."""
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.record_runtime(self.stats)
+        return registry

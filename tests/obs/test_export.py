@@ -10,10 +10,12 @@ from repro.obs.export import (
     chrome_trace_events,
     format_tree,
     iter_flat_events,
+    prometheus_text,
     to_chrome_json,
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.telemetry import Telemetry
 from repro.obs.tracer import Span, Tracer
 
 
@@ -166,3 +168,77 @@ class TestSummaryTree:
         assert list(iter_flat_events(tracer.roots)) == list(
             iter_flat_events(tracer)
         )
+
+
+class TestWorkerTidPinning:
+    """Socket-backend virtual workers: ``workers=W`` pins chunk tids
+    to stable virtual-worker rows instead of unbounded chunk indices."""
+
+    def _chunk_span(self, worker):
+        chunk = Span("chunk", {"worker": worker})
+        chunk.end = chunk.start + 0.001
+        return chunk
+
+    def test_workers_parameter_wraps_chunk_indices(self):
+        spans = [self._chunk_span(index) for index in range(6)]
+        events = chrome_trace_events(spans, workers=2)
+        assert [event["tid"] for event in events] == [
+            1, 2, 1, 2, 1, 2,
+        ]
+
+    def test_default_behavior_is_unchanged(self):
+        spans = [self._chunk_span(index) for index in range(4)]
+        events = chrome_trace_events(spans)
+        assert [event["tid"] for event in events] == [1, 2, 3, 4]
+
+    def test_to_chrome_json_threads_workers_through(self):
+        spans = [self._chunk_span(5)]
+        document = to_chrome_json(spans, workers=4)
+        assert document["traceEvents"][0]["tid"] == 2  # 5 % 4 + 1
+
+
+class TestPrometheusText:
+    def _telemetry(self):
+        telemetry = Telemetry(slow_ms=10_000.0)
+        telemetry.observe(
+            "runtime.update.deposit.admit",
+            2_000_000,
+            counter="runtime.updates.accepted",
+        )
+        telemetry.observe("runtime.update.deposit.admit", 4_000_000)
+        return telemetry
+
+    def test_histograms_counters_and_uptime_are_exposed(self):
+        text = prometheus_text(self._telemetry())
+        assert "repro_uptime_seconds " in text
+        metric = "repro_runtime_update_deposit_admit_seconds"
+        assert f"# TYPE {metric} histogram" in text
+        assert f'{metric}_bucket{{le="+Inf"}} 2' in text
+        assert f"{metric}_count 2" in text
+        assert f"{metric}_sum 0.006000000" in text
+        assert (
+            "repro_runtime_updates_accepted_total 1" in text
+        )
+
+    def test_buckets_are_cumulative_and_sorted(self):
+        text = prometheus_text(self._telemetry())
+        bounds, counts = [], []
+        for line in text.splitlines():
+            if '_bucket{le="' in line and "+Inf" not in line:
+                le, _, count = line.partition('"}')
+                bounds.append(float(le.split('le="')[1]))
+                counts.append(int(count))
+        assert bounds == sorted(bounds)
+        assert counts == sorted(counts)
+        assert counts[-1] == 2
+
+    def test_accepts_a_snapshot_dict(self):
+        snapshot = self._telemetry().snapshot(events=0)
+        text = prometheus_text(snapshot)
+        # Rendering a dict is deterministic and matches the live form.
+        assert text == prometheus_text(snapshot)
+        assert "repro_runtime_update_deposit_admit_seconds" in text
+
+    def test_every_line_is_well_formed(self):
+        for line in prometheus_text(self._telemetry()).splitlines():
+            assert line.startswith("#") or " " in line

@@ -220,3 +220,85 @@ class TestShutdown:
             c.close()
         thread.join(timeout=10)
         assert not thread.is_alive()
+
+
+class TestTelemetryOp:
+    def test_ops_and_bundle_loads_are_histogrammed(self, server):
+        c = _Client(server)
+        try:
+            _handshake(c)
+            data, fingerprint = _bundle({"base": 10})
+            c.call(
+                {
+                    "op": "bundle",
+                    "fingerprint": fingerprint,
+                    "data": wire.encode_bytes(data),
+                }
+            )
+            c.call(
+                {
+                    "op": "chunk",
+                    "fn": "tests.parallel.test_worker:_memo_probe_chunk",
+                    "index": 0,
+                    "arg": wire.encode_bytes(pickle.dumps(1)),
+                }
+            )
+            reply = c.call({"op": "telemetry"})
+        finally:
+            c.close()
+        assert reply["ok"] is True
+        assert reply["server"] == "repro-worker"
+        snapshot = reply["telemetry"]
+        histograms = snapshot["histograms"]
+        assert histograms["worker.op.hello"]["count"] >= 1
+        assert histograms["worker.op.chunk"]["count"] >= 1
+        assert histograms["worker.bundle.load"]["count"] >= 1
+        assert histograms["worker.chunk"]["count"] >= 1
+        counters = snapshot["counters"]
+        assert counters["worker.chunks"]["total"] >= 1
+        assert counters["worker.bundle.loads"]["total"] >= 1
+
+    def test_bundle_cache_hits_and_misses_are_counted(self, server):
+        c = _Client(server)
+        try:
+            _handshake(c)
+            data, fingerprint = _bundle({"base": 77})
+            c.call(
+                {
+                    "op": "bundle",
+                    "fingerprint": fingerprint,
+                    "data": wire.encode_bytes(data),
+                }
+            )
+            before = c.call({"op": "telemetry"})["telemetry"]
+            # Binding a cached fingerprint is a hit; an unknown one
+            # is a miss.
+            c.call({"op": "bind", "fingerprint": fingerprint})
+            c.call({"op": "bind", "fingerprint": "0" * 64})
+            after = c.call({"op": "telemetry"})["telemetry"]
+        finally:
+            c.close()
+        def total(snap, name):
+            return snap["counters"].get(name, {"total": 0})["total"]
+
+        assert total(after, "worker.bundle.hits") == (
+            total(before, "worker.bundle.hits") + 1
+        )
+        assert total(after, "worker.bundle.misses") == (
+            total(before, "worker.bundle.misses") + 1
+        )
+
+    def test_worker_telemetry_is_server_local(self, server):
+        from repro.obs.telemetry import TEL_STATE
+
+        assert TEL_STATE.enabled is False
+        c = _Client(server)
+        try:
+            _handshake(c)
+            reply = c.call({"op": "telemetry"})
+        finally:
+            c.close()
+        # Always on for the worker's own server object, without
+        # touching the process-global switch.
+        assert reply["ok"] is True
+        assert reply["telemetry"]["histograms"]

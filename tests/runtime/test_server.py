@@ -10,6 +10,7 @@ import threading
 import pytest
 
 from repro.errors import ServingError
+from repro.obs.telemetry import activate_telemetry
 from repro.runtime.client import RuntimeClient, wait_until_ready
 from repro.runtime.server import RuntimeServer, serve
 from repro.runtime.service import SpecRuntime
@@ -170,3 +171,73 @@ def test_client_reports_closed_connection(bank_app):
     with pytest.raises(ServingError):
         first.request({"op": "ping"})
     first.close()
+
+
+class TestTelemetryOp:
+    def test_refused_when_telemetry_is_disabled(self, server):
+        response, stop = server.handle_request({"op": "telemetry"})
+        assert response["ok"] is False
+        assert "telemetry" in response["error"]
+        assert not stop
+
+    def test_snapshot_reflects_served_traffic(self, server):
+        with activate_telemetry():
+            server.handle_request(
+                {
+                    "op": "update",
+                    "update": "open_account",
+                    "params": ["a1"],
+                }
+            )
+            server.handle_request(
+                {"op": "update", "update": "deposit", "params": ["a2"]}
+            )
+            server.handle_request(
+                {"op": "query", "query": "open", "params": ["a1"]}
+            )
+            response, _ = server.handle_request({"op": "telemetry"})
+        assert response["ok"] is True
+        assert response["application"] == server.runtime.name
+        snapshot = response["telemetry"]
+        histograms = snapshot["histograms"]
+        assert (
+            histograms["runtime.update.open_account.admit"]["count"]
+            == 1
+        )
+        assert (
+            histograms["runtime.update.deposit.reject"]["count"] == 1
+        )
+        assert histograms["runtime.query"]["count"] == 1
+        counters = snapshot["counters"]
+        assert counters["runtime.updates.accepted"]["total"] == 1
+        assert counters["runtime.updates.rejected"]["total"] == 1
+        assert counters["runtime.rejected.precondition"]["total"] == 1
+
+    def test_events_limit_is_honored(self, server):
+        with activate_telemetry() as telemetry:
+            for index in range(5):
+                telemetry.event("info", f"op{index}")
+            response, _ = server.handle_request(
+                {"op": "telemetry", "events": 2}
+            )
+        assert [e["op"] for e in response["telemetry"]["events"]] == [
+            "op3",
+            "op4",
+        ]
+
+
+class TestStatsMetrics:
+    def test_stats_carries_metrics_and_uptime(self, server):
+        server.handle_request(
+            {"op": "update", "update": "open_account", "params": ["a1"]}
+        )
+        server.handle_request(
+            {"op": "update", "update": "deposit", "params": ["a2"]}
+        )
+        response, _ = server.handle_request({"op": "stats"})
+        assert response["stats"]["uptime_seconds"] >= 0.0
+        metrics = response["metrics"]
+        assert metrics["counters"]["runtime.updates.accepted"] == 1
+        assert metrics["counters"]["runtime.updates.rejected"] == 1
+        assert metrics["gauges"]["runtime.seq"] == 1
+        assert metrics["gauges"]["runtime.uptime_seconds"] >= 0.0
